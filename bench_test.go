@@ -1,0 +1,225 @@
+// Package selnet_bench regenerates every table and figure of the paper's
+// evaluation section as Go benchmarks. Each benchmark runs one experiment
+// at QuickConfig scale and reports the paper's headline quantity as a
+// custom metric, so `go test -bench=.` both exercises the full pipeline
+// and prints the reproduced numbers. cmd/benchrunner runs the same
+// experiments at FullConfig scale with complete table output.
+package selnet_bench
+
+import (
+	"testing"
+
+	"selnet/internal/experiments"
+)
+
+func quick() experiments.Config { return experiments.QuickConfig() }
+
+// reportErrors attaches the SelNet row's errors as benchmark metrics.
+func reportSelNetRow(b *testing.B, t experiments.AccuracyTable) {
+	b.Helper()
+	for _, r := range t.Rows {
+		if r.Model == "SelNet" {
+			b.ReportMetric(r.Test.MSE, "selnet-mse")
+			b.ReportMetric(r.Test.MAE, "selnet-mae")
+			b.ReportMetric(r.Test.MAPE, "selnet-mape")
+		}
+	}
+}
+
+func BenchmarkTable1AccuracyFasttextCos(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t := experiments.RunAccuracyTable(quick(), "fasttext-cos")
+		reportSelNetRow(b, t)
+		if i == 0 {
+			b.Log("\n" + t.String())
+		}
+	}
+}
+
+func BenchmarkTable2AccuracyFasttextL2(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t := experiments.RunAccuracyTable(quick(), "fasttext-l2")
+		reportSelNetRow(b, t)
+		if i == 0 {
+			b.Log("\n" + t.String())
+		}
+	}
+}
+
+func BenchmarkTable3AccuracyFaceCos(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t := experiments.RunAccuracyTable(quick(), "face-cos")
+		reportSelNetRow(b, t)
+		if i == 0 {
+			b.Log("\n" + t.String())
+		}
+	}
+}
+
+func BenchmarkTable4AccuracyYouTubeCos(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t := experiments.RunAccuracyTable(quick(), "youtube-cos")
+		reportSelNetRow(b, t)
+		if i == 0 {
+			b.Log("\n" + t.String())
+		}
+	}
+}
+
+func BenchmarkTable5Monotonicity(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t := experiments.RunMonotonicityTable(quick())
+		for _, s := range t.Scores {
+			if s.Model == "SelNet" {
+				b.ReportMetric(s.Score, "selnet-mono-%")
+			}
+		}
+		if i == 0 {
+			b.Log("\n" + t.String())
+		}
+	}
+}
+
+func BenchmarkTable6Ablation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t := experiments.RunAblationTable(quick())
+		if i == 0 {
+			b.Log("\n" + t.String())
+		}
+	}
+}
+
+func BenchmarkTable7EstimationTime(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t := experiments.RunTimingTable(quick())
+		if i == 0 {
+			b.Log("\n" + t.String())
+		}
+	}
+}
+
+func BenchmarkTable8ControlPoints(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t := experiments.RunControlPointSweep(quick())
+		if i == 0 {
+			b.Log("\n" + t.String())
+		}
+	}
+}
+
+func BenchmarkTable9PartitionSize(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t := experiments.RunPartitionSizeSweep(quick())
+		if i == 0 {
+			b.Log("\n" + t.String())
+		}
+	}
+}
+
+func BenchmarkTable10PartitionMethods(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t := experiments.RunPartitionMethodTable(quick())
+		if i == 0 {
+			b.Log("\n" + t.String())
+		}
+	}
+}
+
+func BenchmarkTable11BetaThresholds(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t := experiments.RunBetaWorkloadTable(quick())
+		reportSelNetRow(b, t)
+		if i == 0 {
+			b.Log("\n" + t.String())
+		}
+	}
+}
+
+func BenchmarkFigure3CurveFit(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.RunFigure3(quick())
+		b.ReportMetric(r.PWLRMSE, "pwl-rmse")
+		b.ReportMetric(r.DLNRMSE, "dln-rmse")
+		if i == 0 {
+			b.Log("\n" + r.String())
+		}
+	}
+}
+
+func BenchmarkFigure4ControlPoints(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.RunFigure4(quick())
+		if i == 0 {
+			b.Log("\n" + r.String())
+		}
+	}
+}
+
+func BenchmarkFigure5Updates(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.RunFigure5(quick(), "face-cos")
+		if n := len(r.Points); n > 0 {
+			b.ReportMetric(r.Points[n-1].MAPE, "final-mape")
+		}
+		if i == 0 {
+			b.Log("\n" + r.String())
+		}
+	}
+}
+
+// Design-choice ablations called out in DESIGN.md.
+
+func BenchmarkAblationNorml2VsSoftmax(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t := experiments.RunTauTransformAblation(quick())
+		if i == 0 {
+			b.Log("\n" + t.String())
+		}
+	}
+}
+
+func BenchmarkAblationLoss(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t := experiments.RunLossAblation(quick())
+		if i == 0 {
+			b.Log("\n" + t.String())
+		}
+	}
+}
+
+func BenchmarkAblationTraining(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t := experiments.RunTrainingModeAblation(quick())
+		if i == 0 {
+			b.Log("\n" + t.String())
+		}
+	}
+}
+
+// Per-model estimation micro-benchmarks (the Table 7 measurement at
+// testing.B granularity).
+
+func BenchmarkEstimateSelNet(b *testing.B)   { benchEstimate(b, "SelNet") }
+func BenchmarkEstimateSelNetCT(b *testing.B) { benchEstimate(b, "SelNet-ct") }
+func BenchmarkEstimateKDE(b *testing.B)      { benchEstimate(b, "KDE") }
+func BenchmarkEstimateLSH(b *testing.B)      { benchEstimate(b, "LSH") }
+func BenchmarkEstimateGBM(b *testing.B)      { benchEstimate(b, "LightGBM") }
+func BenchmarkEstimateDNN(b *testing.B)      { benchEstimate(b, "DNN") }
+func BenchmarkEstimateUMNN(b *testing.B)     { benchEstimate(b, "UMNN") }
+func BenchmarkEstimateDLN(b *testing.B)      { benchEstimate(b, "DLN") }
+
+func benchEstimate(b *testing.B, model string) {
+	cfg := quick()
+	cfg.Epochs = 3 // estimation speed does not depend on training quality
+	env := experiments.NewEnv(cfg, "fasttext-cos")
+	est := experiments.BuildModel(cfg, env, model)
+	if est == nil {
+		b.Skipf("%s inapplicable", model)
+	}
+	queries := env.Test
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q := queries[i%len(queries)]
+		est.Estimate(q.X, q.T)
+	}
+}

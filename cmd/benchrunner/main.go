@@ -1,0 +1,89 @@
+// Command benchrunner regenerates every table and figure of the paper's
+// evaluation section (Sec. 7) and prints them in the paper's layout. By
+// default it runs all experiments at the quick scale; use -full for the
+// fidelity scale (slower) or -exp to select a single artifact.
+//
+//	benchrunner                 # everything, quick scale
+//	benchrunner -full           # everything, full scale
+//	benchrunner -exp table3     # only Table 3
+//	benchrunner -exp figure5    # only Figure 5 (both datasets)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"selnet/internal/experiments"
+)
+
+func main() {
+	full := flag.Bool("full", false, "run at full (fidelity) scale instead of quick scale")
+	exp := flag.String("exp", "all", "experiment to run: all, table1..table11, figure3..figure5, ablations")
+	flag.Parse()
+
+	cfg := experiments.QuickConfig()
+	if *full {
+		cfg = experiments.FullConfig()
+	}
+
+	type job struct {
+		key string
+		run func() fmt.Stringer
+	}
+	jobs := []job{
+		{"table1", func() fmt.Stringer { return experiments.RunAccuracyTable(cfg, "fasttext-cos") }},
+		{"table2", func() fmt.Stringer { return experiments.RunAccuracyTable(cfg, "fasttext-l2") }},
+		{"table3", func() fmt.Stringer { return experiments.RunAccuracyTable(cfg, "face-cos") }},
+		{"table4", func() fmt.Stringer { return experiments.RunAccuracyTable(cfg, "youtube-cos") }},
+		{"table5", func() fmt.Stringer { return experiments.RunMonotonicityTable(cfg) }},
+		{"table6", func() fmt.Stringer { return experiments.RunAblationTable(cfg) }},
+		{"table7", func() fmt.Stringer { return experiments.RunTimingTable(cfg) }},
+		{"table8", func() fmt.Stringer { return experiments.RunControlPointSweep(cfg) }},
+		{"table9", func() fmt.Stringer { return experiments.RunPartitionSizeSweep(cfg) }},
+		{"table10", func() fmt.Stringer { return experiments.RunPartitionMethodTable(cfg) }},
+		{"table11", func() fmt.Stringer { return experiments.RunBetaWorkloadTable(cfg) }},
+		{"figure3", func() fmt.Stringer { return experiments.RunFigure3(cfg) }},
+		{"figure4", func() fmt.Stringer { return experiments.RunFigure4(cfg) }},
+		{"figure5", func() fmt.Stringer {
+			a := experiments.RunFigure5(cfg, "face-cos")
+			b := experiments.RunFigure5(cfg, "fasttext-cos")
+			return twoResults{a, b}
+		}},
+		{"ablations", func() fmt.Stringer {
+			return threeResults{
+				experiments.RunTauTransformAblation(cfg),
+				experiments.RunLossAblation(cfg),
+				experiments.RunTrainingModeAblation(cfg),
+			}
+		}},
+	}
+
+	want := strings.ToLower(*exp)
+	ran := 0
+	for _, j := range jobs {
+		if want != "all" && want != j.key {
+			continue
+		}
+		start := time.Now()
+		result := j.run()
+		fmt.Printf("=== %s (took %v) ===\n%s\n", j.key, time.Since(start).Round(time.Millisecond), result)
+		ran++
+	}
+	if ran == 0 {
+		fmt.Fprintf(os.Stderr, "benchrunner: unknown experiment %q\n", *exp)
+		os.Exit(2)
+	}
+}
+
+type twoResults struct{ a, b fmt.Stringer }
+
+func (t twoResults) String() string { return t.a.String() + "\n" + t.b.String() }
+
+type threeResults struct{ a, b, c fmt.Stringer }
+
+func (t threeResults) String() string {
+	return t.a.String() + "\n" + t.b.String() + "\n" + t.c.String()
+}

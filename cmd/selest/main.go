@@ -1,0 +1,293 @@
+// Command selest is the end-to-end CLI for the SelNet selectivity
+// estimator: generate a synthetic dataset, build a labelled workload,
+// train a model, evaluate it, and answer ad-hoc selectivity queries.
+//
+// Typical session:
+//
+//	selest gen      -setting fasttext-cos -n 2000 -dim 16 -out data.gob
+//	selest workload -data data.gob -queries 100 -w 8 -out wl.gob
+//	selest train    -data data.gob -workload wl.gob -epochs 40 -out model.gob
+//	selest evaluate -model model.gob -workload wl.gob
+//	selest estimate -model model.gob -data data.gob -index 7 -t 0.25
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"strconv"
+	"strings"
+
+	"selnet/internal/distance"
+	"selnet/internal/metrics"
+	"selnet/internal/selnet"
+	"selnet/internal/vecdata"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "gen":
+		err = cmdGen(os.Args[2:])
+	case "workload":
+		err = cmdWorkload(os.Args[2:])
+	case "train":
+		err = cmdTrain(os.Args[2:])
+	case "evaluate":
+		err = cmdEvaluate(os.Args[2:])
+	case "estimate":
+		err = cmdEstimate(os.Args[2:])
+	case "help", "-h", "--help":
+		usage()
+	default:
+		fmt.Fprintf(os.Stderr, "selest: unknown command %q\n\n", os.Args[1])
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "selest: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprint(os.Stderr, `selest - consistent selectivity estimation for high-dimensional data
+
+commands:
+  gen       generate a synthetic vector dataset
+  workload  build a labelled (query, threshold, selectivity) workload
+  train     train a SelNet estimator
+  evaluate  report MSE/MAE/MAPE of a trained model on a workload split
+  estimate  estimate the selectivity of one query
+
+run 'selest <command> -h' for command flags.
+`)
+}
+
+func cmdGen(args []string) error {
+	fs := flag.NewFlagSet("gen", flag.ExitOnError)
+	setting := fs.String("setting", "fasttext-cos", "dataset stand-in: fasttext-cos, fasttext-l2, face-cos, youtube-cos")
+	n := fs.Int("n", 2000, "number of vectors")
+	dim := fs.Int("dim", 16, "dimensionality")
+	seed := fs.Int64("seed", 1, "random seed")
+	out := fs.String("out", "data.gob", "output file")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	rng := rand.New(rand.NewSource(*seed))
+	var db *vecdata.Database
+	switch *setting {
+	case "fasttext-cos":
+		db = vecdata.SyntheticFasttext(rng, *n, *dim, distance.Cosine)
+	case "fasttext-l2":
+		db = vecdata.SyntheticFasttext(rng, *n, *dim, distance.Euclidean)
+	case "face-cos":
+		db = vecdata.SyntheticFace(rng, *n, *dim)
+	case "youtube-cos":
+		db = vecdata.SyntheticYouTube(rng, *n, *dim)
+	default:
+		return fmt.Errorf("unknown setting %q", *setting)
+	}
+	if err := vecdata.SaveDatabaseFile(*out, db); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s: %d vectors, dim %d, distance %v\n", *out, db.Size(), db.Dim, db.Dist)
+	return nil
+}
+
+func cmdWorkload(args []string) error {
+	fs := flag.NewFlagSet("workload", flag.ExitOnError)
+	dataPath := fs.String("data", "data.gob", "dataset file (.gob from 'selest gen', or .csv of comma-separated vectors)")
+	dist := fs.String("dist", "cos", "distance for .csv datasets: cos or l2")
+	queries := fs.Int("queries", 100, "number of query vectors")
+	w := fs.Int("w", 8, "thresholds per query (geometric selectivity sequence)")
+	seed := fs.Int64("seed", 2, "random seed")
+	out := fs.String("out", "wl.gob", "output file")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	db, err := loadAnyDatabase(*dataPath, *dist)
+	if err != nil {
+		return err
+	}
+	rng := rand.New(rand.NewSource(*seed))
+	wl := vecdata.GeometricWorkload(rng, db, *queries, *w)
+	train, valid, test := wl.Split(rng)
+	s := &vecdata.SplitWorkload{
+		Setting: db.Name, TMax: wl.TMax,
+		Train: train, Valid: valid, Test: test,
+	}
+	if err := vecdata.SaveSplitWorkloadFile(*out, s); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s: %d/%d/%d train/valid/test queries, t_max %.4f\n",
+		*out, len(train), len(valid), len(test), wl.TMax)
+	return nil
+}
+
+func cmdTrain(args []string) error {
+	fs := flag.NewFlagSet("train", flag.ExitOnError)
+	dataPath := fs.String("data", "data.gob", "dataset file (.gob or .csv)")
+	dist := fs.String("dist", "cos", "distance for .csv datasets: cos or l2")
+	wlPath := fs.String("workload", "wl.gob", "workload file")
+	epochs := fs.Int("epochs", 40, "training epochs")
+	controlPoints := fs.Int("l", 20, "interior control points L")
+	lr := fs.Float64("lr", 3e-3, "learning rate")
+	seed := fs.Int64("seed", 3, "random seed")
+	out := fs.String("out", "model.gob", "output model file")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	db, err := loadAnyDatabase(*dataPath, *dist)
+	if err != nil {
+		return err
+	}
+	wl, err := vecdata.LoadSplitWorkloadFile(*wlPath)
+	if err != nil {
+		return err
+	}
+	cfg := selnet.DefaultConfig()
+	cfg.TMax = wl.TMax
+	cfg.L = *controlPoints
+	tc := selnet.DefaultTrainConfig()
+	tc.Epochs = *epochs
+	tc.LR = *lr
+	tc.Seed = *seed
+	rng := rand.New(rand.NewSource(*seed))
+	net := selnet.NewNet(rng, db.Dim, cfg)
+	fmt.Printf("training SelNet-ct: dim %d, L=%d, %d epochs on %d queries...\n",
+		db.Dim, cfg.L, tc.Epochs, len(wl.Train))
+	net.Fit(tc, db, wl.Train, wl.Valid)
+	if err := net.SaveFile(*out); err != nil {
+		return err
+	}
+	e := metrics.Evaluate(net, wl.Valid)
+	fmt.Printf("wrote %s (validation: MSE %.4g, MAE %.4g, MAPE %.3f)\n", *out, e.MSE, e.MAE, e.MAPE)
+	return nil
+}
+
+func cmdEvaluate(args []string) error {
+	fs := flag.NewFlagSet("evaluate", flag.ExitOnError)
+	modelPath := fs.String("model", "model.gob", "trained model file")
+	wlPath := fs.String("workload", "wl.gob", "workload file")
+	split := fs.String("split", "test", "split to evaluate: train, valid or test")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	net, err := selnet.LoadNetFile(*modelPath)
+	if err != nil {
+		return err
+	}
+	wl, err := vecdata.LoadSplitWorkloadFile(*wlPath)
+	if err != nil {
+		return err
+	}
+	var queries []vecdata.Query
+	switch *split {
+	case "train":
+		queries = wl.Train
+	case "valid":
+		queries = wl.Valid
+	case "test":
+		queries = wl.Test
+	default:
+		return fmt.Errorf("unknown split %q", *split)
+	}
+	e := metrics.Evaluate(net, queries)
+	ms := metrics.AvgEstimationTime(net, queries)
+	fmt.Printf("%s split (%d queries): MSE %.4g  MAE %.4g  MAPE %.3f  avg est. time %.4f ms\n",
+		*split, len(queries), e.MSE, e.MAE, e.MAPE, ms)
+	return nil
+}
+
+func cmdEstimate(args []string) error {
+	fs := flag.NewFlagSet("estimate", flag.ExitOnError)
+	modelPath := fs.String("model", "model.gob", "trained model file")
+	dataPath := fs.String("data", "", "dataset file, .gob or .csv (for -index queries and exact counts)")
+	dist := fs.String("dist", "cos", "distance for .csv datasets: cos or l2")
+	index := fs.Int("index", -1, "use database vector at this index as the query")
+	vecStr := fs.String("vec", "", "comma-separated query vector (alternative to -index)")
+	t := fs.Float64("t", 0.1, "distance threshold")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	net, err := selnet.LoadNetFile(*modelPath)
+	if err != nil {
+		return err
+	}
+	var db *vecdata.Database
+	if *dataPath != "" {
+		if db, err = loadAnyDatabase(*dataPath, *dist); err != nil {
+			return err
+		}
+	}
+	var x []float64
+	switch {
+	case *vecStr != "":
+		if x, err = parseVector(*vecStr); err != nil {
+			return err
+		}
+	case *index >= 0:
+		if db == nil {
+			return fmt.Errorf("-index requires -data")
+		}
+		if *index >= db.Size() {
+			return fmt.Errorf("index %d out of range (database holds %d vectors)", *index, db.Size())
+		}
+		x = db.Vecs[*index]
+	default:
+		return fmt.Errorf("provide a query via -index or -vec")
+	}
+	if len(x) != net.Dim() {
+		return fmt.Errorf("query has dim %d, model expects %d", len(x), net.Dim())
+	}
+	est := net.Estimate(x, *t)
+	fmt.Printf("estimated selectivity at t=%.4f: %.2f\n", *t, est)
+	if db != nil {
+		fmt.Printf("exact selectivity:               %.0f\n", db.Selectivity(x, *t))
+	}
+	return nil
+}
+
+// loadAnyDatabase reads a dataset from a gob file written by 'selest gen'
+// or, when the path ends in .csv, from a CSV of comma-separated vectors
+// (one per line) under the given distance function.
+func loadAnyDatabase(path, dist string) (*vecdata.Database, error) {
+	if strings.HasSuffix(path, ".csv") {
+		d, err := parseDist(dist)
+		if err != nil {
+			return nil, err
+		}
+		return vecdata.ReadCSVFile(path, d)
+	}
+	return vecdata.LoadDatabaseFile(path)
+}
+
+func parseDist(s string) (distance.Func, error) {
+	switch s {
+	case "cos", "cosine":
+		return distance.Cosine, nil
+	case "l2", "euclidean":
+		return distance.Euclidean, nil
+	default:
+		return 0, fmt.Errorf("unknown distance %q (use cos or l2)", s)
+	}
+}
+
+func parseVector(s string) ([]float64, error) {
+	parts := strings.Split(s, ",")
+	v := make([]float64, len(parts))
+	for i, p := range parts {
+		f, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad vector component %q: %w", p, err)
+		}
+		v[i] = f
+	}
+	return v, nil
+}

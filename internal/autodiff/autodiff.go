@@ -1,0 +1,827 @@
+// Package autodiff implements a tape-based reverse-mode automatic
+// differentiation engine over dense float64 matrices. It provides the
+// standard neural-network operations plus the custom operations SelNet
+// needs: the Norml2 normalized-square transform, row-wise prefix sums
+// (the paper's Mpsum operator), piece-wise linear interpolation with
+// gradients to both control-point vectors, and the Huber-on-log loss.
+//
+// A Tape records nodes in creation order; Backward walks the record in
+// reverse, so no explicit topological sort is necessary. Parameters wrap
+// persistent value/gradient storage owned by the caller (see Leaf), which
+// lets an optimizer read accumulated gradients after each backward pass.
+package autodiff
+
+import (
+	"fmt"
+	"math"
+
+	"selnet/internal/tensor"
+)
+
+// Node is one vertex in the computation graph. Value is the forward
+// result; Grad accumulates dLoss/dValue during Backward.
+type Node struct {
+	Value *tensor.Dense
+	Grad  *tensor.Dense
+
+	tape     *Tape
+	backward func()
+	name     string
+}
+
+// Rows returns the row count of the node's value.
+func (n *Node) Rows() int { return n.Value.Rows() }
+
+// Cols returns the column count of the node's value.
+func (n *Node) Cols() int { return n.Value.Cols() }
+
+// Scalar returns the single element of a 1x1 node.
+func (n *Node) Scalar() float64 {
+	if n.Value.Size() != 1 {
+		panic(fmt.Sprintf("autodiff: Scalar() on %dx%d node %q", n.Rows(), n.Cols(), n.name))
+	}
+	return n.Value.At(0, 0)
+}
+
+// Tape records the sequence of operations of one forward pass.
+type Tape struct {
+	nodes []*Node
+}
+
+// NewTape returns an empty tape.
+func NewTape() *Tape { return &Tape{} }
+
+func (t *Tape) node(name string, v *tensor.Dense) *Node {
+	n := &Node{
+		Value: v,
+		Grad:  tensor.New(v.Rows(), v.Cols()),
+		tape:  t,
+		name:  name,
+	}
+	t.nodes = append(t.nodes, n)
+	return n
+}
+
+// Input introduces a constant (non-trainable) matrix into the graph.
+// Gradients still flow *through* operations on it but the caller never
+// reads them.
+func (t *Tape) Input(v *tensor.Dense) *Node { return t.node("input", v) }
+
+// Leaf introduces a trainable parameter whose value and gradient storage
+// are owned by the caller. The gradient is accumulated (+=) into grad, so
+// callers must zero it between optimization steps.
+func (t *Tape) Leaf(value, grad *tensor.Dense) *Node {
+	if value.Rows() != grad.Rows() || value.Cols() != grad.Cols() {
+		panic("autodiff: Leaf value/grad shape mismatch")
+	}
+	n := &Node{Value: value, Grad: grad, tape: t, name: "leaf"}
+	t.nodes = append(t.nodes, n)
+	return n
+}
+
+// Backward seeds d(loss)/d(loss) = 1 on the given 1x1 loss node and
+// propagates gradients to every node recorded before it.
+func (t *Tape) Backward(loss *Node) {
+	if loss.Value.Size() != 1 {
+		panic("autodiff: Backward requires a scalar (1x1) loss node")
+	}
+	if loss.tape != t {
+		panic("autodiff: loss node belongs to a different tape")
+	}
+	loss.Grad.Set(0, 0, 1)
+	for i := len(t.nodes) - 1; i >= 0; i-- {
+		if t.nodes[i].backward != nil {
+			t.nodes[i].backward()
+		}
+	}
+}
+
+func same(t *Tape, ns ...*Node) {
+	for _, n := range ns {
+		if n.tape != t {
+			panic("autodiff: mixing nodes from different tapes")
+		}
+	}
+}
+
+// MatMul returns a*b.
+func (t *Tape) MatMul(a, b *Node) *Node {
+	same(t, a, b)
+	out := t.node("matmul", tensor.MatMul(a.Value, b.Value))
+	out.backward = func() {
+		// dA += dOut * Bᵀ ; dB += Aᵀ * dOut
+		tensor.AddInPlace(a.Grad, tensor.MatMulTransB(out.Grad, b.Value))
+		tensor.AddInPlace(b.Grad, tensor.MatMulTransA(a.Value, out.Grad))
+	}
+	return out
+}
+
+// Add returns a+b (same shape).
+func (t *Tape) Add(a, b *Node) *Node {
+	same(t, a, b)
+	out := t.node("add", tensor.Add(a.Value, b.Value))
+	out.backward = func() {
+		tensor.AddInPlace(a.Grad, out.Grad)
+		tensor.AddInPlace(b.Grad, out.Grad)
+	}
+	return out
+}
+
+// Sub returns a-b (same shape).
+func (t *Tape) Sub(a, b *Node) *Node {
+	same(t, a, b)
+	out := t.node("sub", tensor.Sub(a.Value, b.Value))
+	out.backward = func() {
+		tensor.AddInPlace(a.Grad, out.Grad)
+		tensor.AxpyInPlace(b.Grad, -1, out.Grad)
+	}
+	return out
+}
+
+// Mul returns the elementwise product a*b.
+func (t *Tape) Mul(a, b *Node) *Node {
+	same(t, a, b)
+	out := t.node("mul", tensor.Mul(a.Value, b.Value))
+	out.backward = func() {
+		tensor.AddInPlace(a.Grad, tensor.Mul(out.Grad, b.Value))
+		tensor.AddInPlace(b.Grad, tensor.Mul(out.Grad, a.Value))
+	}
+	return out
+}
+
+// Scale returns s*a for a constant s.
+func (t *Tape) Scale(a *Node, s float64) *Node {
+	same(t, a)
+	out := t.node("scale", tensor.Scale(a.Value, s))
+	out.backward = func() {
+		tensor.AxpyInPlace(a.Grad, s, out.Grad)
+	}
+	return out
+}
+
+// AddRow broadcasts the 1 x cols row vector v onto every row of a.
+func (t *Tape) AddRow(a, v *Node) *Node {
+	same(t, a, v)
+	out := t.node("addrow", tensor.AddRowVector(a.Value, v.Value))
+	out.backward = func() {
+		tensor.AddInPlace(a.Grad, out.Grad)
+		tensor.AddInPlace(v.Grad, tensor.SumRows(out.Grad))
+	}
+	return out
+}
+
+// ReLU returns max(0, a) elementwise.
+func (t *Tape) ReLU(a *Node) *Node {
+	same(t, a)
+	out := t.node("relu", tensor.Apply(a.Value, func(v float64) float64 {
+		if v > 0 {
+			return v
+		}
+		return 0
+	}))
+	out.backward = func() {
+		av, g, ag := a.Value.Data(), out.Grad.Data(), a.Grad.Data()
+		for i, v := range av {
+			if v > 0 {
+				ag[i] += g[i]
+			}
+		}
+	}
+	return out
+}
+
+// Tanh returns tanh(a) elementwise.
+func (t *Tape) Tanh(a *Node) *Node {
+	same(t, a)
+	out := t.node("tanh", tensor.Apply(a.Value, math.Tanh))
+	out.backward = func() {
+		ov, g, ag := out.Value.Data(), out.Grad.Data(), a.Grad.Data()
+		for i, v := range ov {
+			ag[i] += g[i] * (1 - v*v)
+		}
+	}
+	return out
+}
+
+// Sigmoid returns 1/(1+exp(-a)) elementwise.
+func (t *Tape) Sigmoid(a *Node) *Node {
+	same(t, a)
+	out := t.node("sigmoid", tensor.Apply(a.Value, func(v float64) float64 {
+		return 1 / (1 + math.Exp(-v))
+	}))
+	out.backward = func() {
+		ov, g, ag := out.Value.Data(), out.Grad.Data(), a.Grad.Data()
+		for i, v := range ov {
+			ag[i] += g[i] * v * (1 - v)
+		}
+	}
+	return out
+}
+
+// Softplus returns log(1+exp(a)) elementwise, a smooth positive function
+// used for strictly-positive integrands (UMNN).
+func (t *Tape) Softplus(a *Node) *Node {
+	same(t, a)
+	out := t.node("softplus", tensor.Apply(a.Value, func(v float64) float64 {
+		// Numerically stable: log1p(exp(-|v|)) + max(v, 0).
+		return math.Log1p(math.Exp(-math.Abs(v))) + math.Max(v, 0)
+	}))
+	out.backward = func() {
+		av, g, ag := a.Value.Data(), out.Grad.Data(), a.Grad.Data()
+		for i, v := range av {
+			ag[i] += g[i] / (1 + math.Exp(-v))
+		}
+	}
+	return out
+}
+
+// ELU returns the exponential linear unit with slope alpha.
+func (t *Tape) ELU(a *Node, alpha float64) *Node {
+	same(t, a)
+	out := t.node("elu", tensor.Apply(a.Value, func(v float64) float64 {
+		if v >= 0 {
+			return v
+		}
+		return alpha * (math.Exp(v) - 1)
+	}))
+	out.backward = func() {
+		av, ov, g, ag := a.Value.Data(), out.Value.Data(), out.Grad.Data(), a.Grad.Data()
+		for i, v := range av {
+			if v >= 0 {
+				ag[i] += g[i]
+			} else {
+				ag[i] += g[i] * (ov[i] + alpha)
+			}
+		}
+	}
+	return out
+}
+
+// Square returns a² elementwise.
+func (t *Tape) Square(a *Node) *Node {
+	same(t, a)
+	out := t.node("square", tensor.Apply(a.Value, func(v float64) float64 { return v * v }))
+	out.backward = func() {
+		av, g, ag := a.Value.Data(), out.Grad.Data(), a.Grad.Data()
+		for i, v := range av {
+			ag[i] += 2 * v * g[i]
+		}
+	}
+	return out
+}
+
+// Exp returns e^a elementwise.
+func (t *Tape) Exp(a *Node) *Node {
+	same(t, a)
+	out := t.node("exp", tensor.Apply(a.Value, math.Exp))
+	out.backward = func() {
+		ov, g, ag := out.Value.Data(), out.Grad.Data(), a.Grad.Data()
+		for i, v := range ov {
+			ag[i] += v * g[i]
+		}
+	}
+	return out
+}
+
+// Log returns ln(a+eps) elementwise; eps guards against log(0).
+func (t *Tape) Log(a *Node, eps float64) *Node {
+	same(t, a)
+	out := t.node("log", tensor.Apply(a.Value, func(v float64) float64 { return math.Log(v + eps) }))
+	out.backward = func() {
+		av, g, ag := a.Value.Data(), out.Grad.Data(), a.Grad.Data()
+		for i, v := range av {
+			ag[i] += g[i] / (v + eps)
+		}
+	}
+	return out
+}
+
+// ConcatCols returns [a | b].
+func (t *Tape) ConcatCols(a, b *Node) *Node {
+	same(t, a, b)
+	out := t.node("concat", tensor.ConcatCols(a.Value, b.Value))
+	out.backward = func() {
+		tensor.AddInPlace(a.Grad, tensor.SliceCols(out.Grad, 0, a.Cols()))
+		tensor.AddInPlace(b.Grad, tensor.SliceCols(out.Grad, a.Cols(), out.Cols()))
+	}
+	return out
+}
+
+// SliceCols returns columns [from, to) of a.
+func (t *Tape) SliceCols(a *Node, from, to int) *Node {
+	same(t, a)
+	out := t.node("slicecols", tensor.SliceCols(a.Value, from, to))
+	out.backward = func() {
+		for i := 0; i < out.Rows(); i++ {
+			g := out.Grad.Row(i)
+			ag := a.Grad.Row(i)
+			for j, v := range g {
+				ag[from+j] += v
+			}
+		}
+	}
+	return out
+}
+
+// PrefixSumCols returns the row-wise cumulative sum of a; this realizes the
+// paper's Mpsum prefix-sum operator. The gradient of a prefix sum is the
+// suffix sum of the incoming gradient.
+func (t *Tape) PrefixSumCols(a *Node) *Node {
+	same(t, a)
+	out := t.node("prefixsum", tensor.PrefixSumCols(a.Value))
+	out.backward = func() {
+		for i := 0; i < a.Rows(); i++ {
+			g := out.Grad.Row(i)
+			ag := a.Grad.Row(i)
+			var acc float64
+			for j := len(g) - 1; j >= 0; j-- {
+				acc += g[j]
+				ag[j] += acc
+			}
+		}
+	}
+	return out
+}
+
+// Sum returns the scalar sum of all elements of a.
+func (t *Tape) Sum(a *Node) *Node {
+	same(t, a)
+	v := tensor.New(1, 1)
+	v.Set(0, 0, tensor.Sum(a.Value))
+	out := t.node("sum", v)
+	out.backward = func() {
+		g := out.Grad.At(0, 0)
+		ag := a.Grad.Data()
+		for i := range ag {
+			ag[i] += g
+		}
+	}
+	return out
+}
+
+// Mean returns the scalar mean of all elements of a.
+func (t *Tape) Mean(a *Node) *Node {
+	same(t, a)
+	n := float64(a.Value.Size())
+	v := tensor.New(1, 1)
+	v.Set(0, 0, tensor.Sum(a.Value)/n)
+	out := t.node("mean", v)
+	out.backward = func() {
+		g := out.Grad.At(0, 0) / n
+		ag := a.Grad.Data()
+		for i := range ag {
+			ag[i] += g
+		}
+	}
+	return out
+}
+
+// SumColsKeep returns the row sums of a as a column vector (rows x 1).
+func (t *Tape) SumColsKeep(a *Node) *Node {
+	same(t, a)
+	v := tensor.New(a.Rows(), 1)
+	for i := 0; i < a.Rows(); i++ {
+		var s float64
+		for _, x := range a.Value.Row(i) {
+			s += x
+		}
+		v.Set(i, 0, s)
+	}
+	out := t.node("sumcolskeep", v)
+	out.backward = func() {
+		for i := 0; i < a.Rows(); i++ {
+			g := out.Grad.At(i, 0)
+			ag := a.Grad.Row(i)
+			for j := range ag {
+				ag[j] += g
+			}
+		}
+	}
+	return out
+}
+
+// MulColBroadcast multiplies every row of a elementwise by the column
+// vector c (rows x 1): out[i,j] = a[i,j] * c[i,0].
+func (t *Tape) MulColBroadcast(a, c *Node) *Node {
+	same(t, a, c)
+	if c.Cols() != 1 || c.Rows() != a.Rows() {
+		panic(fmt.Sprintf("autodiff: MulColBroadcast %dx%d * %dx%d", a.Rows(), a.Cols(), c.Rows(), c.Cols()))
+	}
+	v := tensor.New(a.Rows(), a.Cols())
+	for i := 0; i < a.Rows(); i++ {
+		cv := c.Value.At(i, 0)
+		row, arow := v.Row(i), a.Value.Row(i)
+		for j, x := range arow {
+			row[j] = x * cv
+		}
+	}
+	out := t.node("mulcol", v)
+	out.backward = func() {
+		for i := 0; i < a.Rows(); i++ {
+			cv := c.Value.At(i, 0)
+			g, arow, ag := out.Grad.Row(i), a.Value.Row(i), a.Grad.Row(i)
+			var cg float64
+			for j, gv := range g {
+				ag[j] += gv * cv
+				cg += gv * arow[j]
+			}
+			c.Grad.Set(i, 0, c.Grad.At(i, 0)+cg)
+		}
+	}
+	return out
+}
+
+// RecipCol returns 1/(c+eps) for a column vector c.
+func (t *Tape) RecipCol(c *Node, eps float64) *Node {
+	same(t, c)
+	if c.Cols() != 1 {
+		panic("autodiff: RecipCol requires a column vector")
+	}
+	out := t.node("recip", tensor.Apply(c.Value, func(v float64) float64 { return 1 / (v + eps) }))
+	out.backward = func() {
+		cv, g, cg := c.Value.Data(), out.Grad.Data(), c.Grad.Data()
+		for i, v := range cv {
+			d := v + eps
+			cg[i] -= g[i] / (d * d)
+		}
+	}
+	return out
+}
+
+// Softmax applies a row-wise softmax.
+func (t *Tape) Softmax(a *Node) *Node {
+	same(t, a)
+	v := tensor.New(a.Rows(), a.Cols())
+	for i := 0; i < a.Rows(); i++ {
+		row := a.Value.Row(i)
+		mx := math.Inf(-1)
+		for _, x := range row {
+			if x > mx {
+				mx = x
+			}
+		}
+		var sum float64
+		o := v.Row(i)
+		for j, x := range row {
+			e := math.Exp(x - mx)
+			o[j] = e
+			sum += e
+		}
+		for j := range o {
+			o[j] /= sum
+		}
+	}
+	out := t.node("softmax", v)
+	out.backward = func() {
+		for i := 0; i < a.Rows(); i++ {
+			o, g, ag := out.Value.Row(i), out.Grad.Row(i), a.Grad.Row(i)
+			var dot float64
+			for j := range o {
+				dot += o[j] * g[j]
+			}
+			for j := range o {
+				ag[j] += o[j] * (g[j] - dot)
+			}
+		}
+	}
+	return out
+}
+
+// Norml2 implements the paper's normalized-square transform (Sec. 5.2):
+//
+//	out[i,j] = (a[i,j]² + eps/d) / (Σ_k a[i,k]² + eps)
+//
+// where d is the number of columns. Each output row is a probability-like
+// vector of non-negative entries summing to 1, which is why SelNet uses it
+// (scaled by t_max) to produce threshold increments.
+func (t *Tape) Norml2(a *Node, eps float64) *Node {
+	same(t, a)
+	d := float64(a.Cols())
+	v := tensor.New(a.Rows(), a.Cols())
+	sums := make([]float64, a.Rows())
+	for i := 0; i < a.Rows(); i++ {
+		row := a.Value.Row(i)
+		var s float64
+		for _, x := range row {
+			s += x * x
+		}
+		sums[i] = s + eps
+		o := v.Row(i)
+		for j, x := range row {
+			o[j] = (x*x + eps/d) / sums[i]
+		}
+	}
+	out := t.node("norml2", v)
+	out.backward = func() {
+		for i := 0; i < a.Rows(); i++ {
+			arow, orow := a.Value.Row(i), out.Value.Row(i)
+			g, ag := out.Grad.Row(i), a.Grad.Row(i)
+			var dot float64 // Σ_j g_ij * out_ij
+			for j := range g {
+				dot += g[j] * orow[j]
+			}
+			for k := range arow {
+				ag[k] += (2 * arow[k] / sums[i]) * (g[k] - dot)
+			}
+		}
+	}
+	return out
+}
+
+// PWLInterp evaluates the continuous piece-wise linear function of Eq. (1)
+// in the paper: given per-row control points tau (non-decreasing) and p,
+// and a per-row query threshold tq (column vector), it returns the linear
+// interpolation of p at tq. Thresholds are clamped to [tau_0, tau_last].
+// Gradients flow into both tau and p (not into tq).
+func (t *Tape) PWLInterp(tau, p, tq *Node) *Node {
+	same(t, tau, p, tq)
+	if tau.Rows() != p.Rows() || tau.Cols() != p.Cols() {
+		panic(fmt.Sprintf("autodiff: PWLInterp tau %dx%d vs p %dx%d", tau.Rows(), tau.Cols(), p.Rows(), p.Cols()))
+	}
+	if tq.Cols() != 1 || tq.Rows() != tau.Rows() {
+		panic("autodiff: PWLInterp tq must be a column vector matching tau rows")
+	}
+	rows, L := tau.Rows(), tau.Cols()
+	v := tensor.New(rows, 1)
+	segs := make([]int, rows) // chosen segment upper index i (interp between i-1 and i)
+	weights := make([]float64, rows)
+	for r := 0; r < rows; r++ {
+		trow := tau.Value.Row(r)
+		prow := p.Value.Row(r)
+		x := tq.Value.At(r, 0)
+		switch {
+		case x <= trow[0]:
+			segs[r] = -1 // clamped left
+			v.Set(r, 0, prow[0])
+		case x >= trow[L-1]:
+			segs[r] = -2 // clamped right
+			v.Set(r, 0, prow[L-1])
+		default:
+			// Binary search for the first tau >= x.
+			lo, hi := 1, L-1
+			for lo < hi {
+				mid := (lo + hi) / 2
+				if trow[mid] >= x {
+					hi = mid
+				} else {
+					lo = mid + 1
+				}
+			}
+			i := lo
+			den := trow[i] - trow[i-1]
+			var w float64
+			if den > 0 {
+				w = (x - trow[i-1]) / den
+			}
+			segs[r] = i
+			weights[r] = w
+			v.Set(r, 0, prow[i-1]+w*(prow[i]-prow[i-1]))
+		}
+	}
+	out := t.node("pwl", v)
+	out.backward = func() {
+		for r := 0; r < rows; r++ {
+			g := out.Grad.At(r, 0)
+			if g == 0 {
+				continue
+			}
+			pg := p.Grad.Row(r)
+			switch segs[r] {
+			case -1:
+				pg[0] += g
+			case -2:
+				pg[L-1] += g
+			default:
+				i, w := segs[r], weights[r]
+				trow, prow := tau.Value.Row(r), p.Value.Row(r)
+				tg := tau.Grad.Row(r)
+				pg[i-1] += g * (1 - w)
+				pg[i] += g * w
+				den := trow[i] - trow[i-1]
+				if den > 0 {
+					x := tq.Value.At(r, 0)
+					dp := prow[i] - prow[i-1]
+					tg[i-1] += g * dp * (x - trow[i]) / (den * den)
+					tg[i] += g * dp * -(x - trow[i-1]) / (den * den)
+				}
+			}
+		}
+	}
+	return out
+}
+
+// BlockLinear applies an independent 1-output linear map to each of nb
+// contiguous blocks of width bw in a's columns: with a of shape
+// rows x (nb*bw), weight w of shape nb x bw and bias b of shape 1 x nb,
+//
+//	out[r, l] = Σ_k a[r, l*bw+k] * w[l, k] + b[0, l].
+//
+// This realizes the paper's Model M decoder: L+2 per-control-point linear
+// transformations applied to L+2 embedding blocks.
+func (t *Tape) BlockLinear(a, w, b *Node, nb, bw int) *Node {
+	same(t, a, w, b)
+	if a.Cols() != nb*bw || w.Rows() != nb || w.Cols() != bw || b.Rows() != 1 || b.Cols() != nb {
+		panic(fmt.Sprintf("autodiff: BlockLinear a %dx%d w %dx%d b %dx%d nb=%d bw=%d",
+			a.Rows(), a.Cols(), w.Rows(), w.Cols(), b.Rows(), b.Cols(), nb, bw))
+	}
+	v := tensor.New(a.Rows(), nb)
+	for r := 0; r < a.Rows(); r++ {
+		arow := a.Value.Row(r)
+		o := v.Row(r)
+		for l := 0; l < nb; l++ {
+			wrow := w.Value.Row(l)
+			blk := arow[l*bw : (l+1)*bw]
+			s := b.Value.At(0, l)
+			for k, x := range blk {
+				s += x * wrow[k]
+			}
+			o[l] = s
+		}
+	}
+	out := t.node("blocklinear", v)
+	out.backward = func() {
+		for r := 0; r < a.Rows(); r++ {
+			arow, ag := a.Value.Row(r), a.Grad.Row(r)
+			g := out.Grad.Row(r)
+			for l := 0; l < nb; l++ {
+				gv := g[l]
+				if gv == 0 {
+					continue
+				}
+				wrow, wg := w.Value.Row(l), w.Grad.Row(l)
+				blk, blkG := arow[l*bw:(l+1)*bw], ag[l*bw:(l+1)*bw]
+				for k := range blk {
+					blkG[k] += gv * wrow[k]
+					wg[k] += gv * blk[k]
+				}
+				b.Grad.Set(0, l, b.Grad.At(0, l)+gv)
+			}
+		}
+	}
+	return out
+}
+
+// HuberLogLoss is the paper's robust estimation loss (Sec. 5.1): with
+// r = log(y+eps) - log(yhat+eps) computed elementwise on column vectors,
+// the per-example loss is r²/2 for |r| <= delta and delta(|r|-delta/2)
+// otherwise; the node value is the mean over examples. Gradients flow only
+// into yhat.
+func (t *Tape) HuberLogLoss(yhat, y *Node, delta, eps float64) *Node {
+	same(t, yhat, y)
+	if yhat.Cols() != 1 || y.Cols() != 1 || yhat.Rows() != y.Rows() {
+		panic("autodiff: HuberLogLoss requires matching column vectors")
+	}
+	n := yhat.Rows()
+	rs := make([]float64, n)
+	var total float64
+	for i := 0; i < n; i++ {
+		r := math.Log(y.Value.At(i, 0)+eps) - math.Log(yhat.Value.At(i, 0)+eps)
+		rs[i] = r
+		if math.Abs(r) <= delta {
+			total += r * r / 2
+		} else {
+			total += delta * (math.Abs(r) - delta/2)
+		}
+	}
+	v := tensor.New(1, 1)
+	v.Set(0, 0, total/float64(n))
+	out := t.node("huberlog", v)
+	out.backward = func() {
+		g := out.Grad.At(0, 0) / float64(n)
+		for i := 0; i < n; i++ {
+			r := rs[i]
+			var dr float64 // dLoss_i/dr
+			if math.Abs(r) <= delta {
+				dr = r
+			} else if r > 0 {
+				dr = delta
+			} else {
+				dr = -delta
+			}
+			// dr/dyhat = -1/(yhat+eps)
+			yg := yhat.Grad.At(i, 0) - g*dr/(yhat.Value.At(i, 0)+eps)
+			yhat.Grad.Set(i, 0, yg)
+		}
+	}
+	return out
+}
+
+// HuberResidualLoss returns the mean exact Huber loss of the residual
+// r = target - pred over column vectors: r²/2 for |r| <= delta, else
+// delta(|r|-delta/2). Gradients flow only into pred. Models that regress
+// in log space pair this with pre-computed log targets.
+func (t *Tape) HuberResidualLoss(pred, target *Node, delta float64) *Node {
+	same(t, pred, target)
+	if pred.Cols() != 1 || target.Cols() != 1 || pred.Rows() != target.Rows() {
+		panic("autodiff: HuberResidualLoss requires matching column vectors")
+	}
+	n := pred.Rows()
+	rs := make([]float64, n)
+	var total float64
+	for i := 0; i < n; i++ {
+		r := target.Value.At(i, 0) - pred.Value.At(i, 0)
+		rs[i] = r
+		if math.Abs(r) <= delta {
+			total += r * r / 2
+		} else {
+			total += delta * (math.Abs(r) - delta/2)
+		}
+	}
+	v := tensor.New(1, 1)
+	v.Set(0, 0, total/float64(n))
+	out := t.node("huberres", v)
+	out.backward = func() {
+		g := out.Grad.At(0, 0) / float64(n)
+		for i := 0; i < n; i++ {
+			r := rs[i]
+			var dr float64
+			if math.Abs(r) <= delta {
+				dr = r
+			} else if r > 0 {
+				dr = delta
+			} else {
+				dr = -delta
+			}
+			// dLoss/dpred = -dLoss/dr.
+			pred.Grad.Set(i, 0, pred.Grad.At(i, 0)-g*dr)
+		}
+	}
+	return out
+}
+
+// MSELoss returns mean((yhat-y)²) over all elements; gradients flow only
+// into yhat. Used for autoencoder reconstruction.
+func (t *Tape) MSELoss(yhat, y *Node) *Node {
+	same(t, yhat, y)
+	if yhat.Rows() != y.Rows() || yhat.Cols() != y.Cols() {
+		panic("autodiff: MSELoss shape mismatch")
+	}
+	n := float64(yhat.Value.Size())
+	diff := tensor.Sub(yhat.Value, y.Value)
+	var total float64
+	for _, d := range diff.Data() {
+		total += d * d
+	}
+	v := tensor.New(1, 1)
+	v.Set(0, 0, total/n)
+	out := t.node("mse", v)
+	out.backward = func() {
+		g := out.Grad.At(0, 0) * 2 / n
+		yg, dd := yhat.Grad.Data(), diff.Data()
+		for i, d := range dd {
+			yg[i] += g * d
+		}
+	}
+	return out
+}
+
+// L1LogLoss returns mean(|log(y+eps)-log(yhat+eps)|); an ablation
+// alternative to the Huber loss. Gradients flow only into yhat.
+func (t *Tape) L1LogLoss(yhat, y *Node, eps float64) *Node {
+	return t.logResidualLoss(yhat, y, eps, "l1log",
+		func(r float64) float64 { return math.Abs(r) },
+		func(r float64) float64 {
+			if r > 0 {
+				return 1
+			}
+			if r < 0 {
+				return -1
+			}
+			return 0
+		})
+}
+
+// L2LogLoss returns mean((log(y+eps)-log(yhat+eps))²); an ablation
+// alternative to the Huber loss. Gradients flow only into yhat.
+func (t *Tape) L2LogLoss(yhat, y *Node, eps float64) *Node {
+	return t.logResidualLoss(yhat, y, eps, "l2log",
+		func(r float64) float64 { return r * r },
+		func(r float64) float64 { return 2 * r })
+}
+
+func (t *Tape) logResidualLoss(yhat, y *Node, eps float64, name string,
+	f, df func(float64) float64) *Node {
+	same(t, yhat, y)
+	if yhat.Cols() != 1 || y.Cols() != 1 || yhat.Rows() != y.Rows() {
+		panic("autodiff: log residual loss requires matching column vectors")
+	}
+	n := yhat.Rows()
+	rs := make([]float64, n)
+	var total float64
+	for i := 0; i < n; i++ {
+		r := math.Log(y.Value.At(i, 0)+eps) - math.Log(yhat.Value.At(i, 0)+eps)
+		rs[i] = r
+		total += f(r)
+	}
+	v := tensor.New(1, 1)
+	v.Set(0, 0, total/float64(n))
+	out := t.node(name, v)
+	out.backward = func() {
+		g := out.Grad.At(0, 0) / float64(n)
+		for i := 0; i < n; i++ {
+			yg := yhat.Grad.At(i, 0) - g*df(rs[i])/(yhat.Value.At(i, 0)+eps)
+			yhat.Grad.Set(i, 0, yg)
+		}
+	}
+	return out
+}

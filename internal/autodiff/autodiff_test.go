@@ -1,0 +1,437 @@
+package autodiff
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"selnet/internal/tensor"
+)
+
+// numericalGrad perturbs each element of param and measures the change in
+// the scalar produced by eval, giving a finite-difference reference
+// gradient for the analytic one.
+func numericalGrad(param *tensor.Dense, eval func() float64) *tensor.Dense {
+	const h = 1e-6
+	g := tensor.New(param.Rows(), param.Cols())
+	data := param.Data()
+	for i := range data {
+		orig := data[i]
+		data[i] = orig + h
+		fp := eval()
+		data[i] = orig - h
+		fm := eval()
+		data[i] = orig
+		g.Data()[i] = (fp - fm) / (2 * h)
+	}
+	return g
+}
+
+// checkGrad builds the graph twice: once to get analytic gradients for the
+// listed params, once per perturbation for numerical gradients.
+func checkGrad(t *testing.T, name string, params []*tensor.Dense, build func(tp *Tape, leaves []*Node) *Node) {
+	t.Helper()
+	eval := func() float64 {
+		tp := NewTape()
+		leaves := make([]*Node, len(params))
+		for i, p := range params {
+			leaves[i] = tp.Leaf(p, tensor.New(p.Rows(), p.Cols()))
+		}
+		return build(tp, leaves).Scalar()
+	}
+	tp := NewTape()
+	leaves := make([]*Node, len(params))
+	grads := make([]*tensor.Dense, len(params))
+	for i, p := range params {
+		grads[i] = tensor.New(p.Rows(), p.Cols())
+		leaves[i] = tp.Leaf(p, grads[i])
+	}
+	loss := build(tp, leaves)
+	tp.Backward(loss)
+	for i, p := range params {
+		num := numericalGrad(p, eval)
+		if !tensor.EqualApprox(grads[i], num, 2e-4) {
+			t.Errorf("%s: param %d analytic grad %v != numerical %v", name, i, grads[i], num)
+		}
+	}
+}
+
+func randDense(rng *rand.Rand, r, c int) *tensor.Dense {
+	m := tensor.New(r, c)
+	for i := range m.Data() {
+		m.Data()[i] = rng.NormFloat64()
+	}
+	return m
+}
+
+func randPositive(rng *rand.Rand, r, c int) *tensor.Dense {
+	m := tensor.New(r, c)
+	for i := range m.Data() {
+		m.Data()[i] = 0.2 + rng.Float64()
+	}
+	return m
+}
+
+func TestGradMatMul(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	a := randDense(rng, 3, 4)
+	b := randDense(rng, 4, 2)
+	checkGrad(t, "matmul", []*tensor.Dense{a, b}, func(tp *Tape, l []*Node) *Node {
+		return tp.Sum(tp.MatMul(l[0], l[1]))
+	})
+}
+
+func TestGradAddSubMul(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	a := randDense(rng, 2, 3)
+	b := randDense(rng, 2, 3)
+	checkGrad(t, "add", []*tensor.Dense{a, b}, func(tp *Tape, l []*Node) *Node {
+		return tp.Sum(tp.Square(tp.Add(l[0], l[1])))
+	})
+	checkGrad(t, "sub", []*tensor.Dense{a, b}, func(tp *Tape, l []*Node) *Node {
+		return tp.Sum(tp.Square(tp.Sub(l[0], l[1])))
+	})
+	checkGrad(t, "mul", []*tensor.Dense{a, b}, func(tp *Tape, l []*Node) *Node {
+		return tp.Sum(tp.Mul(l[0], l[1]))
+	})
+}
+
+func TestGradScaleAddRow(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	a := randDense(rng, 3, 4)
+	v := randDense(rng, 1, 4)
+	checkGrad(t, "scale", []*tensor.Dense{a}, func(tp *Tape, l []*Node) *Node {
+		return tp.Sum(tp.Scale(l[0], -2.5))
+	})
+	checkGrad(t, "addrow", []*tensor.Dense{a, v}, func(tp *Tape, l []*Node) *Node {
+		return tp.Sum(tp.Square(tp.AddRow(l[0], l[1])))
+	})
+}
+
+func TestGradActivations(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	a := randDense(rng, 3, 3)
+	// Shift away from 0 so ReLU's kink doesn't break finite differences.
+	for i := range a.Data() {
+		if math.Abs(a.Data()[i]) < 0.05 {
+			a.Data()[i] = 0.3
+		}
+	}
+	for name, f := range map[string]func(tp *Tape, n *Node) *Node{
+		"relu":     func(tp *Tape, n *Node) *Node { return tp.ReLU(n) },
+		"tanh":     func(tp *Tape, n *Node) *Node { return tp.Tanh(n) },
+		"sigmoid":  func(tp *Tape, n *Node) *Node { return tp.Sigmoid(n) },
+		"softplus": func(tp *Tape, n *Node) *Node { return tp.Softplus(n) },
+		"elu":      func(tp *Tape, n *Node) *Node { return tp.ELU(n, 1.0) },
+		"exp":      func(tp *Tape, n *Node) *Node { return tp.Exp(n) },
+		"square":   func(tp *Tape, n *Node) *Node { return tp.Square(n) },
+	} {
+		f := f
+		checkGrad(t, name, []*tensor.Dense{a}, func(tp *Tape, l []*Node) *Node {
+			return tp.Sum(f(tp, l[0]))
+		})
+	}
+}
+
+func TestGradLog(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	a := randPositive(rng, 2, 3)
+	checkGrad(t, "log", []*tensor.Dense{a}, func(tp *Tape, l []*Node) *Node {
+		return tp.Sum(tp.Log(l[0], 1e-3))
+	})
+}
+
+func TestGradConcatSlice(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	a := randDense(rng, 2, 3)
+	b := randDense(rng, 2, 2)
+	checkGrad(t, "concat+slice", []*tensor.Dense{a, b}, func(tp *Tape, l []*Node) *Node {
+		cat := tp.ConcatCols(l[0], l[1])
+		return tp.Sum(tp.Square(tp.SliceCols(cat, 1, 4)))
+	})
+}
+
+func TestGradPrefixSum(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	a := randDense(rng, 3, 5)
+	checkGrad(t, "prefixsum", []*tensor.Dense{a}, func(tp *Tape, l []*Node) *Node {
+		return tp.Sum(tp.Square(tp.PrefixSumCols(l[0])))
+	})
+}
+
+func TestGradMeanSumColsKeep(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	a := randDense(rng, 3, 4)
+	checkGrad(t, "mean", []*tensor.Dense{a}, func(tp *Tape, l []*Node) *Node {
+		return tp.Mean(tp.Square(l[0]))
+	})
+	checkGrad(t, "sumcolskeep", []*tensor.Dense{a}, func(tp *Tape, l []*Node) *Node {
+		return tp.Sum(tp.Square(tp.SumColsKeep(l[0])))
+	})
+}
+
+func TestGradMulColBroadcastRecip(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	a := randDense(rng, 3, 4)
+	c := randPositive(rng, 3, 1)
+	checkGrad(t, "mulcol", []*tensor.Dense{a, c}, func(tp *Tape, l []*Node) *Node {
+		return tp.Sum(tp.Square(tp.MulColBroadcast(l[0], l[1])))
+	})
+	checkGrad(t, "recip", []*tensor.Dense{c}, func(tp *Tape, l []*Node) *Node {
+		return tp.Sum(tp.RecipCol(l[0], 1e-3))
+	})
+}
+
+func TestGradSoftmax(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	a := randDense(rng, 3, 5)
+	checkGrad(t, "softmax", []*tensor.Dense{a}, func(tp *Tape, l []*Node) *Node {
+		return tp.Sum(tp.Square(tp.Softmax(l[0])))
+	})
+}
+
+func TestGradNorml2(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	a := randDense(rng, 3, 6)
+	checkGrad(t, "norml2", []*tensor.Dense{a}, func(tp *Tape, l []*Node) *Node {
+		return tp.Sum(tp.Square(tp.Norml2(l[0], 1e-4)))
+	})
+}
+
+func TestNorml2RowsSumToOne(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tp := NewTape()
+		a := tp.Input(randDense(rng, 2+rng.Intn(3), 2+rng.Intn(8)))
+		out := tp.Norml2(a, 1e-6)
+		for i := 0; i < out.Rows(); i++ {
+			var s float64
+			for _, v := range out.Value.Row(i) {
+				if v < 0 {
+					return false
+				}
+				s += v
+			}
+			if math.Abs(s-1) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGradBlockLinear(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	const nb, bw = 3, 4
+	a := randDense(rng, 2, nb*bw)
+	w := randDense(rng, nb, bw)
+	b := randDense(rng, 1, nb)
+	checkGrad(t, "blocklinear", []*tensor.Dense{a, w, b}, func(tp *Tape, l []*Node) *Node {
+		return tp.Sum(tp.Square(tp.BlockLinear(l[0], l[1], l[2], nb, bw)))
+	})
+}
+
+func TestGradPWLInterp(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	const rows, L = 4, 6
+	// Build strictly increasing tau rows and arbitrary p rows.
+	tau := tensor.New(rows, L)
+	p := randDense(rng, rows, L)
+	tq := tensor.New(rows, 1)
+	for r := 0; r < rows; r++ {
+		acc := 0.0
+		for j := 0; j < L; j++ {
+			acc += 0.3 + rng.Float64()
+			tau.Set(r, j, acc)
+		}
+		// Query strictly inside a segment, away from knots, so the
+		// finite-difference perturbation cannot cross a knot.
+		seg := 1 + rng.Intn(L-1)
+		lo, hi := tau.At(r, seg-1), tau.At(r, seg)
+		tq.Set(r, 0, lo+(hi-lo)*(0.3+0.4*rng.Float64()))
+	}
+	checkGrad(t, "pwl", []*tensor.Dense{tau, p}, func(tp *Tape, l []*Node) *Node {
+		q := tp.Input(tq)
+		return tp.Sum(tp.Square(tp.PWLInterp(l[0], l[1], q)))
+	})
+}
+
+func TestPWLInterpClamping(t *testing.T) {
+	tp := NewTape()
+	tau := tp.Input(tensor.FromRows([][]float64{{0, 1, 2}}))
+	p := tp.Input(tensor.FromRows([][]float64{{10, 20, 30}}))
+	for _, tc := range []struct {
+		q, want float64
+	}{
+		{-5, 10}, {0, 10}, {0.5, 15}, {1, 20}, {1.5, 25}, {2, 30}, {99, 30},
+	} {
+		out := tp.PWLInterp(tau, p, tp.Input(tensor.FromRows([][]float64{{tc.q}})))
+		if got := out.Value.At(0, 0); math.Abs(got-tc.want) > 1e-12 {
+			t.Errorf("PWL(%v) = %v, want %v", tc.q, got, tc.want)
+		}
+	}
+}
+
+// For any non-decreasing p, the PWL output must be monotone in the query
+// threshold (Lemma 1 of the paper).
+func TestPWLInterpMonotoneProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		const L = 8
+		tau := tensor.New(1, L)
+		p := tensor.New(1, L)
+		accT, accP := 0.0, 0.0
+		for j := 0; j < L; j++ {
+			accT += rng.Float64()
+			accP += rng.Float64() * 5
+			tau.Set(0, j, accT)
+			p.Set(0, j, accP)
+		}
+		tp := NewTape()
+		tauN, pN := tp.Input(tau), tp.Input(p)
+		prev := math.Inf(-1)
+		for q := -0.5; q < accT+0.5; q += 0.05 {
+			out := tp.PWLInterp(tauN, pN, tp.Input(tensor.FromRows([][]float64{{q}})))
+			v := out.Value.At(0, 0)
+			if v < prev-1e-9 {
+				return false
+			}
+			prev = v
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGradHuberLogLoss(t *testing.T) {
+	rng := rand.New(rand.NewSource(14))
+	yhat := randPositive(rng, 6, 1)
+	y := randPositive(rng, 6, 1)
+	// Mix small and large residuals to exercise both Huber branches.
+	y.Set(0, 0, yhat.At(0, 0)*50)
+	y.Set(1, 0, yhat.At(1, 0)/50)
+	checkGrad(t, "huberlog", []*tensor.Dense{yhat}, func(tp *Tape, l []*Node) *Node {
+		return tp.HuberLogLoss(l[0], tp.Input(y), 1.345, 1e-3)
+	})
+}
+
+func TestHuberLogLossValue(t *testing.T) {
+	tp := NewTape()
+	// y = yhat => zero loss.
+	y := tp.Input(tensor.FromRows([][]float64{{5}, {100}}))
+	loss := tp.HuberLogLoss(y, y, 1.345, 1e-3)
+	if loss.Scalar() != 0 {
+		t.Fatalf("identical predictions should give 0 loss, got %v", loss.Scalar())
+	}
+	// Small residual uses the quadratic branch.
+	yhat := tp.Input(tensor.FromRows([][]float64{{math.E - 1e-3}}))
+	one := tp.Input(tensor.FromRows([][]float64{{1 - 1e-3}}))
+	l2 := tp.HuberLogLoss(yhat, one, 1.345, 1e-3)
+	if math.Abs(l2.Scalar()-0.5) > 1e-6 { // r = -1, r²/2 = 0.5
+		t.Fatalf("quadratic branch loss = %v, want 0.5", l2.Scalar())
+	}
+}
+
+func TestGradHuberResidualLoss(t *testing.T) {
+	rng := rand.New(rand.NewSource(30))
+	pred := randDense(rng, 6, 1)
+	target := randDense(rng, 6, 1)
+	// Force both branches: small residual and large residual.
+	target.Set(0, 0, pred.At(0, 0)+0.2)
+	target.Set(1, 0, pred.At(1, 0)+5)
+	target.Set(2, 0, pred.At(2, 0)-5)
+	checkGrad(t, "huberres", []*tensor.Dense{pred}, func(tp *Tape, l []*Node) *Node {
+		return tp.HuberResidualLoss(l[0], tp.Input(target), 1.345)
+	})
+}
+
+func TestHuberResidualLossValue(t *testing.T) {
+	tp := NewTape()
+	pred := tp.Input(tensor.FromRows([][]float64{{0}, {0}}))
+	target := tp.Input(tensor.FromRows([][]float64{{0.5}, {3}}))
+	const delta = 1.0
+	got := tp.HuberResidualLoss(pred, target, delta).Scalar()
+	want := (0.5*0.5/2 + (3 - 0.5)) / 2
+	if math.Abs(got-want) > 1e-12 {
+		t.Fatalf("huber residual = %v, want %v", got, want)
+	}
+}
+
+func TestGradMSELoss(t *testing.T) {
+	rng := rand.New(rand.NewSource(15))
+	yhat := randDense(rng, 3, 4)
+	y := randDense(rng, 3, 4)
+	checkGrad(t, "mse", []*tensor.Dense{yhat}, func(tp *Tape, l []*Node) *Node {
+		return tp.MSELoss(l[0], tp.Input(y))
+	})
+}
+
+func TestGradL1L2LogLoss(t *testing.T) {
+	rng := rand.New(rand.NewSource(16))
+	yhat := randPositive(rng, 5, 1)
+	y := randPositive(rng, 5, 1)
+	checkGrad(t, "l2log", []*tensor.Dense{yhat}, func(tp *Tape, l []*Node) *Node {
+		return tp.L2LogLoss(l[0], tp.Input(y), 1e-3)
+	})
+	checkGrad(t, "l1log", []*tensor.Dense{yhat}, func(tp *Tape, l []*Node) *Node {
+		return tp.L1LogLoss(l[0], tp.Input(y), 1e-3)
+	})
+}
+
+func TestGradDeepComposite(t *testing.T) {
+	// A two-layer network end to end: checks gradient flow through chains.
+	rng := rand.New(rand.NewSource(17))
+	x := randDense(rng, 4, 3)
+	w1 := randDense(rng, 3, 5)
+	b1 := randDense(rng, 1, 5)
+	w2 := randDense(rng, 5, 1)
+	b2 := randDense(rng, 1, 1)
+	y := randPositive(rng, 4, 1)
+	checkGrad(t, "composite", []*tensor.Dense{w1, b1, w2, b2}, func(tp *Tape, l []*Node) *Node {
+		h := tp.Tanh(tp.AddRow(tp.MatMul(tp.Input(x), l[0]), l[1]))
+		out := tp.Softplus(tp.AddRow(tp.MatMul(h, l[2]), l[3]))
+		return tp.HuberLogLoss(out, tp.Input(y), 1.345, 1e-3)
+	})
+}
+
+func TestGradAccumulatesOnReuse(t *testing.T) {
+	// Using a leaf twice must sum both contributions.
+	a := tensor.FromRows([][]float64{{2}})
+	g := tensor.New(1, 1)
+	tp := NewTape()
+	n := tp.Leaf(a, g)
+	loss := tp.Sum(tp.Mul(n, n)) // d(a²)/da = 2a = 4
+	tp.Backward(loss)
+	if math.Abs(g.At(0, 0)-4) > 1e-12 {
+		t.Fatalf("grad = %v, want 4", g.At(0, 0))
+	}
+}
+
+func TestBackwardPanicsOnNonScalar(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("expected panic")
+		}
+	}()
+	tp := NewTape()
+	n := tp.Input(tensor.New(2, 2))
+	tp.Backward(n)
+}
+
+func TestMixedTapePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("expected panic")
+		}
+	}()
+	t1, t2 := NewTape(), NewTape()
+	a := t1.Input(tensor.New(1, 1))
+	b := t2.Input(tensor.New(1, 1))
+	t1.Add(a, b)
+}

@@ -1,0 +1,156 @@
+package autodiff
+
+import (
+	"fmt"
+
+	"selnet/internal/tensor"
+)
+
+// RepeatRows tiles the single-row node a (1 x C) into n identical rows.
+// The backward pass sums gradients over the tiled rows, which makes it the
+// right adapter for sharing one parameter row across a batch (e.g. DLN
+// calibrator outputs).
+func (t *Tape) RepeatRows(a *Node, n int) *Node {
+	same(t, a)
+	if a.Rows() != 1 {
+		panic(fmt.Sprintf("autodiff: RepeatRows requires a 1-row node, got %dx%d", a.Rows(), a.Cols()))
+	}
+	v := tensor.New(n, a.Cols())
+	for i := 0; i < n; i++ {
+		copy(v.Row(i), a.Value.Row(0))
+	}
+	out := t.node("repeatrows", v)
+	out.backward = func() {
+		tensor.AddInPlace(a.Grad, tensor.SumRows(out.Grad))
+	}
+	return out
+}
+
+// Reshape returns a view of a with a new shape holding the same elements
+// in row-major order. The gradient is reshaped identically.
+func (t *Tape) Reshape(a *Node, rows, cols int) *Node {
+	same(t, a)
+	if rows*cols != a.Value.Size() {
+		panic(fmt.Sprintf("autodiff: Reshape %dx%d -> %dx%d", a.Rows(), a.Cols(), rows, cols))
+	}
+	v := a.Value.Clone().Reshape(rows, cols)
+	out := t.node("reshape", v)
+	out.backward = func() {
+		g, ag := out.Grad.Data(), a.Grad.Data()
+		for i, gv := range g {
+			ag[i] += gv
+		}
+	}
+	return out
+}
+
+// Lattice evaluates a multilinear-interpolation lattice (Garcia & Gupta,
+// NIPS'09; the building block of deep lattice networks). x is batch x m
+// with entries expected in [0,1]; theta is 1 x 2^m holding one value per
+// hypercube vertex, indexed by the bit pattern of the corner. The output
+// for a row x is
+//
+//	sum_{c in {0,1}^m} theta[c] * prod_j (x_j if c_j=1 else 1-x_j).
+//
+// Gradients flow into both theta and x. The lattice is monotone in input
+// dimension j exactly when theta is non-decreasing along every edge of the
+// hypercube in direction j — package dln enforces that with projections.
+func (t *Tape) Lattice(x, theta *Node) *Node {
+	same(t, x, theta)
+	m := x.Cols()
+	if m > 20 {
+		panic("autodiff: Lattice dimension too large")
+	}
+	verts := 1 << uint(m)
+	if theta.Rows() != 1 || theta.Cols() != verts {
+		panic(fmt.Sprintf("autodiff: Lattice theta must be 1x%d, got %dx%d", verts, theta.Rows(), theta.Cols()))
+	}
+	rows := x.Rows()
+	v := tensor.New(rows, 1)
+	th := theta.Value.Row(0)
+	// Cache per-row corner weights for the backward pass.
+	weights := make([][]float64, rows)
+	for r := 0; r < rows; r++ {
+		xr := x.Value.Row(r)
+		w := make([]float64, verts)
+		var acc float64
+		for c := 0; c < verts; c++ {
+			p := 1.0
+			for j := 0; j < m; j++ {
+				if c&(1<<uint(j)) != 0 {
+					p *= xr[j]
+				} else {
+					p *= 1 - xr[j]
+				}
+			}
+			w[c] = p
+			acc += th[c] * p
+		}
+		weights[r] = w
+		v.Set(r, 0, acc)
+	}
+	out := t.node("lattice", v)
+	out.backward = func() {
+		tg := theta.Grad.Row(0)
+		for r := 0; r < rows; r++ {
+			g := out.Grad.At(r, 0)
+			if g == 0 {
+				continue
+			}
+			xr := x.Value.Row(r)
+			xg := x.Grad.Row(r)
+			w := weights[r]
+			for c := 0; c < verts; c++ {
+				tg[c] += g * w[c]
+			}
+			// d/dx_j = sum_c theta_c * dW_c/dx_j, where dW_c/dx_j flips the
+			// j-term of the product to +-1.
+			for j := 0; j < m; j++ {
+				var s float64
+				for c := 0; c < verts; c++ {
+					// Recompute the product without the j factor.
+					p := 1.0
+					for k := 0; k < m; k++ {
+						if k == j {
+							continue
+						}
+						if c&(1<<uint(k)) != 0 {
+							p *= xr[k]
+						} else {
+							p *= 1 - xr[k]
+						}
+					}
+					if c&(1<<uint(j)) != 0 {
+						s += th[c] * p
+					} else {
+						s -= th[c] * p
+					}
+				}
+				xg[j] += g * s
+			}
+		}
+	}
+	return out
+}
+
+// LatticeVertexCount returns 2^m, the number of vertices of an m-dim lattice.
+func LatticeVertexCount(m int) int {
+	if m < 0 || m > 20 {
+		panic("autodiff: lattice dimension out of range")
+	}
+	return 1 << uint(m)
+}
+
+// LatticeEdgePairs enumerates the (lo, hi) vertex index pairs forming the
+// hypercube edges along dimension j; a lattice is monotone increasing in
+// dimension j when theta[hi] >= theta[lo] for every pair.
+func LatticeEdgePairs(m, j int) [][2]int {
+	verts := LatticeVertexCount(m)
+	pairs := make([][2]int, 0, verts/2)
+	for c := 0; c < verts; c++ {
+		if c&(1<<uint(j)) == 0 {
+			pairs = append(pairs, [2]int{c, c | 1<<uint(j)})
+		}
+	}
+	return pairs
+}

@@ -1,0 +1,170 @@
+package autodiff
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"selnet/internal/tensor"
+)
+
+func TestGradRepeatRows(t *testing.T) {
+	rng := rand.New(rand.NewSource(20))
+	a := randDense(rng, 1, 4)
+	checkGrad(t, "repeatrows", []*tensor.Dense{a}, func(tp *Tape, l []*Node) *Node {
+		return tp.Sum(tp.Square(tp.RepeatRows(l[0], 5)))
+	})
+}
+
+func TestRepeatRowsValues(t *testing.T) {
+	tp := NewTape()
+	a := tp.Input(tensor.FromRows([][]float64{{1, 2, 3}}))
+	out := tp.RepeatRows(a, 3)
+	for i := 0; i < 3; i++ {
+		if out.Value.At(i, 1) != 2 {
+			t.Fatalf("row %d not tiled", i)
+		}
+	}
+}
+
+func TestRepeatRowsPanicsOnMultiRow(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("expected panic")
+		}
+	}()
+	tp := NewTape()
+	tp.RepeatRows(tp.Input(tensor.New(2, 2)), 3)
+}
+
+func TestGradReshape(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	a := randDense(rng, 2, 6)
+	checkGrad(t, "reshape", []*tensor.Dense{a}, func(tp *Tape, l []*Node) *Node {
+		return tp.Sum(tp.Square(tp.Reshape(l[0], 4, 3)))
+	})
+}
+
+func TestReshapeValuesRowMajor(t *testing.T) {
+	tp := NewTape()
+	a := tp.Input(tensor.FromRows([][]float64{{1, 2, 3, 4}}))
+	out := tp.Reshape(a, 2, 2)
+	if out.Value.At(1, 0) != 3 {
+		t.Fatalf("reshape not row-major: %v", out.Value)
+	}
+}
+
+func TestGradLattice(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	const m = 3
+	x := tensor.New(4, m)
+	for i := range x.Data() {
+		x.Data()[i] = 0.15 + 0.7*rng.Float64()
+	}
+	theta := randDense(rng, 1, LatticeVertexCount(m))
+	checkGrad(t, "lattice", []*tensor.Dense{x, theta}, func(tp *Tape, l []*Node) *Node {
+		return tp.Sum(tp.Square(tp.Lattice(l[0], l[1])))
+	})
+}
+
+func TestLatticeInterpolatesCorners(t *testing.T) {
+	tp := NewTape()
+	// 2-D lattice with corner values 00->1, 10->2, 01->3, 11->4.
+	theta := tp.Input(tensor.FromRows([][]float64{{1, 2, 3, 4}}))
+	corners := [][]float64{{0, 0}, {1, 0}, {0, 1}, {1, 1}}
+	want := []float64{1, 2, 3, 4}
+	for i, c := range corners {
+		x := tp.Input(tensor.FromRows([][]float64{c}))
+		out := tp.Lattice(x, theta)
+		if math.Abs(out.Value.At(0, 0)-want[i]) > 1e-12 {
+			t.Fatalf("corner %v = %v, want %v", c, out.Value.At(0, 0), want[i])
+		}
+	}
+	// Center interpolates to the mean of corners.
+	x := tp.Input(tensor.FromRows([][]float64{{0.5, 0.5}}))
+	out := tp.Lattice(x, theta)
+	if math.Abs(out.Value.At(0, 0)-2.5) > 1e-12 {
+		t.Fatalf("center = %v, want 2.5", out.Value.At(0, 0))
+	}
+}
+
+// With theta non-decreasing along dimension j's edges, the lattice must be
+// monotone in x_j.
+func TestLatticeMonotoneWhenThetaOrdered(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		const m = 3
+		verts := LatticeVertexCount(m)
+		theta := tensor.New(1, verts)
+		for c := 0; c < verts; c++ {
+			// theta = number of set bits + noise small enough to keep order.
+			theta.Set(0, c, float64(popcount(c))+0.3*rng.Float64())
+		}
+		// Enforce exact monotonicity along every dim.
+		for j := 0; j < m; j++ {
+			for _, pr := range LatticeEdgePairs(m, j) {
+				if theta.At(0, pr[1]) < theta.At(0, pr[0]) {
+					theta.Set(0, pr[1], theta.At(0, pr[0]))
+				}
+			}
+		}
+		tp := NewTape()
+		th := tp.Input(theta)
+		base := make([]float64, m)
+		for j := range base {
+			base[j] = rng.Float64()
+		}
+		dim := rng.Intn(m)
+		prev := math.Inf(-1)
+		for v := 0.0; v <= 1.0; v += 0.1 {
+			pt := append([]float64(nil), base...)
+			pt[dim] = v
+			out := tp.Lattice(tp.Input(tensor.FromRows([][]float64{pt})), th)
+			val := out.Value.At(0, 0)
+			if val < prev-1e-9 {
+				return false
+			}
+			prev = val
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func popcount(x int) int {
+	n := 0
+	for x != 0 {
+		n += x & 1
+		x >>= 1
+	}
+	return n
+}
+
+func TestLatticeEdgePairs(t *testing.T) {
+	pairs := LatticeEdgePairs(2, 0)
+	if len(pairs) != 2 {
+		t.Fatalf("2-dim lattice dim 0 should have 2 edges, got %d", len(pairs))
+	}
+	for _, p := range pairs {
+		if p[1] != p[0]|1 {
+			t.Fatalf("edge pair %v does not differ in bit 0", p)
+		}
+	}
+	pairs1 := LatticeEdgePairs(3, 2)
+	if len(pairs1) != 4 {
+		t.Fatalf("3-dim lattice dim 2 should have 4 edges, got %d", len(pairs1))
+	}
+}
+
+func TestLatticePanics(t *testing.T) {
+	tp := NewTape()
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("expected panic")
+		}
+	}()
+	tp.Lattice(tp.Input(tensor.New(1, 2)), tp.Input(tensor.New(1, 3)))
+}

@@ -1,0 +1,233 @@
+package covertree
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"selnet/internal/distance"
+)
+
+func randVecs(seed int64, n, dim int) [][]float64 {
+	rng := rand.New(rand.NewSource(seed))
+	vecs := make([][]float64, n)
+	for i := range vecs {
+		v := make([]float64, dim)
+		for j := range v {
+			v[j] = rng.NormFloat64() * 2
+		}
+		vecs[i] = v
+	}
+	return vecs
+}
+
+func TestBuildInvariants(t *testing.T) {
+	for _, n := range []int{1, 2, 10, 200} {
+		vecs := randVecs(int64(n), n, 4)
+		tree := Build(vecs, distance.L2)
+		if tree.Size() != n {
+			t.Fatalf("n=%d: size %d", n, tree.Size())
+		}
+		if err := tree.CheckInvariants(); err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+	}
+}
+
+func TestBuildInvariantsProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(100)
+		vecs := randVecs(seed, n, 1+rng.Intn(6))
+		tree := Build(vecs, distance.L2)
+		return tree.CheckInvariants() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBuildWithDuplicatePoints(t *testing.T) {
+	vecs := [][]float64{{1, 1}, {1, 1}, {1, 1}, {2, 2}}
+	tree := Build(vecs, distance.L2)
+	if err := tree.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if got := tree.RangeCount([]float64{1, 1}, 0); got != 3 {
+		t.Fatalf("RangeCount duplicates = %d, want 3", got)
+	}
+}
+
+func TestRangeCountMatchesBruteForce(t *testing.T) {
+	vecs := randVecs(42, 300, 5)
+	tree := Build(vecs, distance.L2)
+	rng := rand.New(rand.NewSource(43))
+	for trial := 0; trial < 30; trial++ {
+		x := vecs[rng.Intn(len(vecs))]
+		threshold := rng.Float64() * 6
+		want := 0
+		for _, v := range vecs {
+			if distance.L2(x, v) <= threshold {
+				want++
+			}
+		}
+		if got := tree.RangeCount(x, threshold); got != want {
+			t.Fatalf("RangeCount(t=%v) = %d, want %d", threshold, got, want)
+		}
+	}
+}
+
+func TestRangeCountExtremes(t *testing.T) {
+	vecs := randVecs(44, 100, 3)
+	tree := Build(vecs, distance.L2)
+	if got := tree.RangeCount(vecs[0], 1e9); got != 100 {
+		t.Fatalf("huge range = %d", got)
+	}
+	if got := tree.RangeCount([]float64{100, 100, 100}, 0.001); got != 0 {
+		t.Fatalf("empty range = %d", got)
+	}
+}
+
+func TestKNNMatchesBruteForce(t *testing.T) {
+	vecs := randVecs(45, 250, 4)
+	tree := Build(vecs, distance.L2)
+	rng := rand.New(rand.NewSource(46))
+	for trial := 0; trial < 20; trial++ {
+		x := make([]float64, 4)
+		for j := range x {
+			x[j] = rng.NormFloat64() * 2
+		}
+		k := 1 + rng.Intn(10)
+		got := tree.KNN(x, k)
+		// Brute force.
+		idx := make([]int, len(vecs))
+		for i := range idx {
+			idx[i] = i
+		}
+		sort.Slice(idx, func(a, b int) bool {
+			return distance.L2(x, vecs[idx[a]]) < distance.L2(x, vecs[idx[b]])
+		})
+		want := idx[:k]
+		if len(got) != k {
+			t.Fatalf("KNN returned %d results, want %d", len(got), k)
+		}
+		for i := range got {
+			// Compare by distance (ties may reorder indices).
+			dg := distance.L2(x, vecs[got[i]])
+			dw := distance.L2(x, vecs[want[i]])
+			if dg != dw {
+				t.Fatalf("KNN[%d] dist %v, want %v", i, dg, dw)
+			}
+		}
+	}
+}
+
+func TestKNNEdgeCases(t *testing.T) {
+	vecs := randVecs(47, 10, 2)
+	tree := Build(vecs, distance.L2)
+	if got := tree.KNN(vecs[0], 0); got != nil {
+		t.Fatalf("k=0 should return nil")
+	}
+	if got := tree.KNN(vecs[0], 100); len(got) != 10 {
+		t.Fatalf("k>n should return all points, got %d", len(got))
+	}
+	got := tree.KNN(vecs[3], 1)
+	if len(got) != 1 || distance.L2(vecs[3], vecs[got[0]]) != 0 {
+		t.Fatalf("nearest neighbour of an indexed point must be itself")
+	}
+}
+
+func TestPartitionCoversAllPointsOnce(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 10 + rng.Intn(200)
+		vecs := randVecs(seed, n, 3)
+		tree := Build(vecs, distance.L2)
+		maxSize := 1 + rng.Intn(n)
+		regions := tree.Partition(maxSize)
+		seen := map[int]int{}
+		for _, r := range regions {
+			for _, m := range r.Members {
+				seen[m]++
+			}
+		}
+		if len(seen) != n {
+			return false
+		}
+		for _, c := range seen {
+			if c != 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPartitionRespectsMaxSize(t *testing.T) {
+	vecs := randVecs(48, 400, 4)
+	tree := Build(vecs, distance.L2)
+	maxSize := 40
+	regions := tree.Partition(maxSize)
+	for _, r := range regions {
+		if len(r.Members) > maxSize {
+			t.Fatalf("region size %d exceeds max %d", len(r.Members), maxSize)
+		}
+	}
+	if len(regions) < 400/40 {
+		t.Fatalf("too few regions: %d", len(regions))
+	}
+}
+
+func TestPartitionBallsContainMembers(t *testing.T) {
+	vecs := randVecs(49, 300, 4)
+	tree := Build(vecs, distance.L2)
+	for _, r := range tree.Partition(30) {
+		for _, m := range r.Members {
+			if d := distance.L2(r.Center, vecs[m]); d > r.Radius+1e-9 {
+				t.Fatalf("member %d at distance %v outside ball radius %v", m, d, r.Radius)
+			}
+		}
+	}
+}
+
+func TestPartitionSingleRegionWhenMaxHuge(t *testing.T) {
+	vecs := randVecs(50, 50, 3)
+	tree := Build(vecs, distance.L2)
+	regions := tree.Partition(1000)
+	if len(regions) != 1 {
+		t.Fatalf("expected 1 region, got %d", len(regions))
+	}
+	if len(regions[0].Members) != 50 {
+		t.Fatalf("region should hold all points")
+	}
+}
+
+func TestBuildPanicsOnEmpty(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("expected panic")
+		}
+	}()
+	Build(nil, distance.L2)
+}
+
+func BenchmarkBuild1k(b *testing.B) {
+	vecs := randVecs(51, 1000, 8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Build(vecs, distance.L2)
+	}
+}
+
+func BenchmarkRangeCount1k(b *testing.B) {
+	vecs := randVecs(52, 1000, 8)
+	tree := Build(vecs, distance.L2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tree.RangeCount(vecs[i%len(vecs)], 2.0)
+	}
+}

@@ -1,0 +1,230 @@
+package deepreg
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"selnet/internal/autodiff"
+	"selnet/internal/tensor"
+	"selnet/internal/vecdata"
+)
+
+// synthetic queries with y = max(1, 40t + 5*x0) — increasing in t.
+func makeQueries(rng *rand.Rand, n, dim int) []vecdata.Query {
+	qs := make([]vecdata.Query, n)
+	for i := range qs {
+		x := make([]float64, dim)
+		for j := range x {
+			x[j] = rng.NormFloat64()
+		}
+		tt := rng.Float64() * 2
+		qs[i] = vecdata.Query{X: x, T: tt, Y: math.Max(1, 40*tt+5*x[0])}
+	}
+	return qs
+}
+
+func TestTEmbedShapes(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	e := NewTEmbed(rng, "t", 8)
+	if e.Dim() != 8 {
+		t.Fatalf("Dim = %d", e.Dim())
+	}
+	tp := autodiff.NewTape()
+	tcol := tp.Input(tensor.FromRows([][]float64{{0.5}, {1.5}}))
+	out := e.Apply(tp, tcol)
+	if out.Rows() != 2 || out.Cols() != 8 {
+		t.Fatalf("embed shape %dx%d", out.Rows(), out.Cols())
+	}
+	for _, v := range out.Value.Data() {
+		if v < 0 {
+			t.Fatalf("ReLU embedding must be non-negative")
+		}
+	}
+}
+
+func TestHuberOnNodesMatchesClosedForm(t *testing.T) {
+	tp := autodiff.NewTape()
+	pred := tp.Input(tensor.FromRows([][]float64{{0}, {0}, {0}}))
+	target := tp.Input(tensor.FromRows([][]float64{{0.5}, {-2}, {3}}))
+	const delta = 1.0
+	got := huberOnNodes(tp, pred, target, delta).Scalar()
+	want := (0.5*0.5/2 + (1*2 - 0.5) + (1*3 - 0.5)) / 3
+	if math.Abs(got-want) > 1e-12 {
+		t.Fatalf("huber = %v, want %v", got, want)
+	}
+}
+
+func TestHuberOnNodesGradient(t *testing.T) {
+	// Numerical check through the mask-based construction.
+	predVal := tensor.FromRows([][]float64{{0.3}, {-1.5}, {2.2}})
+	target := tensor.FromRows([][]float64{{0}, {0}, {0}})
+	const delta = 1.0
+	grad := tensor.New(3, 1)
+	tp := autodiff.NewTape()
+	p := tp.Leaf(predVal, grad)
+	loss := huberOnNodes(tp, p, tp.Input(target), delta)
+	tp.Backward(loss)
+	const h = 1e-6
+	for i := 0; i < 3; i++ {
+		orig := predVal.At(i, 0)
+		eval := func(v float64) float64 {
+			predVal.Set(i, 0, v)
+			tp2 := autodiff.NewTape()
+			return huberOnNodes(tp2, tp2.Input(predVal), tp2.Input(target), delta).Scalar()
+		}
+		num := (eval(orig+h) - eval(orig-h)) / (2 * h)
+		predVal.Set(i, 0, orig)
+		if math.Abs(num-grad.At(i, 0)) > 1e-5 {
+			t.Fatalf("grad[%d] = %v, numerical %v", i, grad.At(i, 0), num)
+		}
+	}
+}
+
+func TestDNNLearns(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	train := makeQueries(rng, 400, 3)
+	valid := makeQueries(rng, 80, 3)
+	d := NewDNN(rng, 3, []int{32, 32}, 8)
+	cfg := DefaultTrainConfig()
+	cfg.Epochs = 40
+	d.Fit(cfg, train, valid)
+	test := makeQueries(rng, 100, 3)
+	var mape float64
+	for _, q := range test {
+		mape += math.Abs(d.Estimate(q.X, q.T)-q.Y) / q.Y
+	}
+	mape /= 100
+	if mape > 0.6 {
+		t.Fatalf("DNN test MAPE %v too high", mape)
+	}
+	if d.Name() != "DNN" {
+		t.Fatalf("Name = %q", d.Name())
+	}
+}
+
+func TestDNNEstimateNonNegative(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	d := NewDNN(rng, 2, []int{8}, 4)
+	// Untrained model must still return a valid (non-negative) estimate.
+	for i := 0; i < 10; i++ {
+		if v := d.Estimate([]float64{rng.NormFloat64(), rng.NormFloat64()}, rng.Float64()); v < 0 {
+			t.Fatalf("negative estimate %v", v)
+		}
+	}
+}
+
+func TestMoELearnsAndGates(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	train := makeQueries(rng, 400, 3)
+	m := NewMoE(rng, 3, []int{24}, 8, 4, 2)
+	cfg := DefaultTrainConfig()
+	cfg.Epochs = 80
+	m.Fit(cfg, train, nil)
+	test := makeQueries(rng, 100, 3)
+	var mape float64
+	for _, q := range test {
+		mape += math.Abs(m.Estimate(q.X, q.T)-q.Y) / q.Y
+	}
+	mape /= 100
+	if mape > 0.8 {
+		t.Fatalf("MoE test MAPE %v too high", mape)
+	}
+	if m.Name() != "MoE" {
+		t.Fatalf("Name = %q", m.Name())
+	}
+}
+
+func TestMoETopKMaskSparsity(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	m := NewMoE(rng, 2, []int{8}, 4, 6, 2)
+	tp := autodiff.NewTape()
+	x := tp.Input(tensor.New(3, 2))
+	tt := tp.Input(tensor.FromRows([][]float64{{0.1}, {0.5}, {1.0}}))
+	_ = m.forwardLog(tp, x, tt) // must not panic; sparsity checked below
+	// Rebuild gating manually to check exactly topK survive.
+	in := tp.ConcatCols(x, m.embed.Apply(tp, tt))
+	gates := tp.Softmax(m.gate.Apply(tp, in))
+	for i := 0; i < 3; i++ {
+		row := gates.Value.Row(i)
+		order := argsortDesc(row)
+		if len(order) != 6 {
+			t.Fatalf("argsort length %d", len(order))
+		}
+		if row[order[0]] < row[order[5]] {
+			t.Fatalf("argsortDesc not descending")
+		}
+	}
+}
+
+func TestMoEPanicsOnBadTopK(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("expected panic")
+		}
+	}()
+	NewMoE(rng, 2, []int{8}, 4, 3, 5)
+}
+
+func TestRMILearnsAndRoutes(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	train := makeQueries(rng, 500, 3)
+	r := NewRMI(rng, 3, []int{24}, 8, []int{1, 2, 4})
+	cfg := DefaultTrainConfig()
+	cfg.Epochs = 50
+	r.Fit(cfg, train, nil)
+	test := makeQueries(rng, 100, 3)
+	var mape float64
+	for _, q := range test {
+		mape += math.Abs(r.Estimate(q.X, q.T)-q.Y) / q.Y
+	}
+	mape /= 100
+	if mape > 0.8 {
+		t.Fatalf("RMI test MAPE %v too high", mape)
+	}
+	if r.Name() != "RMI" {
+		t.Fatalf("Name = %q", r.Name())
+	}
+}
+
+func TestRMIRouteClamping(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	r := NewRMI(rng, 2, []int{8}, 4, []int{1, 4})
+	r.lo[0], r.hi[0] = 0, 1
+	if r.route(0, -5, 4) != 0 {
+		t.Fatalf("below-range prediction must route to model 0")
+	}
+	if r.route(0, 99, 4) != 3 {
+		t.Fatalf("above-range prediction must route to the last model")
+	}
+	if r.route(0, 0.6, 4) != 2 {
+		t.Fatalf("mid-range routing wrong")
+	}
+}
+
+func TestRMIPanicsOnBadCounts(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("expected panic")
+		}
+	}()
+	NewRMI(rng, 2, []int{8}, 4, []int{2, 4})
+}
+
+func TestValidationSnapshotKeepsBest(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	train := makeQueries(rng, 200, 2)
+	valid := makeQueries(rng, 50, 2)
+	d := NewDNN(rng, 2, []int{16}, 4)
+	cfg := DefaultTrainConfig()
+	cfg.Epochs = 40
+	cfg.EvalEvery = 2
+	before := validationLoss(d, cfg, valid)
+	d.Fit(cfg, train, valid)
+	after := validationLoss(d, cfg, valid)
+	if after >= before {
+		t.Fatalf("validation loss did not improve: %v -> %v", before, after)
+	}
+}

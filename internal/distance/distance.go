@@ -1,0 +1,141 @@
+// Package distance defines the distance functions used throughout the
+// repository: Euclidean (l2) and cosine distance, the two settings the
+// paper evaluates (Sec. 7.1). Cosine distance on unit vectors is a
+// monotone transform of Euclidean distance, which the paper exploits to
+// run metric-only methods (KDE, cover-tree partitioning) on cosine
+// workloads; Convert implements that equivalence.
+package distance
+
+import (
+	"fmt"
+	"math"
+)
+
+// Func identifies a distance function.
+type Func int
+
+// Supported distance functions.
+const (
+	// Euclidean is the l2 distance.
+	Euclidean Func = iota
+	// Cosine is 1 - cos(u, v), in [0, 2].
+	Cosine
+)
+
+// String returns the conventional short name.
+func (f Func) String() string {
+	switch f {
+	case Euclidean:
+		return "l2"
+	case Cosine:
+		return "cos"
+	default:
+		return fmt.Sprintf("Func(%d)", int(f))
+	}
+}
+
+// Metric reports whether the function satisfies the triangle inequality
+// as-is. Cosine distance does not in general, but on unit vectors it is a
+// monotone transform of the metric Euclidean distance.
+func (f Func) Metric() bool { return f == Euclidean }
+
+// Distance computes f between equal-length vectors a and b.
+func (f Func) Distance(a, b []float64) float64 {
+	switch f {
+	case Euclidean:
+		return L2(a, b)
+	case Cosine:
+		return CosineDistance(a, b)
+	default:
+		panic(fmt.Sprintf("distance: unknown function %d", int(f)))
+	}
+}
+
+// L2 returns the Euclidean distance between a and b.
+func L2(a, b []float64) float64 {
+	return math.Sqrt(SquaredL2(a, b))
+}
+
+// SquaredL2 returns the squared Euclidean distance between a and b.
+func SquaredL2(a, b []float64) float64 {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("distance: dimension mismatch %d vs %d", len(a), len(b)))
+	}
+	var s float64
+	for i, av := range a {
+		d := av - b[i]
+		s += d * d
+	}
+	return s
+}
+
+// Dot returns the inner product of a and b.
+func Dot(a, b []float64) float64 {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("distance: dimension mismatch %d vs %d", len(a), len(b)))
+	}
+	var s float64
+	for i, av := range a {
+		s += av * b[i]
+	}
+	return s
+}
+
+// Norm returns the Euclidean norm of v.
+func Norm(v []float64) float64 {
+	var s float64
+	for _, x := range v {
+		s += x * x
+	}
+	return math.Sqrt(s)
+}
+
+// CosineDistance returns 1 - cos(a, b). Zero vectors are treated as
+// maximally distant (distance 1) to avoid NaN.
+func CosineDistance(a, b []float64) float64 {
+	na, nb := Norm(a), Norm(b)
+	if na == 0 || nb == 0 {
+		return 1
+	}
+	c := Dot(a, b) / (na * nb)
+	// Guard against floating-point drift outside [-1, 1].
+	if c > 1 {
+		c = 1
+	} else if c < -1 {
+		c = -1
+	}
+	return 1 - c
+}
+
+// Normalize returns v scaled to unit norm (a copy). The zero vector is
+// returned unchanged.
+func Normalize(v []float64) []float64 {
+	out := append([]float64(nil), v...)
+	n := Norm(v)
+	if n == 0 {
+		return out
+	}
+	for i := range out {
+		out[i] /= n
+	}
+	return out
+}
+
+// CosineToL2Threshold converts a cosine-distance threshold t to the
+// equivalent Euclidean threshold on unit vectors:
+//
+//	||u-v||² = 2 - 2·cos(u,v) = 2·t  =>  ||u-v|| = sqrt(2t).
+//
+// This is the conversion from Sec. 5.3 that lets the cover tree partition
+// cosine workloads.
+func CosineToL2Threshold(t float64) float64 {
+	if t < 0 {
+		t = 0
+	}
+	return math.Sqrt(2 * t)
+}
+
+// L2ToCosineThreshold is the inverse of CosineToL2Threshold.
+func L2ToCosineThreshold(t float64) float64 {
+	return t * t / 2
+}

@@ -1,0 +1,93 @@
+package dln
+
+import (
+	"math"
+	"math/rand"
+
+	"selnet/internal/autodiff"
+	"selnet/internal/nn"
+	"selnet/internal/tensor"
+)
+
+// CurveCalibrator is the "simplified DLN" of the paper's Sec. 6.2 and
+// Figure 3: one calibrator layer g: [0, tmax] -> z in [0, 1] with fixed,
+// equally spaced keypoints and learnable outputs, followed by a
+// degenerate single lattice h(z) = (1-z)·θ0 + z·θ1 whose two parameters
+// are pinned to the minimum and maximum training values. All the fitting
+// capacity lives in the calibrator — whose keypoints cannot move, which
+// is exactly the inflexibility Figure 3 demonstrates.
+type CurveCalibrator struct {
+	cal    *calibrator
+	theta0 float64
+	theta1 float64
+	tmax   float64
+}
+
+// NewCurveCalibrator builds the simplified DLN with numPoints keypoints
+// spanning [0, tmax].
+func NewCurveCalibrator(rng *rand.Rand, numPoints int, tmax float64) *CurveCalibrator {
+	return &CurveCalibrator{
+		cal:  newCalibrator(rng, "dlncurve", 0, tmax, numPoints, true),
+		tmax: tmax,
+	}
+}
+
+// Fit pins θ0/θ1 to the range of ys and trains the calibrator outputs
+// with MSE. It returns the final loss.
+func (c *CurveCalibrator) Fit(ts, ys []float64, epochs int, lr float64) float64 {
+	if len(ts) != len(ys) || len(ts) == 0 {
+		panic("dln: CurveCalibrator.Fit needs matching non-empty samples")
+	}
+	c.theta0, c.theta1 = math.Inf(1), math.Inf(-1)
+	for _, y := range ys {
+		c.theta0 = math.Min(c.theta0, y)
+		c.theta1 = math.Max(c.theta1, y)
+	}
+	if !(c.theta1 > c.theta0) {
+		c.theta1 = c.theta0 + 1
+	}
+	tcol := tensor.ColVector(ts)
+	// Targets in calibrator space: z* = (y-θ0)/(θ1-θ0).
+	zcol := tensor.New(len(ys), 1)
+	for i, y := range ys {
+		zcol.Set(i, 0, (y-c.theta0)/(c.theta1-c.theta0))
+	}
+	opt := nn.NewAdam(lr)
+	params := []*nn.Param{c.cal.outputs}
+	var last float64
+	scale := (c.theta1 - c.theta0) * (c.theta1 - c.theta0)
+	for e := 0; e < epochs; e++ {
+		tp := autodiff.NewTape()
+		z := c.cal.apply(tp, tp.Input(tcol))
+		loss := tp.MSELoss(z, tp.Input(zcol))
+		tp.Backward(loss)
+		opt.Step(params)
+		c.cal.project(true)
+		last = loss.Scalar() * scale // report in y units
+	}
+	return last
+}
+
+// Eval returns the fitted curve h(g(t)).
+func (c *CurveCalibrator) Eval(t float64) float64 {
+	return c.theta0 + (c.theta1-c.theta0)*c.CalibratorZ(t)
+}
+
+// CalibratorZ exposes the calibrator output z in [0,1] — the dashed line
+// of Figure 3(a).
+func (c *CurveCalibrator) CalibratorZ(t float64) float64 {
+	tp := autodiff.NewTape()
+	z := c.cal.apply(tp, tp.Input(tensor.FromRows([][]float64{{t}}))).Scalar()
+	if z < 0 {
+		return 0
+	}
+	if z > 1 {
+		return 1
+	}
+	return z
+}
+
+// Keypoints returns the fixed calibrator keypoints (equally spaced).
+func (c *CurveCalibrator) Keypoints() []float64 {
+	return append([]float64(nil), c.cal.keypoints...)
+}

@@ -1,0 +1,198 @@
+package dln
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"selnet/internal/vecdata"
+)
+
+func makeQueries(rng *rand.Rand, n, dim int) []vecdata.Query {
+	qs := make([]vecdata.Query, n)
+	for i := range qs {
+		x := make([]float64, dim)
+		for j := range x {
+			x[j] = rng.NormFloat64()
+		}
+		tt := rng.Float64() * 2
+		qs[i] = vecdata.Query{X: x, T: tt, Y: math.Max(1, 30*tt+4*x[0])}
+	}
+	return qs
+}
+
+func TestIsotonicProject(t *testing.T) {
+	vals := []float64{3, 1, 2, 5, 4}
+	isotonicProject(vals)
+	for i := 1; i < len(vals); i++ {
+		if vals[i] < vals[i-1]-1e-12 {
+			t.Fatalf("not isotonic: %v", vals)
+		}
+	}
+	// PAV preserves the mean.
+	var sum float64
+	for _, v := range vals {
+		sum += v
+	}
+	if math.Abs(sum-15) > 1e-9 {
+		t.Fatalf("projection changed the sum: %v", sum)
+	}
+	// Already-sorted input is unchanged.
+	sorted := []float64{1, 2, 3}
+	isotonicProject(sorted)
+	if sorted[0] != 1 || sorted[1] != 2 || sorted[2] != 3 {
+		t.Fatalf("sorted input modified: %v", sorted)
+	}
+}
+
+func TestIsotonicProjectProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(20)
+		vals := make([]float64, n)
+		for i := range vals {
+			vals[i] = rng.NormFloat64()
+		}
+		cp := append([]float64(nil), vals...)
+		isotonicProject(cp)
+		if !sort.Float64sAreSorted(cp) {
+			return false
+		}
+		// Projection cannot be farther from vals than the best sorted
+		// candidate (e.g. the fully pooled mean vector).
+		var mean float64
+		for _, v := range vals {
+			mean += v
+		}
+		mean /= float64(n)
+		var dProj, dMean float64
+		for i := range vals {
+			dProj += (cp[i] - vals[i]) * (cp[i] - vals[i])
+			dMean += (mean - vals[i]) * (mean - vals[i])
+		}
+		return dProj <= dMean+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDLNMonotoneInT(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	train := makeQueries(rng, 300, 3)
+	cfg := DefaultConfig()
+	cfg.Epochs = 15
+	cfg.NumLattices = 4
+	cfg.LatticeDim = 2
+	cfg.EmbedDim = 4
+	m := New(rng, 3, cfg)
+	m.Fit(train)
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		x := []float64{r.NormFloat64(), r.NormFloat64(), r.NormFloat64()}
+		t1 := r.Float64() * 2
+		t2 := t1 + r.Float64()*2
+		return m.Estimate(x, t1) <= m.Estimate(x, t2)+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+	if !m.ConsistencyGuaranteed() || m.Name() != "DLN" {
+		t.Fatalf("metadata wrong")
+	}
+}
+
+func TestDLNLearnsSomething(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	train := makeQueries(rng, 400, 3)
+	cfg := DefaultConfig()
+	cfg.Epochs = 30
+	m := New(rng, 3, cfg)
+	m.Fit(train)
+	// After training, predictions must be positively correlated with t
+	// (the dominant signal), i.e. clearly better than a constant.
+	test := makeQueries(rng, 80, 3)
+	var mapeModel, mapeConst, meanY float64
+	for _, q := range test {
+		meanY += q.Y
+	}
+	meanY /= float64(len(test))
+	for _, q := range test {
+		mapeModel += math.Abs(m.Estimate(q.X, q.T)-q.Y) / q.Y
+		mapeConst += math.Abs(meanY-q.Y) / q.Y
+	}
+	if mapeModel >= mapeConst {
+		t.Fatalf("DLN (MAPE %v) no better than constant predictor (MAPE %v)",
+			mapeModel/80, mapeConst/80)
+	}
+}
+
+func TestDLNEstimateNonNegative(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	train := makeQueries(rng, 100, 2)
+	cfg := DefaultConfig()
+	cfg.Epochs = 3
+	m := New(rng, 2, cfg)
+	m.Fit(train)
+	for i := 0; i < 20; i++ {
+		if v := m.Estimate([]float64{rng.NormFloat64(), rng.NormFloat64()}, rng.Float64()*2); v < 0 {
+			t.Fatalf("negative estimate %v", v)
+		}
+	}
+}
+
+func TestCalibratorKeypointsFixedAndEquallySpaced(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	c := newCalibrator(rng, "c", 0, 10, 6, true)
+	want := []float64{0, 2, 4, 6, 8, 10}
+	for i, k := range c.keypoints {
+		if math.Abs(k-want[i]) > 1e-12 {
+			t.Fatalf("keypoint %d = %v, want %v (Sec 6.2: DLN keypoints are equally spaced)", i, k, want[i])
+		}
+	}
+}
+
+func TestDLNFitPanicsOnEmpty(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	m := New(rng, 2, DefaultConfig())
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("expected panic")
+		}
+	}()
+	m.Fit(nil)
+}
+
+func TestLatticeProjectionAfterFit(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	train := makeQueries(rng, 150, 2)
+	cfg := DefaultConfig()
+	cfg.Epochs = 5
+	m := New(rng, 2, cfg)
+	m.Fit(train)
+	// All lattice vertex values must be (approximately) monotone along
+	// every dimension after the final projection.
+	for _, theta := range m.lattices {
+		row := theta.Value.Row(0)
+		for j := 0; j < m.cfg.LatticeDim; j++ {
+			for _, pr := range latticeEdgePairsForTest(m.cfg.LatticeDim, j) {
+				if row[pr[1]] < row[pr[0]]-1e-6 {
+					t.Fatalf("lattice not monotone along dim %d: %v < %v", j, row[pr[1]], row[pr[0]])
+				}
+			}
+		}
+	}
+}
+
+func latticeEdgePairsForTest(m, j int) [][2]int {
+	verts := 1 << uint(m)
+	var pairs [][2]int
+	for c := 0; c < verts; c++ {
+		if c&(1<<uint(j)) == 0 {
+			pairs = append(pairs, [2]int{c, c | 1<<uint(j)})
+		}
+	}
+	return pairs
+}

@@ -1,0 +1,154 @@
+// Package experiments reproduces every table and figure of the paper's
+// evaluation (Sec. 7). Each Run* function regenerates one artifact:
+//
+//	Tables 1-4   RunAccuracyTable        accuracy per dataset setting
+//	Table 5      RunMonotonicityTable    empirical monotonicity
+//	Table 6      RunAblationTable        SelNet vs SelNet-ct vs SelNet-ad-ct
+//	Table 7      RunTimingTable          average estimation time
+//	Table 8      RunControlPointSweep    errors vs number of control points
+//	Table 9      RunPartitionSizeSweep   errors vs partition size
+//	Table 10     RunPartitionMethodTable CT vs RP vs KM
+//	Table 11     RunBetaWorkloadTable    Beta(3, 2.5) thresholds
+//	Figure 3     RunFigure3              PWL vs simplified-DLN curve fit
+//	Figure 4     RunFigure4              learned control points per query
+//	Figure 5     RunFigure5              update stream error trajectory
+//
+// plus the design-choice ablations called out in DESIGN.md
+// (RunTauTransformAblation, RunLossAblation, RunTrainingModeAblation).
+//
+// Experiments run at a configurable scale; QuickConfig targets seconds
+// per table (used by the repository's benchmarks) and FullConfig targets
+// the fidelity run of cmd/benchrunner. Absolute numbers differ from the
+// paper (synthetic data, scaled sizes, pure-Go training) — EXPERIMENTS.md
+// records how the paper's qualitative shape is reproduced.
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	"selnet/internal/distance"
+	"selnet/internal/vecdata"
+)
+
+// Config scales every experiment.
+type Config struct {
+	Seed int64
+	// Database scale.
+	N   int
+	Dim int
+	// Workload scale: NumQueries query vectors with W thresholds each.
+	NumQueries int
+	W          int
+	// Deep-model training budget.
+	Epochs int
+	// Tree count for the GBM baselines.
+	GBMTrees int
+	// Sample budget for KDE and LSH (the paper uses 2000).
+	SampleBudget int
+	// Table 5 scale.
+	MonoQueries    int
+	MonoThresholds int
+	// Table 8 sweep values (number of interior control points L).
+	LValues []int
+	// Table 9 sweep values (partition sizes K).
+	KValues []int
+	// Figure 5 scale.
+	UpdateOps       int
+	UpdateBatchSize int
+}
+
+// QuickConfig returns a scale designed for seconds-per-table; the
+// repository's benchmarks use it.
+func QuickConfig() Config {
+	return Config{
+		Seed: 1, N: 2000, Dim: 16, NumQueries: 100, W: 8,
+		Epochs: 30, GBMTrees: 40, SampleBudget: 64,
+		MonoQueries: 10, MonoThresholds: 25,
+		LValues:   []int{4, 8, 16, 24},
+		KValues:   []int{1, 3, 6, 9},
+		UpdateOps: 8, UpdateBatchSize: 5,
+	}
+}
+
+// FullConfig returns the fidelity scale used by cmd/benchrunner.
+func FullConfig() Config {
+	return Config{
+		Seed: 1, N: 8000, Dim: 32, NumQueries: 200, W: 10,
+		Epochs: 60, GBMTrees: 80, SampleBudget: 200,
+		MonoQueries: 50, MonoThresholds: 60,
+		LValues:   []int{4, 10, 20, 32},
+		KValues:   []int{1, 3, 6, 9},
+		UpdateOps: 20, UpdateBatchSize: 5,
+	}
+}
+
+// Settings lists the four dataset settings of Sec. 7.1 in table order.
+var Settings = []string{"fasttext-cos", "fasttext-l2", "face-cos", "youtube-cos"}
+
+// Env is one prepared dataset setting: the database, its workload and the
+// 80/10/10 query splits.
+type Env struct {
+	Setting string
+	DB      *vecdata.Database
+	TMax    float64
+	Train   []vecdata.Query
+	Valid   []vecdata.Query
+	Test    []vecdata.Query
+}
+
+// NewEnv builds the synthetic stand-in for a paper setting and its
+// geometric-selectivity workload (Appendix B.1).
+func NewEnv(cfg Config, setting string) *Env {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	db := buildDatabase(rng, cfg, setting)
+	wl := vecdata.GeometricWorkload(rng, db, cfg.NumQueries, cfg.W)
+	return newEnvFromWorkload(cfg, setting, db, wl)
+}
+
+// NewBetaEnv builds the Sec. 7.9 workload: fasttext-cos queries with
+// thresholds drawn from Beta(3, 2.5), scaled to the geometric workload's
+// threshold range so selectivities span the same distances.
+func NewBetaEnv(cfg Config) *Env {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	db := buildDatabase(rng, cfg, "fasttext-cos")
+	// Probe the threshold scale with a small geometric workload first.
+	probe := vecdata.GeometricWorkload(rng, db, min(cfg.NumQueries, 10), cfg.W)
+	wl := vecdata.BetaThresholdWorkload(rng, db, cfg.NumQueries, cfg.W, 3, 2.5, probe.TMax)
+	return newEnvFromWorkload(cfg, "fasttext-cos/beta", db, wl)
+}
+
+func newEnvFromWorkload(cfg Config, setting string, db *vecdata.Database, wl *vecdata.Workload) *Env {
+	rng := rand.New(rand.NewSource(cfg.Seed + 17))
+	train, valid, test := wl.Split(rng)
+	return &Env{
+		Setting: setting,
+		DB:      db,
+		TMax:    wl.TMax,
+		Train:   train,
+		Valid:   valid,
+		Test:    test,
+	}
+}
+
+func buildDatabase(rng *rand.Rand, cfg Config, setting string) *vecdata.Database {
+	switch setting {
+	case "fasttext-cos":
+		return vecdata.SyntheticFasttext(rng, cfg.N, cfg.Dim, distance.Cosine)
+	case "fasttext-l2":
+		return vecdata.SyntheticFasttext(rng, cfg.N, cfg.Dim, distance.Euclidean)
+	case "face-cos":
+		return vecdata.SyntheticFace(rng, cfg.N, cfg.Dim)
+	case "youtube-cos":
+		return vecdata.SyntheticYouTube(rng, cfg.N, cfg.Dim)
+	default:
+		panic(fmt.Sprintf("experiments: unknown setting %q", setting))
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,251 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"strings"
+
+	"selnet/internal/dln"
+	"selnet/internal/metrics"
+	"selnet/internal/selnet"
+	"selnet/internal/vecdata"
+)
+
+// Figure3Result holds both models' fits of y = exp(t)/10 on [0, 10] with
+// 8 control points (paper Figure 3 / Sec. 6.2).
+type Figure3Result struct {
+	Ts          []float64 // evaluation grid
+	GroundTruth []float64
+	PWLFit      []float64 // "Our Model" (b)
+	DLNFit      []float64 // simplified DLN (a)
+	PWLTau      []float64 // learned control point positions
+	PWLP        []float64
+	DLNKeys     []float64 // fixed calibrator keypoints
+	PWLRMSE     float64   // range-normalized RMSE
+	DLNRMSE     float64
+}
+
+// RunFigure3 fits both models to 80 random samples of the exponential
+// curve and evaluates them on a dense grid.
+func RunFigure3(cfg Config) Figure3Result {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	curve := func(t float64) float64 { return math.Exp(t) / 10 }
+	const tmax = 10.0
+	ts := make([]float64, 80)
+	ys := make([]float64, 80)
+	for i := range ts {
+		ts[i] = rng.Float64() * tmax
+		ys[i] = curve(ts[i])
+	}
+	pwl := selnet.NewCurveFitter(rng, 8, tmax)
+	// Staged learning-rate decay: control-point positions settle at the
+	// high rate, heights refine at the low rates.
+	pwl.Fit(ts, ys, 4000, 0.1)
+	pwl.Fit(ts, ys, 4000, 0.02)
+	pwl.Fit(ts, ys, 4000, 0.005)
+	cal := dln.NewCurveCalibrator(rng, 8, tmax)
+	cal.Fit(ts, ys, 9000, 0.05)
+
+	res := Figure3Result{DLNKeys: cal.Keypoints()}
+	res.PWLTau, res.PWLP = pwl.ControlPoints()
+	var sseP, sseD float64
+	for t := 0.0; t <= tmax+1e-9; t += 0.1 {
+		y := curve(t)
+		p := pwl.Eval(t)
+		d := cal.Eval(t)
+		res.Ts = append(res.Ts, t)
+		res.GroundTruth = append(res.GroundTruth, y)
+		res.PWLFit = append(res.PWLFit, p)
+		res.DLNFit = append(res.DLNFit, d)
+		sseP += (p - y) * (p - y)
+		sseD += (d - y) * (d - y)
+	}
+	n := float64(len(res.Ts))
+	res.PWLRMSE = math.Sqrt(sseP/n) / curve(tmax)
+	res.DLNRMSE = math.Sqrt(sseD/n) / curve(tmax)
+	return res
+}
+
+// String renders the figure as a comparison table plus control points.
+func (r Figure3Result) String() string {
+	var b strings.Builder
+	b.WriteString("Figure 3: fitting y = exp(t)/10 with 8 control points\n")
+	fmt.Fprintf(&b, "range-normalized RMSE: our model %.4f, simplified DLN %.4f\n", r.PWLRMSE, r.DLNRMSE)
+	fmt.Fprintf(&b, "our model control points (tau): %s\n", fmtFloats(r.PWLTau))
+	fmt.Fprintf(&b, "DLN calibrator keypoints (fixed): %s\n", fmtFloats(r.DLNKeys))
+	fmt.Fprintf(&b, "%8s %12s %12s %12s\n", "t", "truth", "our model", "DLN")
+	for i := 0; i < len(r.Ts); i += 10 {
+		fmt.Fprintf(&b, "%8.1f %12.2f %12.2f %12.2f\n", r.Ts[i], r.GroundTruth[i], r.PWLFit[i], r.DLNFit[i])
+	}
+	return b.String()
+}
+
+// Figure4Query is the per-query data of Figure 4: the true selectivity
+// curve and both variants' control points.
+type Figure4Query struct {
+	Grid     []float64 // thresholds
+	Truth    []float64 // exact selectivity at each grid point
+	CtTau    []float64 // SelNet-ct control points for this query
+	CtP      []float64
+	AdTau    []float64 // SelNet-ad-ct control points (same for all queries)
+	AdP      []float64
+	CtErrMAE float64 // MAE of each variant along the grid
+	AdErrMAE float64
+}
+
+// Figure4Result reproduces Figure 4: control points learned by SelNet-ct
+// and SelNet-ad-ct for two random fasttext-cos queries.
+type Figure4Result struct {
+	Queries []Figure4Query
+}
+
+// RunFigure4 trains the two ablations on fasttext-cos and dumps the
+// control points for two random test queries. Like Table 6, it uses the
+// dense-curve workload: the figure contrasts how the variants place
+// control points along one query's curve.
+func RunFigure4(cfg Config) Figure4Result {
+	cfg = denseCurveConfig(cfg)
+	env := NewEnv(cfg, "fasttext-cos")
+	ct := BuildSelNetCT(cfg, env, true)
+	ad := BuildSelNetCT(cfg, env, false)
+	rng := rand.New(rand.NewSource(cfg.Seed + 4))
+	// Collect distinct query vectors (the dense workload repeats each
+	// vector once per threshold).
+	var distinct [][]float64
+	seen := map[string]bool{}
+	for _, q := range env.Test {
+		k := fmt.Sprintf("%.12g|%.12g", q.X[0], q.X[len(q.X)-1])
+		if !seen[k] {
+			seen[k] = true
+			distinct = append(distinct, q.X)
+		}
+	}
+	rng.Shuffle(len(distinct), func(i, j int) { distinct[i], distinct[j] = distinct[j], distinct[i] })
+	var res Figure4Result
+	for qi := 0; qi < 2 && qi < len(distinct); qi++ {
+		x := distinct[qi]
+		q := Figure4Query{}
+		q.CtTau, q.CtP = ct.ControlPoints(x)
+		q.AdTau, q.AdP = ad.ControlPoints(x)
+		dists := env.DB.DistancesTo(x)
+		for t := 0.0; t <= env.TMax+1e-9; t += env.TMax / 40 {
+			truth := countWithinSorted(dists, t)
+			q.Grid = append(q.Grid, t)
+			q.Truth = append(q.Truth, truth)
+			q.CtErrMAE += math.Abs(ct.Estimate(x, t) - truth)
+			q.AdErrMAE += math.Abs(ad.Estimate(x, t) - truth)
+		}
+		q.CtErrMAE /= float64(len(q.Grid))
+		q.AdErrMAE /= float64(len(q.Grid))
+		res.Queries = append(res.Queries, q)
+	}
+	return res
+}
+
+func countWithinSorted(dists []float64, t float64) float64 {
+	var c float64
+	for _, d := range dists {
+		if d <= t {
+			c++
+		}
+	}
+	return c
+}
+
+// String renders the control-point dumps.
+func (r Figure4Result) String() string {
+	var b strings.Builder
+	b.WriteString("Figure 4: learned control points on fasttext-cos\n")
+	for i, q := range r.Queries {
+		fmt.Fprintf(&b, "query %d:\n", i+1)
+		fmt.Fprintf(&b, "  SelNet-ct    tau: %s\n", fmtFloats(q.CtTau))
+		fmt.Fprintf(&b, "  SelNet-ad-ct tau: %s\n", fmtFloats(q.AdTau))
+		fmt.Fprintf(&b, "  curve MAE: SelNet-ct %.2f vs SelNet-ad-ct %.2f\n", q.CtErrMAE, q.AdErrMAE)
+	}
+	return b.String()
+}
+
+// Figure5Point is the error after one update operation.
+type Figure5Point struct {
+	Op        int
+	MSE       float64
+	MAPE      float64
+	Retrained bool
+}
+
+// Figure5Result reproduces Figure 5: error trajectory of SelNet under a
+// stream of insert/delete operations with incremental learning.
+type Figure5Result struct {
+	Setting string
+	Points  []Figure5Point
+}
+
+// RunFigure5 runs the update stream on one cosine setting (the paper uses
+// face-cos and fasttext-cos; call twice to get both).
+func RunFigure5(cfg Config, setting string) Figure5Result {
+	env := NewEnv(cfg, setting)
+	est := BuildSelNet(cfg, env, SelNetOptions{K: 3})
+	tc := selnet.DefaultTrainConfig()
+	tc.Epochs = cfg.Epochs
+	tc.Seed = cfg.Seed
+	uc := selnet.DefaultUpdateConfig()
+	uc.MaxEpochs = max(cfg.Epochs/4, 3)
+	// Track drift against the MAE recorded at the last (re)training, as in
+	// Sec. 5.4 ("the difference between the original MAE and the new one").
+	uc.BaselineMAE = est.MAE(env.Valid)
+	rng := rand.New(rand.NewSource(cfg.Seed + 55))
+	res := Figure5Result{Setting: setting}
+	db := env.DB
+	ops := vecdata.UpdateStream(rng, cfg.UpdateOps, cfg.UpdateBatchSize, func(r *rand.Rand) []float64 {
+		return vecdata.SampleLike(r, db, 0.05)
+	})
+	for i, op := range ops {
+		// Apply to the database and register with the model's clusters.
+		if len(op.Insert) > 0 {
+			db.Insert(op.Insert...)
+			est.ApplyInsert(op.Insert)
+		} else {
+			n := op.Delete
+			if n > db.Size()-1 {
+				n = db.Size() - 1
+			}
+			idx := rng.Perm(db.Size())[:n]
+			deleted := make([][]float64, 0, n)
+			for _, di := range idx {
+				deleted = append(deleted, append([]float64(nil), db.Vecs[di]...))
+			}
+			db.Delete(idx...)
+			est.ApplyDelete(deleted)
+		}
+		upd := est.HandleUpdate(tc, uc, db, env.Train, env.Valid)
+		if upd.Retrained {
+			uc.BaselineMAE = upd.MAEAfter
+		}
+		vecdata.Relabel(env.Test, db)
+		errs := metrics.Evaluate(est, env.Test)
+		res.Points = append(res.Points, Figure5Point{
+			Op: i + 1, MSE: errs.MSE, MAPE: errs.MAPE, Retrained: upd.Retrained,
+		})
+	}
+	return res
+}
+
+// String renders the error trajectory.
+func (r Figure5Result) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 5: data update on %s\n", r.Setting)
+	fmt.Fprintf(&b, "%6s %14s %10s %10s\n", "op", "MSE", "MAPE", "retrained")
+	for _, p := range r.Points {
+		fmt.Fprintf(&b, "%6d %14.4g %10.3f %10v\n", p.Op, p.MSE, p.MAPE, p.Retrained)
+	}
+	return b.String()
+}
+
+func fmtFloats(vals []float64) string {
+	parts := make([]string, len(vals))
+	for i, v := range vals {
+		parts[i] = fmt.Sprintf("%.3f", v)
+	}
+	return "[" + strings.Join(parts, " ") + "]"
+}

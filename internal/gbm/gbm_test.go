@@ -1,0 +1,246 @@
+package gbm
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"selnet/internal/vecdata"
+)
+
+func TestBinnerBasic(t *testing.T) {
+	x := [][]float64{{1}, {2}, {3}, {4}, {5}, {6}, {7}, {8}}
+	b := newBinner(x, 4)
+	if len(b.uppers[0]) < 2 {
+		t.Fatalf("too few bins: %d", len(b.uppers[0]))
+	}
+	// Bins are ordered and the last upper bound is +inf.
+	u := b.uppers[0]
+	for i := 1; i < len(u); i++ {
+		if u[i] <= u[i-1] {
+			t.Fatalf("bin uppers not strictly increasing: %v", u)
+		}
+	}
+	if !math.IsInf(u[len(u)-1], 1) {
+		t.Fatalf("last bin must catch all values")
+	}
+	// Binning is monotone in the value.
+	prev := -1
+	for v := 0.0; v <= 9; v += 0.5 {
+		bin := b.bin(0, v)
+		if bin < prev {
+			t.Fatalf("bin index decreased")
+		}
+		prev = bin
+	}
+}
+
+func TestBinnerConstantFeature(t *testing.T) {
+	x := [][]float64{{5}, {5}, {5}}
+	b := newBinner(x, 8)
+	// A constant feature collapses to a single catch-all bin; it can never
+	// be split on.
+	if got := b.bin(0, 5); got != len(b.uppers[0])-1 && b.uppers[0][got] < 5 {
+		t.Fatalf("constant feature binning broken")
+	}
+}
+
+func TestMedian(t *testing.T) {
+	if median([]float64{3, 1, 2}) != 2 {
+		t.Fatalf("odd median wrong")
+	}
+	if median([]float64{4, 1, 2, 3}) != 2.5 {
+		t.Fatalf("even median wrong")
+	}
+}
+
+// The GBDT must fit a deterministic function of one feature.
+func TestTrainFitsSimpleFunction(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	n := 500
+	x := make([][]float64, n)
+	y := make([]float64, n)
+	for i := range x {
+		v := rng.Float64() * 10
+		x[i] = []float64{v}
+		y[i] = math.Exp(v / 3) // smooth increasing target
+	}
+	cfg := DefaultConfig()
+	cfg.NumTrees = 80
+	m := Train(cfg, x, y, 1e-3)
+	if m.NumTrees() == 0 {
+		t.Fatalf("no trees learned")
+	}
+	// Relative error on training points should be small.
+	var mape float64
+	for i := range x {
+		p := m.Predict(x[i], 1e-3)
+		mape += math.Abs(p-y[i]) / y[i]
+	}
+	mape /= float64(n)
+	if mape > 0.2 {
+		t.Fatalf("training MAPE %v too high", mape)
+	}
+}
+
+func TestPredictNonNegative(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	n := 100
+	x := make([][]float64, n)
+	y := make([]float64, n)
+	for i := range x {
+		x[i] = []float64{rng.NormFloat64()}
+		y[i] = 0.01 // tiny targets push log predictions negative
+	}
+	m := Train(DefaultConfig(), x, y, 1e-3)
+	for i := 0; i < 20; i++ {
+		if p := m.Predict([]float64{rng.NormFloat64() * 3}, 1e-3); p < 0 {
+			t.Fatalf("negative prediction %v", p)
+		}
+	}
+}
+
+// Monotone-constrained model must be non-decreasing in the constrained
+// feature for any fixed values of the others.
+func TestMonotoneConstraintHolds(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	n := 800
+	x := make([][]float64, n)
+	y := make([]float64, n)
+	for i := range x {
+		a := rng.NormFloat64()
+		tt := rng.Float64() * 5
+		x[i] = []float64{a, tt}
+		// Noisy increasing-in-t target.
+		y[i] = math.Max(0.1, 10*tt+5*a+rng.NormFloat64()*8)
+	}
+	cfg := DefaultConfig()
+	cfg.Monotone = []int8{0, 1}
+	m := Train(cfg, x, y, 1e-3)
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a := r.NormFloat64()
+		t1 := r.Float64() * 5
+		t2 := t1 + r.Float64()*3
+		return m.PredictLog([]float64{a, t1}) <= m.PredictLog([]float64{a, t2})+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// The unconstrained model on the same noisy data typically violates
+// monotonicity somewhere — demonstrating the constraint is doing work.
+func TestUnconstrainedCanViolate(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	n := 400
+	x := make([][]float64, n)
+	y := make([]float64, n)
+	for i := range x {
+		tt := rng.Float64() * 5
+		x[i] = []float64{rng.NormFloat64(), tt}
+		y[i] = math.Max(0.1, 10*tt+rng.NormFloat64()*30) // heavy noise
+	}
+	m := Train(DefaultConfig(), x, y, 1e-3)
+	violated := false
+	for seed := int64(0); seed < 500 && !violated; seed++ {
+		r := rand.New(rand.NewSource(seed))
+		a := r.NormFloat64()
+		t1 := r.Float64() * 5
+		t2 := t1 + r.Float64()*0.5
+		if m.PredictLog([]float64{a, t1}) > m.PredictLog([]float64{a, t2})+1e-9 {
+			violated = true
+		}
+	}
+	if !violated {
+		t.Skip("unconstrained model happened to be monotone on this seed")
+	}
+}
+
+func TestMinLeafRespected(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	n := 40
+	x := make([][]float64, n)
+	y := make([]float64, n)
+	for i := range x {
+		x[i] = []float64{rng.Float64()}
+		y[i] = rng.Float64() * 100
+	}
+	cfg := DefaultConfig()
+	cfg.MinLeaf = 25 // only one split could ever satisfy 2*25 > 40 => none
+	cfg.NumTrees = 3
+	m := Train(cfg, x, y, 1e-3)
+	for _, tree := range m.trees {
+		if !tree.leaf {
+			t.Fatalf("tree split despite MinLeaf bound")
+		}
+	}
+}
+
+func TestTrainPanicsOnEmpty(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("expected panic")
+		}
+	}()
+	Train(DefaultConfig(), nil, nil, 1e-3)
+}
+
+func makeQueries(rng *rand.Rand, n, dim int) []vecdata.Query {
+	qs := make([]vecdata.Query, n)
+	for i := range qs {
+		x := make([]float64, dim)
+		for j := range x {
+			x[j] = rng.NormFloat64()
+		}
+		tt := rng.Float64() * 2
+		qs[i] = vecdata.Query{X: x, T: tt, Y: math.Max(1, 50*tt+10*x[0])}
+	}
+	return qs
+}
+
+func TestSelectivityEstimatorEndToEnd(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	train := makeQueries(rng, 600, 3)
+	cfg := DefaultConfig()
+	cfg.NumTrees = 40
+	est := FitSelectivity(cfg, train, false)
+	if est.Name() != "LightGBM" {
+		t.Fatalf("Name = %q", est.Name())
+	}
+	if est.ConsistencyGuaranteed() {
+		t.Fatalf("plain LightGBM must not claim consistency")
+	}
+	// Error on a held-out query should be in the right ballpark.
+	var mape float64
+	test := makeQueries(rng, 100, 3)
+	for _, q := range test {
+		p := est.Estimate(q.X, q.T)
+		mape += math.Abs(p-q.Y) / q.Y
+	}
+	if mape/100 > 1.0 {
+		t.Fatalf("test MAPE %v too high", mape/100)
+	}
+}
+
+func TestSelectivityEstimatorMonotonic(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	train := makeQueries(rng, 500, 3)
+	cfg := DefaultConfig()
+	cfg.NumTrees = 30
+	est := FitSelectivity(cfg, train, true)
+	if est.Name() != "LightGBM-m" || !est.ConsistencyGuaranteed() {
+		t.Fatalf("monotone estimator misreports: %q", est.Name())
+	}
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		x := []float64{r.NormFloat64(), r.NormFloat64(), r.NormFloat64()}
+		t1 := r.Float64() * 2
+		t2 := t1 + r.Float64()
+		return est.Estimate(x, t1) <= est.Estimate(x, t2)+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

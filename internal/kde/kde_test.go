@@ -1,0 +1,205 @@
+package kde
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"selnet/internal/distance"
+	"selnet/internal/vecdata"
+)
+
+func testDB(seed int64, n, dim int, dist distance.Func) *vecdata.Database {
+	rng := rand.New(rand.NewSource(seed))
+	vecs := make([][]float64, n)
+	for i := range vecs {
+		v := make([]float64, dim)
+		for j := range v {
+			v[j] = rng.NormFloat64()
+		}
+		if dist == distance.Cosine {
+			v = distance.Normalize(v)
+		}
+		vecs[i] = v
+	}
+	return vecdata.NewDatabase("t", dist, vecs)
+}
+
+func TestKthSmallest(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 20; trial++ {
+		n := 1 + rng.Intn(50)
+		vals := make([]float64, n)
+		for i := range vals {
+			vals[i] = rng.NormFloat64()
+		}
+		k := 1 + rng.Intn(n)
+		cp := append([]float64(nil), vals...)
+		got := kthSmallest(cp, k)
+		sort.Float64s(vals)
+		if got != vals[k-1] {
+			t.Fatalf("kthSmallest(%d) = %v, want %v", k, got, vals[k-1])
+		}
+	}
+}
+
+func TestNormalCDF(t *testing.T) {
+	if got := normalCDF(0); math.Abs(got-0.5) > 1e-12 {
+		t.Fatalf("Phi(0) = %v", got)
+	}
+	if got := normalCDF(10); got < 0.999999 {
+		t.Fatalf("Phi(10) = %v", got)
+	}
+	if got := normalCDF(-10); got > 1e-6 {
+		t.Fatalf("Phi(-10) = %v", got)
+	}
+}
+
+func TestEstimateMonotoneInT(t *testing.T) {
+	db := testDB(2, 300, 4, distance.Euclidean)
+	rng := rand.New(rand.NewSource(3))
+	est := Fit(rng, db, Config{SampleSize: 100, BandwidthK: 5, MinBandwidth: 1e-4})
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		x := db.Vecs[r.Intn(db.Size())]
+		t1 := r.Float64() * 3
+		t2 := t1 + r.Float64()*2
+		return est.Estimate(x, t1) <= est.Estimate(x, t2)+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEstimateAccuracyOnFullSample(t *testing.T) {
+	// With the whole database as sample and tiny bandwidths, KDE approaches
+	// the exact count away from kernel boundaries.
+	db := testDB(4, 200, 3, distance.Euclidean)
+	rng := rand.New(rand.NewSource(5))
+	est := Fit(rng, db, Config{SampleSize: 200, BandwidthK: 1, MinBandwidth: 1e-6})
+	x := db.Vecs[0]
+	for _, threshold := range []float64{1.0, 2.0, 3.0} {
+		exact := db.Selectivity(x, threshold)
+		got := est.Estimate(x, threshold)
+		if math.Abs(got-exact) > 0.25*exact+5 {
+			t.Fatalf("KDE estimate %v too far from exact %v at t=%v", got, exact, threshold)
+		}
+	}
+}
+
+func TestEstimateBounds(t *testing.T) {
+	db := testDB(6, 150, 4, distance.Euclidean)
+	rng := rand.New(rand.NewSource(7))
+	est := Fit(rng, db, DefaultConfig())
+	x := db.Vecs[3]
+	if got := est.Estimate(x, 0); got < 0 {
+		t.Fatalf("negative estimate %v", got)
+	}
+	if got := est.Estimate(x, 1e6); got > float64(db.Size())*1.01 {
+		t.Fatalf("estimate %v exceeds database size", got)
+	}
+	if got := est.Estimate(x, 1e6); got < float64(db.Size())*0.9 {
+		t.Fatalf("huge threshold should count nearly everything, got %v", got)
+	}
+}
+
+func TestSampleSizeClamped(t *testing.T) {
+	db := testDB(8, 20, 3, distance.Euclidean)
+	rng := rand.New(rand.NewSource(9))
+	est := Fit(rng, db, Config{SampleSize: 1000, BandwidthK: 5, MinBandwidth: 1e-4})
+	if len(est.samples) != 20 {
+		t.Fatalf("sample size %d, want clamped to 20", len(est.samples))
+	}
+	if est.scale != 1 {
+		t.Fatalf("scale = %v, want 1", est.scale)
+	}
+}
+
+func TestNameAndConsistency(t *testing.T) {
+	db := testDB(10, 30, 2, distance.Euclidean)
+	est := Fit(rand.New(rand.NewSource(11)), db, DefaultConfig())
+	if est.Name() != "KDE" {
+		t.Fatalf("Name = %q", est.Name())
+	}
+	if !est.ConsistencyGuaranteed() {
+		t.Fatalf("KDE must report guaranteed consistency")
+	}
+}
+
+func TestFitTunedImprovesOverUntuned(t *testing.T) {
+	// Clustered data with small thresholds: the raw adaptive bandwidths
+	// (sample kNN distances) are far wider than the query radii, so the
+	// untuned KDE badly overestimates small selectivities. Tuning the
+	// global multiplier on training queries must help.
+	rng := rand.New(rand.NewSource(30))
+	n, dim := 800, 6
+	vecs := make([][]float64, n)
+	for i := range vecs {
+		center := float64(rng.Intn(5)) * 3
+		v := make([]float64, dim)
+		for j := range v {
+			v[j] = center + rng.NormFloat64()*0.3
+		}
+		vecs[i] = v
+	}
+	db := vecdata.NewDatabase("clustered", distance.Euclidean, vecs)
+	wl := vecdata.GeometricWorkload(rng, db, 20, 5)
+	cfg := Config{SampleSize: 60, BandwidthK: 8, MinBandwidth: 1e-4}
+	untuned := Fit(rand.New(rand.NewSource(31)), db, cfg)
+	tuned := FitTuned(rand.New(rand.NewSource(31)), db, cfg, wl.Queries)
+	logErr := func(e *Estimator) float64 {
+		var s float64
+		for _, q := range wl.Queries {
+			r := math.Log(q.Y+1) - math.Log(e.Estimate(q.X, q.T)+1)
+			s += r * r
+		}
+		return s
+	}
+	if logErr(tuned) > logErr(untuned) {
+		t.Fatalf("tuning worsened the log error: %v > %v", logErr(tuned), logErr(untuned))
+	}
+}
+
+func TestFitTunedStaysMonotone(t *testing.T) {
+	db := testDB(32, 300, 4, distance.Euclidean)
+	rng := rand.New(rand.NewSource(33))
+	wl := vecdata.GeometricWorkload(rng, db, 10, 4)
+	est := FitTuned(rng, db, Config{SampleSize: 60, BandwidthK: 5, MinBandwidth: 1e-4}, wl.Queries)
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		x := db.Vecs[r.Intn(db.Size())]
+		t1 := r.Float64() * 3
+		t2 := t1 + r.Float64()*2
+		return est.Estimate(x, t1) <= est.Estimate(x, t2)+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFitTunedNoQueriesIsUntuned(t *testing.T) {
+	db := testDB(34, 100, 3, distance.Euclidean)
+	a := Fit(rand.New(rand.NewSource(35)), db, DefaultConfig())
+	b := FitTuned(rand.New(rand.NewSource(35)), db, DefaultConfig(), nil)
+	x := db.Vecs[0]
+	if a.Estimate(x, 1.0) != b.Estimate(x, 1.0) {
+		t.Fatalf("FitTuned without queries must equal Fit")
+	}
+}
+
+func TestCosineSetting(t *testing.T) {
+	db := testDB(12, 200, 5, distance.Cosine)
+	rng := rand.New(rand.NewSource(13))
+	est := Fit(rng, db, Config{SampleSize: 100, BandwidthK: 5, MinBandwidth: 1e-4})
+	x := db.Vecs[0]
+	small := est.Estimate(x, 0.01)
+	large := est.Estimate(x, 1.5)
+	if small > large {
+		t.Fatalf("cosine KDE not monotone: %v > %v", small, large)
+	}
+	if large < float64(db.Size())/2 {
+		t.Fatalf("t=1.5 should cover most of the sphere, got %v", large)
+	}
+}

@@ -1,0 +1,162 @@
+package lshsampling
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"selnet/internal/distance"
+	"selnet/internal/vecdata"
+)
+
+func cosDB(seed int64, n, dim int) *vecdata.Database {
+	rng := rand.New(rand.NewSource(seed))
+	vecs := make([][]float64, n)
+	for i := range vecs {
+		v := make([]float64, dim)
+		for j := range v {
+			v[j] = rng.NormFloat64()
+		}
+		vecs[i] = distance.Normalize(v)
+	}
+	return vecdata.NewDatabase("cos", distance.Cosine, vecs)
+}
+
+func TestBuildRejectsEuclidean(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	vecs := [][]float64{{1, 2}, {3, 4}}
+	db := vecdata.NewDatabase("l2", distance.Euclidean, vecs)
+	if _, err := Build(rng, db, DefaultConfig()); err == nil {
+		t.Fatalf("expected error for Euclidean distance")
+	}
+}
+
+func TestBuildRejectsBadBits(t *testing.T) {
+	db := cosDB(2, 10, 4)
+	rng := rand.New(rand.NewSource(3))
+	for _, bad := range []int{0, 65, -1} {
+		cfg := DefaultConfig()
+		cfg.Bits = bad
+		if _, err := Build(rng, db, cfg); err == nil {
+			t.Fatalf("expected error for Bits=%d", bad)
+		}
+	}
+}
+
+func TestSignatureSimilarVectorsCollide(t *testing.T) {
+	db := cosDB(4, 50, 16)
+	rng := rand.New(rand.NewSource(5))
+	est, err := Build(rng, db, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A vector hashed twice gives the same signature.
+	if est.signature(db.Vecs[0]) != est.signature(db.Vecs[0]) {
+		t.Fatalf("signature not deterministic")
+	}
+	// A tiny perturbation rarely flips many bits.
+	v := append([]float64(nil), db.Vecs[0]...)
+	v[0] += 1e-9
+	a, b := est.signature(db.Vecs[0]), est.signature(v)
+	if hamming(a, b) > 2 {
+		t.Fatalf("near-identical vectors differ in %d bits", hamming(a, b))
+	}
+}
+
+func hamming(a, b uint64) int {
+	x := a ^ b
+	n := 0
+	for x != 0 {
+		n += int(x & 1)
+		x >>= 1
+	}
+	return n
+}
+
+func TestEstimateMonotoneInT(t *testing.T) {
+	db := cosDB(6, 400, 8)
+	rng := rand.New(rand.NewSource(7))
+	est, err := Build(rng, db, Config{Bits: 12, SampleBudget: 200, DecayRate: 0.35, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		x := db.Vecs[r.Intn(db.Size())]
+		t1 := r.Float64()
+		t2 := t1 + r.Float64()
+		return est.Estimate(x, t1) <= est.Estimate(x, t2)+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEstimateExactWhenBudgetCoversDatabase(t *testing.T) {
+	db := cosDB(8, 150, 6)
+	rng := rand.New(rand.NewSource(9))
+	// Budget far above n: every stratum is fully enumerated, estimate is exact.
+	est, err := Build(rng, db, Config{Bits: 10, SampleBudget: 10000, DecayRate: 0.35, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for trial := 0; trial < 10; trial++ {
+		x := db.Vecs[trial]
+		threshold := 0.1 + 0.1*float64(trial)
+		exact := db.Selectivity(x, threshold)
+		got := est.Estimate(x, threshold)
+		if math.Abs(got-exact) > 1e-9 {
+			t.Fatalf("full-budget estimate %v != exact %v", got, exact)
+		}
+	}
+}
+
+func TestEstimateUnbiasedOnAverage(t *testing.T) {
+	db := cosDB(10, 500, 8)
+	x := db.Vecs[0]
+	const threshold = 0.4
+	exact := db.Selectivity(x, threshold)
+	// Average over independent samplers (different seeds).
+	var sum float64
+	const reps = 30
+	for s := int64(0); s < reps; s++ {
+		rng := rand.New(rand.NewSource(11))
+		est, err := Build(rng, db, Config{Bits: 12, SampleBudget: 100, DecayRate: 0.35, Seed: 100 + s})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sum += est.Estimate(x, threshold)
+	}
+	mean := sum / reps
+	if math.Abs(mean-exact) > 0.35*exact+10 {
+		t.Fatalf("mean estimate %v too far from exact %v", mean, exact)
+	}
+}
+
+func TestEstimateDeterministicPerQuery(t *testing.T) {
+	db := cosDB(12, 200, 8)
+	rng := rand.New(rand.NewSource(13))
+	est, err := Build(rng, db, Config{Bits: 12, SampleBudget: 150, DecayRate: 0.35, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := db.Vecs[17]
+	if est.Estimate(x, 0.3) != est.Estimate(x, 0.3) {
+		t.Fatalf("repeated estimates differ")
+	}
+}
+
+func TestNameAndConsistency(t *testing.T) {
+	db := cosDB(14, 50, 4)
+	est, err := Build(rand.New(rand.NewSource(15)), db, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.Name() != "LSH" {
+		t.Fatalf("Name = %q", est.Name())
+	}
+	if !est.ConsistencyGuaranteed() {
+		t.Fatalf("LSH must report guaranteed consistency")
+	}
+}

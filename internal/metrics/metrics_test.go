@@ -1,0 +1,116 @@
+package metrics
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"selnet/internal/vecdata"
+)
+
+func TestMSEMAEMAPE(t *testing.T) {
+	pred := []float64{2, 4, 6}
+	label := []float64{1, 4, 8}
+	if got := MSE(pred, label); math.Abs(got-(1.0+0+4)/3) > 1e-12 {
+		t.Fatalf("MSE = %v", got)
+	}
+	if got := MAE(pred, label); math.Abs(got-(1.0+0+2)/3) > 1e-12 {
+		t.Fatalf("MAE = %v", got)
+	}
+	want := (1.0/1 + 0 + 2.0/8) / 3
+	if got := MAPE(pred, label); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("MAPE = %v, want %v", got, want)
+	}
+}
+
+func TestMAPESkipsZeroLabels(t *testing.T) {
+	if got := MAPE([]float64{5, 3}, []float64{0, 3}); got != 0 {
+		t.Fatalf("MAPE with zero label = %v", got)
+	}
+}
+
+func TestPerfectPredictions(t *testing.T) {
+	y := []float64{1, 10, 100}
+	if MSE(y, y) != 0 || MAE(y, y) != 0 || MAPE(y, y) != 0 {
+		t.Fatalf("perfect predictions must give zero errors")
+	}
+}
+
+func TestLengthMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("expected panic")
+		}
+	}()
+	MSE([]float64{1}, []float64{1, 2})
+}
+
+// fakeEstimator returns a fixed function of (x, t).
+type fakeEstimator struct {
+	f    func(x []float64, t float64) float64
+	name string
+}
+
+func (f *fakeEstimator) Estimate(x []float64, t float64) float64 { return f.f(x, t) }
+func (f *fakeEstimator) Name() string                            { return f.name }
+
+func TestEvaluate(t *testing.T) {
+	est := &fakeEstimator{name: "const", f: func(x []float64, t float64) float64 { return 5 }}
+	queries := []vecdata.Query{
+		{X: []float64{0}, T: 1, Y: 5},
+		{X: []float64{0}, T: 2, Y: 10},
+	}
+	e := Evaluate(est, queries)
+	if e.MSE != 12.5 || e.MAE != 2.5 {
+		t.Fatalf("Evaluate = %+v", e)
+	}
+}
+
+func TestEmpiricalMonotonicityPerfect(t *testing.T) {
+	est := &fakeEstimator{name: "mono", f: func(x []float64, tt float64) float64 { return tt * 10 }}
+	rng := rand.New(rand.NewSource(1))
+	vecs := [][]float64{{0}, {1}, {2}}
+	score := EmpiricalMonotonicity(rng, est, vecs, 3, 20, 1.0)
+	if score != 100 {
+		t.Fatalf("monotone estimator score = %v, want 100", score)
+	}
+}
+
+func TestEmpiricalMonotonicityViolations(t *testing.T) {
+	// A strictly decreasing estimator violates every pair.
+	est := &fakeEstimator{name: "anti", f: func(x []float64, tt float64) float64 { return -tt }}
+	rng := rand.New(rand.NewSource(2))
+	score := EmpiricalMonotonicity(rng, est, [][]float64{{0}}, 1, 30, 1.0)
+	if score > 1 {
+		t.Fatalf("anti-monotone estimator score = %v, want about 0", score)
+	}
+	// A noisy estimator lands in between.
+	noisy := &fakeEstimator{name: "noisy", f: func(x []float64, tt float64) float64 {
+		return tt + 0.5*math.Sin(tt*50)
+	}}
+	s2 := EmpiricalMonotonicity(rng, noisy, [][]float64{{0}}, 1, 50, 1.0)
+	if s2 <= 1 || s2 >= 100 {
+		t.Fatalf("noisy estimator score = %v, want strictly between 0 and 100", s2)
+	}
+}
+
+func TestAvgEstimationTimePositive(t *testing.T) {
+	est := &fakeEstimator{name: "x", f: func(x []float64, tt float64) float64 {
+		s := 0.0
+		for i := 0; i < 100; i++ {
+			s += math.Sqrt(float64(i))
+		}
+		return s
+	}}
+	queries := make([]vecdata.Query, 50)
+	for i := range queries {
+		queries[i] = vecdata.Query{X: []float64{0}, T: 1, Y: 1}
+	}
+	ms := AvgEstimationTime(est, queries)
+	if ms <= 0 {
+		t.Fatalf("AvgEstimationTime = %v", ms)
+	}
+	if AvgEstimationTime(est, nil) != 0 {
+		t.Fatalf("empty queries should give 0")
+	}
+}

@@ -1,0 +1,40 @@
+package metrics
+
+// This file implements the similarity-function extension of the paper's
+// Definition 1: "it is easy to extend it to consider d as a similarity
+// function: we only need to change <= to >= in the above definition."
+// For cosine similarity the two formulations are linked by
+// sim(u, v) = 1 - cosdist(u, v), so a similarity threshold s corresponds
+// to the distance threshold t = 1 - s.
+
+// SimilarityEstimator answers similarity-threshold selectivity queries:
+// the number of objects with similarity at least s.
+type SimilarityEstimator interface {
+	// EstimateSimilarity returns the estimated |{o : sim(x, o) >= s}|.
+	EstimateSimilarity(x []float64, s float64) float64
+	// Name returns the model's display name.
+	Name() string
+}
+
+// CosineSimilarityAdapter converts a distance-threshold estimator trained
+// under cosine *distance* into a similarity-threshold estimator. If the
+// underlying estimator is consistent (non-decreasing in t), the adapted
+// one is consistent in the similarity sense: non-increasing in s.
+type CosineSimilarityAdapter struct {
+	Base Estimator
+}
+
+// EstimateSimilarity maps sim >= s to cosdist <= 1-s and delegates.
+func (a CosineSimilarityAdapter) EstimateSimilarity(x []float64, s float64) float64 {
+	return a.Base.Estimate(x, 1-s)
+}
+
+// Name returns the underlying model's name with a similarity tag.
+func (a CosineSimilarityAdapter) Name() string { return a.Base.Name() + "(sim)" }
+
+// ConsistencyGuaranteed reports whether the underlying estimator
+// guarantees monotonicity (which the adapter inherits, reversed).
+func (a CosineSimilarityAdapter) ConsistencyGuaranteed() bool {
+	c, ok := a.Base.(Consistent)
+	return ok && c.ConsistencyGuaranteed()
+}

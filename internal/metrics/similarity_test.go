@@ -1,0 +1,56 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// monotoneFake is a consistent distance-threshold estimator.
+type monotoneFake struct{}
+
+func (monotoneFake) Estimate(x []float64, t float64) float64 { return 100 * t }
+func (monotoneFake) Name() string                            { return "mono" }
+func (monotoneFake) ConsistencyGuaranteed() bool             { return true }
+
+func TestCosineSimilarityAdapterMapping(t *testing.T) {
+	a := CosineSimilarityAdapter{Base: monotoneFake{}}
+	// sim >= 0.8 corresponds to cosdist <= 0.2.
+	if got := a.EstimateSimilarity(nil, 0.8); math.Abs(got-100*0.2) > 1e-12 {
+		t.Fatalf("EstimateSimilarity(0.8) = %v, want 20", got)
+	}
+	if a.Name() != "mono(sim)" {
+		t.Fatalf("Name = %q", a.Name())
+	}
+	if !a.ConsistencyGuaranteed() {
+		t.Fatalf("adapter must inherit the consistency guarantee")
+	}
+}
+
+// A consistent distance estimator yields a similarity estimator that is
+// non-increasing in the similarity threshold.
+func TestCosineSimilarityAdapterAntitone(t *testing.T) {
+	a := CosineSimilarityAdapter{Base: monotoneFake{}}
+	f := func(s1, s2 float64) bool {
+		s1 = math.Mod(math.Abs(s1), 1)
+		s2 = math.Mod(math.Abs(s2), 1)
+		if s1 > s2 {
+			s1, s2 = s2, s1
+		}
+		// Higher similarity threshold => fewer matches.
+		return a.EstimateSimilarity(nil, s2) <= a.EstimateSimilarity(nil, s1)+1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCosineSimilarityAdapterInconsistentBase(t *testing.T) {
+	a := CosineSimilarityAdapter{Base: &fakeEstimator{
+		name: "free",
+		f:    func(x []float64, t float64) float64 { return t },
+	}}
+	if a.ConsistencyGuaranteed() {
+		t.Fatalf("adapter over a non-Consistent base must not claim consistency")
+	}
+}

@@ -1,0 +1,355 @@
+// Package nn provides the neural-network building blocks shared by SelNet
+// and the deep baselines: parameterized linear layers, feed-forward stacks,
+// weight initialization, the Adam and SGD optimizers, and an autoencoder
+// module. It builds on the tape-based autodiff engine; a module's Apply
+// method wires its parameters into the caller's tape for one forward pass.
+package nn
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"selnet/internal/autodiff"
+	"selnet/internal/tensor"
+)
+
+// Param is one trainable tensor with persistent gradient storage and Adam
+// moment estimates.
+type Param struct {
+	Name  string
+	Value *tensor.Dense
+	Grad  *tensor.Dense
+
+	m, v *tensor.Dense // Adam first/second moments, allocated lazily
+}
+
+// NewParam allocates a zeroed parameter of the given shape.
+func NewParam(name string, rows, cols int) *Param {
+	return &Param{
+		Name:  name,
+		Value: tensor.New(rows, cols),
+		Grad:  tensor.New(rows, cols),
+	}
+}
+
+// Node wires the parameter into the tape for one forward pass.
+func (p *Param) Node(tp *autodiff.Tape) *autodiff.Node {
+	return tp.Leaf(p.Value, p.Grad)
+}
+
+// ZeroGrad clears accumulated gradients.
+func (p *Param) ZeroGrad() { p.Grad.Zero() }
+
+// Module is anything that exposes trainable parameters.
+type Module interface {
+	Params() []*Param
+}
+
+// ZeroGrads clears gradients on every parameter of the module.
+func ZeroGrads(m Module) {
+	for _, p := range m.Params() {
+		p.ZeroGrad()
+	}
+}
+
+// ----------------------------------------------------------------------------
+// Initialization
+
+// XavierInit fills value with Uniform(-a, a), a = sqrt(6/(fanIn+fanOut)).
+func XavierInit(rng *rand.Rand, value *tensor.Dense, fanIn, fanOut int) {
+	a := math.Sqrt(6 / float64(fanIn+fanOut))
+	for i := range value.Data() {
+		value.Data()[i] = (rng.Float64()*2 - 1) * a
+	}
+}
+
+// HeInit fills value with N(0, sqrt(2/fanIn)), suited to ReLU stacks.
+func HeInit(rng *rand.Rand, value *tensor.Dense, fanIn int) {
+	s := math.Sqrt(2 / float64(fanIn))
+	for i := range value.Data() {
+		value.Data()[i] = rng.NormFloat64() * s
+	}
+}
+
+// ----------------------------------------------------------------------------
+// Layers
+
+// Activation selects the nonlinearity applied after a linear layer.
+type Activation int
+
+// Supported activations.
+const (
+	ActNone Activation = iota
+	ActReLU
+	ActTanh
+	ActSigmoid
+	ActSoftplus
+	ActELU
+)
+
+func applyAct(tp *autodiff.Tape, n *autodiff.Node, a Activation) *autodiff.Node {
+	switch a {
+	case ActNone:
+		return n
+	case ActReLU:
+		return tp.ReLU(n)
+	case ActTanh:
+		return tp.Tanh(n)
+	case ActSigmoid:
+		return tp.Sigmoid(n)
+	case ActSoftplus:
+		return tp.Softplus(n)
+	case ActELU:
+		return tp.ELU(n, 1.0)
+	default:
+		panic(fmt.Sprintf("nn: unknown activation %d", a))
+	}
+}
+
+// Linear is a fully connected layer out = act(x*W + b).
+type Linear struct {
+	W, B *Param
+	Act  Activation
+}
+
+// NewLinear returns a Xavier-initialized layer mapping in -> out features.
+func NewLinear(rng *rand.Rand, name string, in, out int, act Activation) *Linear {
+	l := &Linear{
+		W:   NewParam(name+".W", in, out),
+		B:   NewParam(name+".b", 1, out),
+		Act: act,
+	}
+	if act == ActReLU || act == ActELU {
+		HeInit(rng, l.W.Value, in)
+	} else {
+		XavierInit(rng, l.W.Value, in, out)
+	}
+	return l
+}
+
+// Apply runs the layer on x within the tape.
+func (l *Linear) Apply(tp *autodiff.Tape, x *autodiff.Node) *autodiff.Node {
+	out := tp.AddRow(tp.MatMul(x, l.W.Node(tp)), l.B.Node(tp))
+	return applyAct(tp, out, l.Act)
+}
+
+// Params returns the layer's trainable tensors.
+func (l *Linear) Params() []*Param { return []*Param{l.W, l.B} }
+
+// InDim returns the input feature count.
+func (l *Linear) InDim() int { return l.W.Value.Rows() }
+
+// OutDim returns the output feature count.
+func (l *Linear) OutDim() int { return l.W.Value.Cols() }
+
+// FFN is a stack of Linear layers. Hidden layers share one activation; the
+// output layer has its own (often ActNone).
+type FFN struct {
+	Layers []*Linear
+}
+
+// NewFFN builds a feed-forward network with the given layer sizes.
+// sizes[0] is the input dimension, sizes[len-1] the output dimension.
+func NewFFN(rng *rand.Rand, name string, sizes []int, hidden, out Activation) *FFN {
+	if len(sizes) < 2 {
+		panic("nn: FFN needs at least input and output sizes")
+	}
+	f := &FFN{}
+	for i := 0; i+1 < len(sizes); i++ {
+		act := hidden
+		if i+2 == len(sizes) {
+			act = out
+		}
+		f.Layers = append(f.Layers, NewLinear(rng, fmt.Sprintf("%s.l%d", name, i), sizes[i], sizes[i+1], act))
+	}
+	return f
+}
+
+// Apply runs the stack on x.
+func (f *FFN) Apply(tp *autodiff.Tape, x *autodiff.Node) *autodiff.Node {
+	for _, l := range f.Layers {
+		x = l.Apply(tp, x)
+	}
+	return x
+}
+
+// Params returns all trainable tensors in layer order.
+func (f *FFN) Params() []*Param {
+	var ps []*Param
+	for _, l := range f.Layers {
+		ps = append(ps, l.Params()...)
+	}
+	return ps
+}
+
+// InDim returns the input feature count.
+func (f *FFN) InDim() int { return f.Layers[0].InDim() }
+
+// OutDim returns the output feature count.
+func (f *FFN) OutDim() int { return f.Layers[len(f.Layers)-1].OutDim() }
+
+// ----------------------------------------------------------------------------
+// Optimizers
+
+// Optimizer updates parameters from their accumulated gradients.
+type Optimizer interface {
+	Step(params []*Param)
+}
+
+// Adam implements the Adam optimizer with optional global-norm gradient
+// clipping (ClipNorm <= 0 disables clipping).
+type Adam struct {
+	LR       float64
+	Beta1    float64
+	Beta2    float64
+	Eps      float64
+	ClipNorm float64
+
+	t int
+}
+
+// NewAdam returns Adam with the standard hyper-parameters and the given
+// learning rate.
+func NewAdam(lr float64) *Adam {
+	return &Adam{LR: lr, Beta1: 0.9, Beta2: 0.999, Eps: 1e-8, ClipNorm: 5}
+}
+
+// Step applies one Adam update to every parameter and zeroes gradients.
+func (a *Adam) Step(params []*Param) {
+	a.t++
+	if a.ClipNorm > 0 {
+		clipGlobalNorm(params, a.ClipNorm)
+	}
+	bc1 := 1 - math.Pow(a.Beta1, float64(a.t))
+	bc2 := 1 - math.Pow(a.Beta2, float64(a.t))
+	for _, p := range params {
+		if p.m == nil {
+			p.m = tensor.New(p.Value.Rows(), p.Value.Cols())
+			p.v = tensor.New(p.Value.Rows(), p.Value.Cols())
+		}
+		val, g := p.Value.Data(), p.Grad.Data()
+		m, v := p.m.Data(), p.v.Data()
+		for i, gi := range g {
+			m[i] = a.Beta1*m[i] + (1-a.Beta1)*gi
+			v[i] = a.Beta2*v[i] + (1-a.Beta2)*gi*gi
+			mh := m[i] / bc1
+			vh := v[i] / bc2
+			val[i] -= a.LR * mh / (math.Sqrt(vh) + a.Eps)
+		}
+		p.Grad.Zero()
+	}
+}
+
+// SGD is plain stochastic gradient descent, used in tests and ablations.
+type SGD struct {
+	LR       float64
+	ClipNorm float64
+}
+
+// Step applies one SGD update and zeroes gradients.
+func (s *SGD) Step(params []*Param) {
+	if s.ClipNorm > 0 {
+		clipGlobalNorm(params, s.ClipNorm)
+	}
+	for _, p := range params {
+		tensor.AxpyInPlace(p.Value, -s.LR, p.Grad)
+		p.Grad.Zero()
+	}
+}
+
+func clipGlobalNorm(params []*Param, maxNorm float64) {
+	var total float64
+	for _, p := range params {
+		for _, g := range p.Grad.Data() {
+			total += g * g
+		}
+	}
+	norm := math.Sqrt(total)
+	if norm <= maxNorm || norm == 0 {
+		return
+	}
+	scale := maxNorm / norm
+	for _, p := range params {
+		tensor.ScaleInPlace(p.Grad, scale)
+	}
+}
+
+// ----------------------------------------------------------------------------
+// Autoencoder
+
+// Autoencoder learns a latent representation z of its input (Sec. 5.2 of
+// the paper): SelNet feeds [x; z_x] into its control-point generators, and
+// the reconstruction loss J_AE joins the training objective weighted by
+// lambda.
+type Autoencoder struct {
+	Encoder *FFN
+	Decoder *FFN
+}
+
+// NewAutoencoder builds encoder in->...->latent and the mirrored decoder.
+// hiddens lists the encoder hidden sizes (the paper uses three hidden
+// layers for both halves).
+func NewAutoencoder(rng *rand.Rand, in int, hiddens []int, latent int) *Autoencoder {
+	encSizes := append(append([]int{in}, hiddens...), latent)
+	decSizes := make([]int, 0, len(encSizes))
+	for i := len(encSizes) - 1; i >= 0; i-- {
+		decSizes = append(decSizes, encSizes[i])
+	}
+	return &Autoencoder{
+		Encoder: NewFFN(rng, "ae.enc", encSizes, ActReLU, ActNone),
+		Decoder: NewFFN(rng, "ae.dec", decSizes, ActReLU, ActNone),
+	}
+}
+
+// Encode returns the latent representation node for x.
+func (a *Autoencoder) Encode(tp *autodiff.Tape, x *autodiff.Node) *autodiff.Node {
+	return a.Encoder.Apply(tp, x)
+}
+
+// ReconstructionLoss returns MSE(decode(encode(x)), x) and the latent node.
+func (a *Autoencoder) ReconstructionLoss(tp *autodiff.Tape, x *autodiff.Node) (loss, latent *autodiff.Node) {
+	latent = a.Encode(tp, x)
+	recon := a.Decoder.Apply(tp, latent)
+	return tp.MSELoss(recon, x), latent
+}
+
+// Params returns encoder and decoder parameters.
+func (a *Autoencoder) Params() []*Param {
+	return append(a.Encoder.Params(), a.Decoder.Params()...)
+}
+
+// LatentDim returns the size of the latent representation.
+func (a *Autoencoder) LatentDim() int { return a.Encoder.OutDim() }
+
+// Pretrain runs epochs of Adam on the reconstruction loss over data rows,
+// in mini-batches of batch rows. It returns the final epoch's mean loss.
+func (a *Autoencoder) Pretrain(rng *rand.Rand, data *tensor.Dense, epochs, batch int, lr float64) float64 {
+	opt := NewAdam(lr)
+	n := data.Rows()
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	var last float64
+	for e := 0; e < epochs; e++ {
+		rng.Shuffle(n, func(i, j int) { idx[i], idx[j] = idx[j], idx[i] })
+		var total float64
+		var batches int
+		for s := 0; s < n; s += batch {
+			end := s + batch
+			if end > n {
+				end = n
+			}
+			xb := tensor.GatherRows(data, idx[s:end])
+			tp := autodiff.NewTape()
+			loss, _ := a.ReconstructionLoss(tp, tp.Input(xb))
+			tp.Backward(loss)
+			opt.Step(a.Params())
+			total += loss.Scalar()
+			batches++
+		}
+		last = total / float64(batches)
+	}
+	return last
+}

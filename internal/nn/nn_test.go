@@ -1,0 +1,279 @@
+package nn
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"testing"
+
+	"selnet/internal/autodiff"
+	"selnet/internal/tensor"
+)
+
+func TestLinearShapes(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	l := NewLinear(rng, "l", 4, 3, ActReLU)
+	if l.InDim() != 4 || l.OutDim() != 3 {
+		t.Fatalf("dims %d->%d", l.InDim(), l.OutDim())
+	}
+	tp := autodiff.NewTape()
+	x := tp.Input(tensor.New(5, 4))
+	out := l.Apply(tp, x)
+	if out.Rows() != 5 || out.Cols() != 3 {
+		t.Fatalf("output %dx%d", out.Rows(), out.Cols())
+	}
+}
+
+func TestFFNShapesAndParams(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	f := NewFFN(rng, "f", []int{6, 8, 8, 2}, ActReLU, ActNone)
+	if len(f.Layers) != 3 {
+		t.Fatalf("layers = %d", len(f.Layers))
+	}
+	if f.InDim() != 6 || f.OutDim() != 2 {
+		t.Fatalf("dims %d->%d", f.InDim(), f.OutDim())
+	}
+	if got := len(f.Params()); got != 6 {
+		t.Fatalf("params = %d, want 6", got)
+	}
+	tp := autodiff.NewTape()
+	out := f.Apply(tp, tp.Input(tensor.New(3, 6)))
+	if out.Rows() != 3 || out.Cols() != 2 {
+		t.Fatalf("output %dx%d", out.Rows(), out.Cols())
+	}
+}
+
+func TestXavierInitRange(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	m := tensor.New(50, 50)
+	XavierInit(rng, m, 50, 50)
+	bound := math.Sqrt(6.0 / 100)
+	for _, v := range m.Data() {
+		if math.Abs(v) > bound {
+			t.Fatalf("xavier value %v exceeds bound %v", v, bound)
+		}
+	}
+	if tensor.MaxAbs(m) < bound/4 {
+		t.Fatalf("xavier values suspiciously small")
+	}
+}
+
+func TestHeInitScale(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	m := tensor.New(100, 100)
+	HeInit(rng, m, 100)
+	var sumsq float64
+	for _, v := range m.Data() {
+		sumsq += v * v
+	}
+	std := math.Sqrt(sumsq / float64(m.Size()))
+	want := math.Sqrt(2.0 / 100)
+	if std < want*0.8 || std > want*1.2 {
+		t.Fatalf("He std = %v, want about %v", std, want)
+	}
+}
+
+// A tiny FFN trained with Adam must fit y = 2x + 1 on scalars.
+func TestAdamFitsLinearFunction(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	f := NewFFN(rng, "f", []int{1, 8, 1}, ActTanh, ActNone)
+	opt := NewAdam(0.01)
+	x := tensor.New(32, 1)
+	y := tensor.New(32, 1)
+	for i := 0; i < 32; i++ {
+		v := rng.Float64()*2 - 1
+		x.Set(i, 0, v)
+		y.Set(i, 0, 2*v+1)
+	}
+	var loss float64
+	for epoch := 0; epoch < 800; epoch++ {
+		tp := autodiff.NewTape()
+		out := f.Apply(tp, tp.Input(x))
+		l := tp.MSELoss(out, tp.Input(y))
+		tp.Backward(l)
+		opt.Step(f.Params())
+		loss = l.Scalar()
+	}
+	if loss > 2e-3 {
+		t.Fatalf("Adam failed to fit linear function, final loss %v", loss)
+	}
+}
+
+func TestSGDReducesLoss(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	f := NewFFN(rng, "f", []int{2, 4, 1}, ActTanh, ActNone)
+	opt := &SGD{LR: 0.05, ClipNorm: 5}
+	x := tensor.FromRows([][]float64{{0.5, -0.2}, {-0.7, 0.9}, {0.1, 0.1}})
+	y := tensor.FromRows([][]float64{{1}, {-1}, {0}})
+	first := -1.0
+	var last float64
+	for i := 0; i < 200; i++ {
+		tp := autodiff.NewTape()
+		out := f.Apply(tp, tp.Input(x))
+		l := tp.MSELoss(out, tp.Input(y))
+		tp.Backward(l)
+		opt.Step(f.Params())
+		if first < 0 {
+			first = l.Scalar()
+		}
+		last = l.Scalar()
+	}
+	if last >= first {
+		t.Fatalf("SGD did not reduce loss: %v -> %v", first, last)
+	}
+}
+
+func TestGradientClipping(t *testing.T) {
+	p := NewParam("p", 1, 2)
+	p.Grad.Set(0, 0, 30)
+	p.Grad.Set(0, 1, 40) // norm 50
+	clipGlobalNorm([]*Param{p}, 5)
+	if got := tensor.Norm2(p.Grad); math.Abs(got-5) > 1e-9 {
+		t.Fatalf("clipped norm = %v, want 5", got)
+	}
+	// Norm below the cap must be untouched.
+	p.Grad.Set(0, 0, 1)
+	p.Grad.Set(0, 1, 0)
+	clipGlobalNorm([]*Param{p}, 5)
+	if p.Grad.At(0, 0) != 1 {
+		t.Fatalf("small gradient was modified")
+	}
+}
+
+func TestAdamBiasCorrection(t *testing.T) {
+	// With bias correction, the very first Adam step has magnitude close
+	// to the learning rate regardless of the gradient scale.
+	for _, g := range []float64{1e-4, 1.0, 1e4} {
+		p := NewParam("p", 1, 1)
+		p.Grad.Set(0, 0, g)
+		opt := NewAdam(0.1)
+		opt.ClipNorm = 0 // isolate the Adam update itself
+		opt.Step([]*Param{p})
+		step := math.Abs(p.Value.At(0, 0))
+		if step < 0.09 || step > 0.11 {
+			t.Fatalf("first step for grad %v = %v, want about 0.1", g, step)
+		}
+	}
+}
+
+func TestAdamStepZeroesGrads(t *testing.T) {
+	p := NewParam("p", 1, 1)
+	p.Grad.Set(0, 0, 1)
+	NewAdam(0.1).Step([]*Param{p})
+	if p.Grad.At(0, 0) != 0 {
+		t.Fatalf("Adam.Step must zero gradients")
+	}
+	if p.Value.At(0, 0) == 0 {
+		t.Fatalf("Adam.Step must update values")
+	}
+}
+
+func TestAutoencoderReconstruction(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	// Data on a 2-D subspace of R^6: the AE should compress it well.
+	n, d := 64, 6
+	data := tensor.New(n, d)
+	for i := 0; i < n; i++ {
+		a, b := rng.NormFloat64(), rng.NormFloat64()
+		for j := 0; j < d; j++ {
+			data.Set(i, j, a*float64(j+1)/6+b*math.Sin(float64(j)))
+		}
+	}
+	ae := NewAutoencoder(rng, d, []int{16, 8}, 2)
+	if ae.LatentDim() != 2 {
+		t.Fatalf("latent dim %d", ae.LatentDim())
+	}
+	final := ae.Pretrain(rng, data, 150, 16, 0.005)
+	if final > 0.05 {
+		t.Fatalf("AE reconstruction loss too high: %v", final)
+	}
+	// Latent must have the right shape.
+	tp := autodiff.NewTape()
+	z := ae.Encode(tp, tp.Input(data))
+	if z.Rows() != n || z.Cols() != 2 {
+		t.Fatalf("latent %dx%d", z.Rows(), z.Cols())
+	}
+}
+
+func TestSaveLoadParamsRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	f := NewFFN(rng, "f", []int{3, 5, 2}, ActReLU, ActNone)
+	var buf bytes.Buffer
+	if err := SaveParams(&buf, f.Params()); err != nil {
+		t.Fatal(err)
+	}
+	g := NewFFN(rand.New(rand.NewSource(99)), "g", []int{3, 5, 2}, ActReLU, ActNone)
+	if err := LoadParams(&buf, g.Params()); err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range f.Params() {
+		if !tensor.EqualApprox(p.Value, g.Params()[i].Value, 0) {
+			t.Fatalf("param %d not restored", i)
+		}
+	}
+}
+
+func TestLoadParamsShapeMismatch(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	f := NewFFN(rng, "f", []int{3, 5, 2}, ActReLU, ActNone)
+	var buf bytes.Buffer
+	if err := SaveParams(&buf, f.Params()); err != nil {
+		t.Fatal(err)
+	}
+	g := NewFFN(rng, "g", []int{3, 7, 2}, ActReLU, ActNone)
+	if err := LoadParams(&buf, g.Params()); err == nil {
+		t.Fatalf("expected shape mismatch error")
+	}
+}
+
+func TestLoadParamsCountMismatch(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	f := NewFFN(rng, "f", []int{3, 5, 2}, ActReLU, ActNone)
+	var buf bytes.Buffer
+	if err := SaveParams(&buf, f.Params()); err != nil {
+		t.Fatal(err)
+	}
+	g := NewFFN(rng, "g", []int{3, 5, 5, 2}, ActReLU, ActNone)
+	if err := LoadParams(&buf, g.Params()); err == nil {
+		t.Fatalf("expected count mismatch error")
+	}
+}
+
+func TestZeroGrads(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	f := NewFFN(rng, "f", []int{2, 3, 1}, ActReLU, ActNone)
+	for _, p := range f.Params() {
+		p.Grad.Fill(3)
+	}
+	ZeroGrads(f)
+	for _, p := range f.Params() {
+		if tensor.MaxAbs(p.Grad) != 0 {
+			t.Fatalf("gradient not zeroed")
+		}
+	}
+}
+
+func TestActivationsApplied(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	// ReLU output must be non-negative.
+	l := NewLinear(rng, "l", 3, 4, ActReLU)
+	tp := autodiff.NewTape()
+	x := tensor.New(8, 3)
+	for i := range x.Data() {
+		x.Data()[i] = rng.NormFloat64() * 3
+	}
+	out := l.Apply(tp, tp.Input(x))
+	for _, v := range out.Value.Data() {
+		if v < 0 {
+			t.Fatalf("ReLU output negative: %v", v)
+		}
+	}
+	// Sigmoid output in (0, 1).
+	l2 := NewLinear(rng, "l2", 3, 4, ActSigmoid)
+	out2 := l2.Apply(tp, tp.Input(x))
+	for _, v := range out2.Value.Data() {
+		if v <= 0 || v >= 1 {
+			t.Fatalf("sigmoid output out of range: %v", v)
+		}
+	}
+}

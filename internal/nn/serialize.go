@@ -1,0 +1,52 @@
+package nn
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+
+	"selnet/internal/tensor"
+)
+
+// paramBlob is the gob wire form of one parameter.
+type paramBlob struct {
+	Name       string
+	Rows, Cols int
+	Data       []float64
+}
+
+// SaveParams writes the values of params to w in gob format. Only values
+// are persisted; optimizer state and gradients are not.
+func SaveParams(w io.Writer, params []*Param) error {
+	blobs := make([]paramBlob, len(params))
+	for i, p := range params {
+		blobs[i] = paramBlob{
+			Name: p.Name,
+			Rows: p.Value.Rows(),
+			Cols: p.Value.Cols(),
+			Data: append([]float64(nil), p.Value.Data()...),
+		}
+	}
+	return gob.NewEncoder(w).Encode(blobs)
+}
+
+// LoadParams reads parameter values from r into params. The stream must
+// contain the same number of parameters with matching shapes, in order.
+func LoadParams(r io.Reader, params []*Param) error {
+	var blobs []paramBlob
+	if err := gob.NewDecoder(r).Decode(&blobs); err != nil {
+		return fmt.Errorf("nn: decode params: %w", err)
+	}
+	if len(blobs) != len(params) {
+		return fmt.Errorf("nn: parameter count mismatch: stream has %d, model has %d", len(blobs), len(params))
+	}
+	for i, b := range blobs {
+		p := params[i]
+		if b.Rows != p.Value.Rows() || b.Cols != p.Value.Cols() {
+			return fmt.Errorf("nn: parameter %d (%s) shape mismatch: stream %dx%d, model %dx%d",
+				i, b.Name, b.Rows, b.Cols, p.Value.Rows(), p.Value.Cols())
+		}
+		p.Value.CopyFrom(tensor.FromSlice(b.Rows, b.Cols, b.Data))
+	}
+	return nil
+}

@@ -1,0 +1,210 @@
+package partition
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"selnet/internal/distance"
+	"selnet/internal/vecdata"
+)
+
+func testDB(seed int64, n, dim int, dist distance.Func) *vecdata.Database {
+	rng := rand.New(rand.NewSource(seed))
+	vecs := make([][]float64, n)
+	for i := range vecs {
+		v := make([]float64, dim)
+		for j := range v {
+			v[j] = rng.NormFloat64()
+		}
+		if dist == distance.Cosine {
+			v = distance.Normalize(v)
+		}
+		vecs[i] = v
+	}
+	return vecdata.NewDatabase("t", dist, vecs)
+}
+
+func TestAllMethodsValidate(t *testing.T) {
+	for _, method := range []Method{CoverTree, Random, KMeans} {
+		for _, dist := range []distance.Func{distance.Euclidean, distance.Cosine} {
+			db := testDB(7, 300, 4, dist)
+			rng := rand.New(rand.NewSource(8))
+			p := Build(rng, db, 3, 0.2, method)
+			if err := p.Validate(db); err != nil {
+				t.Fatalf("%v/%v: %v", method, dist, err)
+			}
+			if p.K() < 1 || p.K() > 3 {
+				t.Fatalf("%v/%v: K = %d", method, dist, p.K())
+			}
+		}
+	}
+}
+
+func TestCoverTreeClustersRoughlyBalanced(t *testing.T) {
+	db := testDB(9, 600, 4, distance.Euclidean)
+	rng := rand.New(rand.NewSource(10))
+	p := Build(rng, db, 3, 0.1, CoverTree)
+	if p.K() != 3 {
+		t.Fatalf("K = %d", p.K())
+	}
+	// Greedy merge of <=0.1*600=60-point regions into the smallest cluster
+	// bounds the imbalance by one region.
+	min, max := db.Size(), 0
+	for _, c := range p.Clusters {
+		if len(c.Members) < min {
+			min = len(c.Members)
+		}
+		if len(c.Members) > max {
+			max = len(c.Members)
+		}
+	}
+	if max-min > 60 {
+		t.Fatalf("imbalance %d exceeds region bound", max-min)
+	}
+}
+
+func TestRandomIndicatorAllOnes(t *testing.T) {
+	db := testDB(11, 100, 3, distance.Euclidean)
+	rng := rand.New(rand.NewSource(12))
+	p := Build(rng, db, 4, 0.1, Random)
+	ind := p.Indicator(db.Vecs[0], 0.001)
+	for i, b := range ind {
+		if !b {
+			t.Fatalf("random indicator[%d] = false", i)
+		}
+	}
+}
+
+// The indicator must never miss a cluster that actually contains matches:
+// if f_c(x,t)[i] = 0, then no point of cluster i is within t of x.
+func TestIndicatorSoundness(t *testing.T) {
+	for _, dist := range []distance.Func{distance.Euclidean, distance.Cosine} {
+		for _, method := range []Method{CoverTree, KMeans} {
+			db := testDB(13, 300, 4, dist)
+			rng := rand.New(rand.NewSource(14))
+			p := Build(rng, db, 4, 0.1, method)
+			f := func(seed int64) bool {
+				r2 := rand.New(rand.NewSource(seed))
+				x := db.Vecs[r2.Intn(db.Size())]
+				var threshold float64
+				if dist == distance.Cosine {
+					threshold = r2.Float64() * 0.5
+				} else {
+					threshold = r2.Float64() * 2
+				}
+				ind := p.Indicator(x, threshold)
+				for ci, c := range p.Clusters {
+					if ind[ci] {
+						continue
+					}
+					for _, m := range c.Members {
+						if dist.Distance(x, db.Vecs[m]) <= threshold {
+							return false // missed a match
+						}
+					}
+				}
+				return true
+			}
+			if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+				t.Fatalf("%v/%v: %v", method, dist, err)
+			}
+		}
+	}
+}
+
+// A query point from the database must always activate the cluster that
+// contains it.
+func TestIndicatorActivatesOwnCluster(t *testing.T) {
+	db := testDB(15, 200, 4, distance.Euclidean)
+	rng := rand.New(rand.NewSource(16))
+	p := Build(rng, db, 3, 0.15, CoverTree)
+	owner := map[int]int{}
+	for ci, c := range p.Clusters {
+		for _, m := range c.Members {
+			owner[m] = ci
+		}
+	}
+	for i := 0; i < db.Size(); i += 7 {
+		ind := p.Indicator(db.Vecs[i], 0)
+		if !ind[owner[i]] {
+			t.Fatalf("point %d does not activate its own cluster", i)
+		}
+	}
+}
+
+func TestIndicatorMonotoneInThreshold(t *testing.T) {
+	db := testDB(17, 200, 4, distance.Euclidean)
+	rng := rand.New(rand.NewSource(18))
+	p := Build(rng, db, 4, 0.1, KMeans)
+	x := db.Vecs[0]
+	prev := p.Indicator(x, 0.1)
+	for _, threshold := range []float64{0.5, 1, 2, 5} {
+		cur := p.Indicator(x, threshold)
+		for i := range cur {
+			if prev[i] && !cur[i] {
+				t.Fatalf("indicator lost a cluster as t grew")
+			}
+		}
+		prev = cur
+	}
+}
+
+func TestKEqualsOneSingleCluster(t *testing.T) {
+	db := testDB(19, 50, 3, distance.Euclidean)
+	rng := rand.New(rand.NewSource(20))
+	p := Build(rng, db, 1, 0.2, CoverTree)
+	if p.K() != 1 {
+		t.Fatalf("K = %d", p.K())
+	}
+	if len(p.Clusters[0].Members) != 50 {
+		t.Fatalf("single cluster must hold everything")
+	}
+}
+
+func TestKLargerThanN(t *testing.T) {
+	db := testDB(21, 5, 3, distance.Euclidean)
+	rng := rand.New(rand.NewSource(22))
+	p := Build(rng, db, 50, 0.2, Random)
+	if err := p.Validate(db); err != nil {
+		t.Fatal(err)
+	}
+	if p.K() > 5 {
+		t.Fatalf("K = %d exceeds n", p.K())
+	}
+}
+
+func TestMethodString(t *testing.T) {
+	if CoverTree.String() != "CT" || Random.String() != "RP" || KMeans.String() != "KM" {
+		t.Fatalf("method names wrong: %v %v %v", CoverTree, Random, KMeans)
+	}
+}
+
+func TestBuildPanicsOnBadK(t *testing.T) {
+	db := testDB(23, 10, 2, distance.Euclidean)
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("expected panic")
+		}
+	}()
+	Build(rand.New(rand.NewSource(1)), db, 0, 0.1, CoverTree)
+}
+
+func TestKMeansDeterministicGivenSeed(t *testing.T) {
+	db := testDB(24, 150, 3, distance.Euclidean)
+	p1 := Build(rand.New(rand.NewSource(5)), db, 3, 0.1, KMeans)
+	p2 := Build(rand.New(rand.NewSource(5)), db, 3, 0.1, KMeans)
+	if p1.K() != p2.K() {
+		t.Fatalf("nondeterministic K")
+	}
+	for i := range p1.Clusters {
+		if len(p1.Clusters[i].Members) != len(p2.Clusters[i].Members) {
+			t.Fatalf("nondeterministic cluster sizes")
+		}
+		for j := range p1.Clusters[i].Members {
+			if p1.Clusters[i].Members[j] != p2.Clusters[i].Members[j] {
+				t.Fatalf("nondeterministic membership")
+			}
+		}
+	}
+}

@@ -1,0 +1,114 @@
+package selnet
+
+import (
+	"math"
+	"math/rand"
+
+	"selnet/internal/autodiff"
+	"selnet/internal/nn"
+	"selnet/internal/tensor"
+)
+
+// CurveFitter is the standalone one-dimensional piece-wise linear model
+// used in the paper's Figure 3: it fits a set of (t, y) pairs with
+// NumPoints control points whose positions AND heights are both learned —
+// the property that lets it concentrate control points where the curve
+// bends, unlike a DLN calibrator's fixed equally-spaced keypoints
+// (Sec. 6.2). No query vector is involved; the parameters are free.
+type CurveFitter struct {
+	numPoints int
+	tmax      float64
+	rawTau    *nn.Param // 1 x (numPoints-1) increments through Norml2
+	rawP      *nn.Param // 1 x numPoints increments through Softplus
+	// yScale normalizes targets during fitting so Adam's per-coordinate
+	// step size is not the bottleneck when the curve spans orders of
+	// magnitude; Eval multiplies it back.
+	yScale float64
+}
+
+// NewCurveFitter builds a fitter with the given number of control points
+// covering [0, tmax]. numPoints must be at least 2.
+func NewCurveFitter(rng *rand.Rand, numPoints int, tmax float64) *CurveFitter {
+	if numPoints < 2 {
+		panic("selnet: CurveFitter needs at least 2 control points")
+	}
+	c := &CurveFitter{
+		numPoints: numPoints,
+		tmax:      tmax,
+		rawTau:    nn.NewParam("curvefit.tau", 1, numPoints-1),
+		rawP:      nn.NewParam("curvefit.p", 1, numPoints),
+		yScale:    1,
+	}
+	for j := 0; j < numPoints-1; j++ {
+		c.rawTau.Value.Set(0, j, 1+0.01*rng.NormFloat64())
+	}
+	for j := 0; j < numPoints; j++ {
+		c.rawP.Value.Set(0, j, 0.1*rng.NormFloat64())
+	}
+	return c
+}
+
+// controlNodes assembles the (τ, p) rows tiled to n batch rows.
+// Increments of p go through Softplus rather than ReLU: with free
+// parameters (no query input to keep them alive), ReLU units that go
+// negative would never recover gradient.
+func (c *CurveFitter) controlNodes(tp *autodiff.Tape, n int) (tau, p *autodiff.Node) {
+	deltaTau := tp.Scale(tp.Norml2(c.rawTau.Node(tp), 1e-6), c.tmax)
+	interior := tp.PrefixSumCols(deltaTau)
+	zero := tp.Input(tensor.New(1, 1))
+	tauRow := tp.ConcatCols(zero, interior)
+	pRow := tp.PrefixSumCols(tp.Softplus(c.rawP.Node(tp)))
+	return tp.RepeatRows(tauRow, n), tp.RepeatRows(pRow, n)
+}
+
+// Fit trains the control points on (ts, ys) with MSE on scale-normalized
+// targets (Figure 3 fits the raw curve, not log values). It returns the
+// final loss in original y units squared.
+func (c *CurveFitter) Fit(ts, ys []float64, epochs int, lr float64) float64 {
+	if len(ts) != len(ys) || len(ts) == 0 {
+		panic("selnet: CurveFitter.Fit needs matching non-empty samples")
+	}
+	c.yScale = 1
+	for _, y := range ys {
+		if a := math.Abs(y); a > c.yScale {
+			c.yScale = a
+		}
+	}
+	tcol := tensor.ColVector(ts)
+	ycol := tensor.New(len(ys), 1)
+	for i, y := range ys {
+		ycol.Set(i, 0, y/c.yScale)
+	}
+	opt := nn.NewAdam(lr)
+	params := []*nn.Param{c.rawTau, c.rawP}
+	var last float64
+	for e := 0; e < epochs; e++ {
+		tp := autodiff.NewTape()
+		tau, p := c.controlNodes(tp, len(ts))
+		yhat := tp.PWLInterp(tau, p, tp.Input(tcol))
+		loss := tp.MSELoss(yhat, tp.Input(ycol))
+		tp.Backward(loss)
+		opt.Step(params)
+		last = loss.Scalar()
+	}
+	return last * c.yScale * c.yScale
+}
+
+// Eval returns the fitted curve's value at t.
+func (c *CurveFitter) Eval(t float64) float64 {
+	tp := autodiff.NewTape()
+	tau, p := c.controlNodes(tp, 1)
+	return c.yScale * tp.PWLInterp(tau, p, tp.Input(tensor.FromRows([][]float64{{t}}))).Scalar()
+}
+
+// ControlPoints returns the learned (τ, p) vectors in original y units.
+func (c *CurveFitter) ControlPoints() (tau, p []float64) {
+	tp := autodiff.NewTape()
+	tauN, pN := c.controlNodes(tp, 1)
+	tau = append([]float64(nil), tauN.Value.Row(0)...)
+	p = append([]float64(nil), pN.Value.Row(0)...)
+	for i := range p {
+		p[i] *= c.yScale
+	}
+	return tau, p
+}

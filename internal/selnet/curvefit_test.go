@@ -1,0 +1,118 @@
+package selnet
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// The Figure 3 target: y = exp(t)/10 on [0, 10].
+func fig3Curve(t float64) float64 { return math.Exp(t) / 10 }
+
+func TestCurveFitterFitsExpCurve(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	// 80 random samples, as in the paper.
+	ts := make([]float64, 80)
+	ys := make([]float64, 80)
+	for i := range ts {
+		ts[i] = rng.Float64() * 10
+		ys[i] = fig3Curve(ts[i])
+	}
+	c := NewCurveFitter(rng, 8, 10)
+	c.Fit(ts, ys, 4000, 0.1)
+	c.Fit(ts, ys, 4000, 0.02)
+	c.Fit(ts, ys, 4000, 0.005)
+	// The fit is judged as in Figure 3 — on linear axes over the whole
+	// range: RMSE over a grid, normalized by the curve's range. (MSE
+	// training makes low-t relative error irrelevant, exactly as in the
+	// paper's plot.)
+	var sse float64
+	n := 0
+	for probe := 0.0; probe <= 10; probe += 0.1 {
+		d := c.Eval(probe) - fig3Curve(probe)
+		sse += d * d
+		n++
+	}
+	rmse := math.Sqrt(sse/float64(n)) / fig3Curve(10)
+	if rmse > 0.03 {
+		t.Fatalf("range-normalized RMSE %v too high", rmse)
+	}
+}
+
+// The learned control points must concentrate in the "interesting area"
+// (large t where the exponential changes fast) — the paper's Figure 3
+// claim.
+func TestCurveFitterConcentratesControlPoints(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	ts := make([]float64, 80)
+	ys := make([]float64, 80)
+	for i := range ts {
+		ts[i] = rng.Float64() * 10
+		ys[i] = fig3Curve(ts[i])
+	}
+	c := NewCurveFitter(rng, 8, 10)
+	c.Fit(ts, ys, 4000, 0.1)
+	c.Fit(ts, ys, 4000, 0.02)
+	c.Fit(ts, ys, 4000, 0.005)
+	tau, _ := c.ControlPoints()
+	// Count interior control points in the upper half [5, 10] vs lower.
+	var upper, lower int
+	for _, v := range tau[1 : len(tau)-1] {
+		if v >= 5 {
+			upper++
+		} else {
+			lower++
+		}
+	}
+	if upper <= lower {
+		t.Fatalf("control points not concentrated where the curve bends: %d upper vs %d lower (tau=%v)",
+			upper, lower, tau)
+	}
+}
+
+func TestCurveFitterMonotoneOutput(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	c := NewCurveFitter(rng, 6, 10)
+	// Even untrained, the fitted function must be monotone.
+	prev := math.Inf(-1)
+	for tt := 0.0; tt <= 10; tt += 0.25 {
+		v := c.Eval(tt)
+		if v < prev-1e-9 {
+			t.Fatalf("curve fitter not monotone at %v", tt)
+		}
+		prev = v
+	}
+}
+
+func TestCurveFitterControlPointEndpoints(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	c := NewCurveFitter(rng, 8, 10)
+	tau, p := c.ControlPoints()
+	if len(tau) != 8 || len(p) != 8 {
+		t.Fatalf("expected 8 control points, got %d/%d", len(tau), len(p))
+	}
+	if tau[0] != 0 || math.Abs(tau[7]-10) > 1e-9 {
+		t.Fatalf("tau endpoints wrong: %v", tau)
+	}
+}
+
+func TestCurveFitterPanics(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("expected panic for 1 control point")
+			}
+		}()
+		NewCurveFitter(rng, 1, 10)
+	}()
+	c := NewCurveFitter(rng, 4, 10)
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("expected panic for empty fit data")
+			}
+		}()
+		c.Fit(nil, nil, 10, 0.01)
+	}()
+}

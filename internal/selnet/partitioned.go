@@ -1,0 +1,356 @@
+package selnet
+
+import (
+	"math"
+	"math/rand"
+
+	"selnet/internal/autodiff"
+	"selnet/internal/distance"
+	"selnet/internal/nn"
+	"selnet/internal/partition"
+	"selnet/internal/tensor"
+	"selnet/internal/vecdata"
+)
+
+// PartitionedConfig configures the full SelNet of Sec. 5.3: the database
+// is split into K clusters, one local model is trained per cluster, and
+// the global estimate is the indicator-gated sum of local estimates.
+type PartitionedConfig struct {
+	Model Config
+	// K is the number of clusters (paper default: 3).
+	K int
+	// Ratio is the cover-tree expansion bound r (subtrees with fewer than
+	// Ratio*|D| points are not expanded).
+	Ratio float64
+	// Method selects the partitioning strategy (Table 10).
+	Method partition.Method
+	// Beta weights the local losses in the joint objective (paper: 0.1).
+	Beta float64
+	// PretrainEpochs is T, the per-local pretraining budget before joint
+	// training (paper: 300; scaled here).
+	PretrainEpochs int
+}
+
+// DefaultPartitionedConfig mirrors the paper's defaults at harness scale.
+func DefaultPartitionedConfig() PartitionedConfig {
+	return PartitionedConfig{
+		Model:          DefaultConfig(),
+		K:              3,
+		Ratio:          0.1,
+		Method:         partition.CoverTree,
+		Beta:           0.1,
+		PretrainEpochs: 10,
+	}
+}
+
+// Partitioned is the full SelNet estimator fˆ* = Σ_i f_c(x,t)[i]·fˆ(i).
+type Partitioned struct {
+	pcfg PartitionedConfig
+	dim  int
+	dist distance.Func
+
+	ae     *nn.Autoencoder
+	locals []*Net
+	part   *partition.Partitioning
+	// clusterVecs holds each cluster's member vectors (owned copies), so
+	// local ground truth stays computable across database updates.
+	clusterVecs [][][]float64
+}
+
+// NewPartitioned builds the partitioned estimator over db's current
+// contents. Model networks are initialized; call Fit to train.
+func NewPartitioned(rng *rand.Rand, db *vecdata.Database, pcfg PartitionedConfig) *Partitioned {
+	part := partition.Build(rng, db, pcfg.K, pcfg.Ratio, pcfg.Method)
+	ae := nn.NewAutoencoder(rng, db.Dim, pcfg.Model.AEHidden, pcfg.Model.AELatent)
+	p := &Partitioned{
+		pcfg: pcfg,
+		dim:  db.Dim,
+		dist: db.Dist,
+		ae:   ae,
+		part: part,
+	}
+	for ci, cluster := range part.Clusters {
+		p.locals = append(p.locals, NewNetWithAE(rng, db.Dim, pcfg.Model, ae))
+		vecs := make([][]float64, 0, len(cluster.Members))
+		for _, m := range cluster.Members {
+			vecs = append(vecs, append([]float64(nil), db.Vecs[m]...))
+		}
+		p.clusterVecs = append(p.clusterVecs, vecs)
+		_ = ci
+	}
+	return p
+}
+
+// K returns the number of clusters actually built.
+func (p *Partitioned) K() int { return len(p.locals) }
+
+// localLabel computes the exact selectivity of (x, t) within cluster ci.
+func (p *Partitioned) localLabel(ci int, x []float64, t float64) float64 {
+	var count float64
+	for _, v := range p.clusterVecs[ci] {
+		if p.dist.Distance(x, v) <= t {
+			count++
+		}
+	}
+	return count
+}
+
+// localQueries rewrites a query set with cluster-local labels.
+func (p *Partitioned) localQueries(ci int, queries []vecdata.Query) []vecdata.Query {
+	out := make([]vecdata.Query, len(queries))
+	for i, q := range queries {
+		out[i] = vecdata.Query{X: q.X, T: q.T, Y: p.localLabel(ci, q.X, q.T)}
+	}
+	return out
+}
+
+// Params returns the shared autoencoder parameters once plus every local
+// head's parameters.
+func (p *Partitioned) Params() []*nn.Param {
+	ps := append([]*nn.Param{}, p.ae.Params()...)
+	for _, l := range p.locals {
+		ps = append(ps, l.HeadParams()...)
+	}
+	return ps
+}
+
+// Fit trains the partitioned model: AE pretraining, T epochs of local
+// pretraining per cluster, then joint training with the Sec. 5.3 loss
+//
+//	J_joint = J_est(fˆ*) + β·Σ_i J_est(fˆ(i)) + λ·J_AE,
+//
+// with the indicators f_c precomputed for all training queries.
+func (p *Partitioned) Fit(tc TrainConfig, db *vecdata.Database, train, valid []vecdata.Query) {
+	if len(train) == 0 {
+		panic("selnet: no training queries")
+	}
+	rng := rand.New(rand.NewSource(tc.Seed))
+	p.locals[0].pretrainAE(rng, tc, db)
+
+	// Stage 1: local pretraining on cluster-local labels.
+	localTrain := make([][]vecdata.Query, p.K())
+	for ci := range p.locals {
+		localTrain[ci] = p.localQueries(ci, train)
+		if p.pcfg.PretrainEpochs > 0 {
+			ltc := tc
+			ltc.Epochs = p.pcfg.PretrainEpochs
+			ltc.EvalEvery = 0
+			ltc.AEPretrainEpochs = 0 // already done
+			ltc.Seed = tc.Seed + int64(ci+1)
+			p.locals[ci].Fit(ltc, nil, localTrain[ci], nil)
+		}
+	}
+
+	// Stage 2: joint training.
+	x, t, y := vecdata.Matrices(train)
+	indicators := p.indicatorMatrix(train)
+	localY := make([]*tensor.Dense, p.K())
+	for ci := range localY {
+		_, _, ly := vecdata.Matrices(localTrain[ci])
+		localY[ci] = ly
+	}
+	opt := nn.NewAdam(tc.LR)
+	nTrain := len(train)
+	idx := make([]int, nTrain)
+	for i := range idx {
+		idx[i] = i
+	}
+	var best []*tensor.Dense
+	bestLoss := math.Inf(1)
+	snapshot := func() {
+		if len(valid) == 0 {
+			return
+		}
+		l := p.Loss(tc, valid)
+		if l < bestLoss {
+			bestLoss = l
+			best = best[:0]
+			for _, pr := range p.Params() {
+				best = append(best, pr.Value.Clone())
+			}
+		}
+	}
+	for e := 0; e < tc.Epochs; e++ {
+		rng.Shuffle(nTrain, func(i, j int) { idx[i], idx[j] = idx[j], idx[i] })
+		for s := 0; s < nTrain; s += tc.Batch {
+			end := s + tc.Batch
+			if end > nTrain {
+				end = nTrain
+			}
+			b := idx[s:end]
+			tp := autodiff.NewTape()
+			xb := tp.Input(tensor.GatherRows(x, b))
+			tb := tp.Input(tensor.GatherRows(t, b))
+			yb := tp.Input(tensor.GatherRows(y, b))
+			aeLoss, z := p.ae.ReconstructionLoss(tp, xb)
+			enhanced := tp.ConcatCols(xb, z)
+			var global *autodiff.Node
+			loss := tp.Scale(aeLoss, p.pcfg.Model.Lambda)
+			for ci, l := range p.locals {
+				tau, pp := l.controlPointsFromEnhanced(tp, enhanced)
+				yhat := tp.PWLInterp(tau, pp, tb)
+				lyb := tp.Input(tensor.GatherRows(localY[ci], b))
+				loss = tp.Add(loss, tp.Scale(estLoss(tp, tc, yhat, lyb), p.pcfg.Beta))
+				gated := tp.Mul(yhat, tp.Input(tensor.GatherRows(indicators[ci], b)))
+				if global == nil {
+					global = gated
+				} else {
+					global = tp.Add(global, gated)
+				}
+			}
+			loss = tp.Add(loss, estLoss(tp, tc, global, yb))
+			tp.Backward(loss)
+			opt.Step(p.Params())
+		}
+		if tc.EvalEvery > 0 && (e+1)%tc.EvalEvery == 0 {
+			snapshot()
+		}
+	}
+	snapshot()
+	if best != nil {
+		for i, pr := range p.Params() {
+			pr.Value.CopyFrom(best[i])
+		}
+	}
+}
+
+// indicatorMatrix precomputes f_c for every query, one column vector per
+// cluster.
+func (p *Partitioned) indicatorMatrix(queries []vecdata.Query) []*tensor.Dense {
+	out := make([]*tensor.Dense, p.K())
+	for ci := range out {
+		out[ci] = tensor.New(len(queries), 1)
+	}
+	for qi, q := range queries {
+		ind := p.part.Indicator(q.X, q.T)
+		for ci, active := range ind {
+			if active {
+				out[ci].Set(qi, 0, 1)
+			}
+		}
+	}
+	return out
+}
+
+// Estimate returns fˆ*(x, t): the sum of active local estimates. Each
+// local estimate is non-negative and monotone in t, and the active set
+// only grows with t, so the global estimate is consistent.
+func (p *Partitioned) Estimate(x []float64, t float64) float64 {
+	ind := p.part.Indicator(x, t)
+	tc := clamp(t, 0, p.pcfg.Model.TMax)
+	var sum float64
+	for ci, active := range ind {
+		if !active {
+			continue
+		}
+		sum += p.locals[ci].Estimate(x, tc)
+	}
+	return sum
+}
+
+// Loss computes the global estimation loss on a query set.
+func (p *Partitioned) Loss(tc TrainConfig, queries []vecdata.Query) float64 {
+	pred := make([]float64, len(queries))
+	for i, q := range queries {
+		pred[i] = p.Estimate(q.X, q.T)
+	}
+	var total float64
+	for i, q := range queries {
+		r := math.Log(q.Y+tc.LogEps) - math.Log(pred[i]+tc.LogEps)
+		if math.Abs(r) <= tc.HuberDelta {
+			total += r * r / 2
+		} else {
+			total += tc.HuberDelta * (math.Abs(r) - tc.HuberDelta/2)
+		}
+	}
+	return total / float64(len(queries))
+}
+
+// MAE computes the mean absolute error on a query set.
+func (p *Partitioned) MAE(queries []vecdata.Query) float64 {
+	if len(queries) == 0 {
+		return 0
+	}
+	var s float64
+	for _, q := range queries {
+		s += math.Abs(p.Estimate(q.X, q.T) - q.Y)
+	}
+	return s / float64(len(queries))
+}
+
+// Name returns the paper's model name for the full estimator.
+func (p *Partitioned) Name() string { return "SelNet" }
+
+// ConsistencyGuaranteed reports that monotonicity holds by construction.
+func (p *Partitioned) ConsistencyGuaranteed() bool { return true }
+
+// ApplyInsert registers newly inserted vectors: each is assigned to the
+// cluster with the nearest region ball, whose radius grows if necessary so
+// the indicator stays sound.
+func (p *Partitioned) ApplyInsert(vecs [][]float64) {
+	for _, v := range vecs {
+		space := v
+		if p.dist == distance.Cosine {
+			space = distance.Normalize(v)
+		}
+		bestC, bestB, bestD := 0, 0, math.Inf(1)
+		for ci, cluster := range p.part.Clusters {
+			for bi, ball := range cluster.Balls {
+				d := distance.L2(space, ball.Center)
+				if d < bestD {
+					bestC, bestB, bestD = ci, bi, d
+				}
+			}
+			if len(cluster.Balls) == 0 && bestD == math.Inf(1) {
+				bestC, bestB = ci, -1
+			}
+		}
+		p.clusterVecs[bestC] = append(p.clusterVecs[bestC], append([]float64(nil), v...))
+		if bestB >= 0 && bestD > p.part.Clusters[bestC].Balls[bestB].Radius {
+			p.part.Clusters[bestC].Balls[bestB].Radius = bestD
+		}
+	}
+}
+
+// ApplyDelete removes vectors (matched by value) from their clusters.
+// Vectors not found are ignored.
+func (p *Partitioned) ApplyDelete(vecs [][]float64) {
+	for _, v := range vecs {
+		for ci := range p.clusterVecs {
+			found := -1
+			for i, cv := range p.clusterVecs[ci] {
+				if vecEqual(cv, v) {
+					found = i
+					break
+				}
+			}
+			if found >= 0 {
+				last := len(p.clusterVecs[ci]) - 1
+				p.clusterVecs[ci][found] = p.clusterVecs[ci][last]
+				p.clusterVecs[ci] = p.clusterVecs[ci][:last]
+				break
+			}
+		}
+	}
+}
+
+func vecEqual(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i, v := range a {
+		if v != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// ClusterSizes returns the current number of vectors per cluster.
+func (p *Partitioned) ClusterSizes() []int {
+	sizes := make([]int, p.K())
+	for i, vs := range p.clusterVecs {
+		sizes[i] = len(vs)
+	}
+	return sizes
+}

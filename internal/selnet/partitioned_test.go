@@ -1,0 +1,211 @@
+package selnet
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"selnet/internal/partition"
+)
+
+func tinyPartitionedConfig(tmax float64) PartitionedConfig {
+	return PartitionedConfig{
+		Model:          tinyConfig(tmax),
+		K:              3,
+		Ratio:          0.15,
+		Method:         partition.CoverTree,
+		Beta:           0.1,
+		PretrainEpochs: 3,
+	}
+}
+
+func TestPartitionedConstruction(t *testing.T) {
+	db, wl := testWorkload(20, 400, 5, 10, 4)
+	rng := rand.New(rand.NewSource(21))
+	p := NewPartitioned(rng, db, tinyPartitionedConfig(wl.TMax))
+	if p.K() < 1 || p.K() > 3 {
+		t.Fatalf("K = %d", p.K())
+	}
+	total := 0
+	for _, s := range p.ClusterSizes() {
+		total += s
+	}
+	if total != db.Size() {
+		t.Fatalf("cluster sizes sum to %d, want %d", total, db.Size())
+	}
+	if p.Name() != "SelNet" || !p.ConsistencyGuaranteed() {
+		t.Fatalf("metadata wrong")
+	}
+}
+
+func TestLocalLabelsSumToGlobal(t *testing.T) {
+	db, wl := testWorkload(22, 300, 4, 8, 4)
+	rng := rand.New(rand.NewSource(23))
+	p := NewPartitioned(rng, db, tinyPartitionedConfig(wl.TMax))
+	for _, q := range wl.Queries[:16] {
+		var sum float64
+		for ci := 0; ci < p.K(); ci++ {
+			sum += p.localLabel(ci, q.X, q.T)
+		}
+		if sum != q.Y {
+			t.Fatalf("local labels sum %v != global %v", sum, q.Y)
+		}
+	}
+}
+
+// Global estimate is monotone in t even with the indicator gating
+// (active set grows, locals are non-negative).
+func TestPartitionedEstimateMonotone(t *testing.T) {
+	db, wl := testWorkload(24, 300, 4, 8, 4)
+	rng := rand.New(rand.NewSource(25))
+	p := NewPartitioned(rng, db, tinyPartitionedConfig(wl.TMax))
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		x := db.Vecs[r.Intn(db.Size())]
+		t1 := r.Float64() * wl.TMax
+		t2 := t1 + r.Float64()*wl.TMax
+		return p.Estimate(x, t1) <= p.Estimate(x, t2)+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPartitionedFitImproves(t *testing.T) {
+	db, wl := testWorkload(26, 600, 5, 30, 6)
+	rng := rand.New(rand.NewSource(27))
+	train, valid, test := wl.Split(rng)
+	p := NewPartitioned(rng, db, tinyPartitionedConfig(wl.TMax))
+	tc := tinyTrainConfig()
+	tc.Epochs = 15
+	before := p.Loss(tc, test)
+	p.Fit(tc, db, train, valid)
+	after := p.Loss(tc, test)
+	if after >= before {
+		t.Fatalf("partitioned training did not improve test loss: %v -> %v", before, after)
+	}
+}
+
+func TestPartitionedSharesAutoencoder(t *testing.T) {
+	db, wl := testWorkload(28, 200, 4, 6, 3)
+	rng := rand.New(rand.NewSource(29))
+	p := NewPartitioned(rng, db, tinyPartitionedConfig(wl.TMax))
+	for _, l := range p.locals {
+		if l.ae != p.ae {
+			t.Fatalf("local models must share the autoencoder (Sec. 5.3)")
+		}
+	}
+	// Params must contain the AE parameters exactly once.
+	count := map[interface{}]int{}
+	for _, pr := range p.Params() {
+		count[pr]++
+	}
+	for _, pr := range p.ae.Params() {
+		if count[pr] != 1 {
+			t.Fatalf("AE param appears %d times in Params()", count[pr])
+		}
+	}
+}
+
+func TestApplyInsertAndDelete(t *testing.T) {
+	db, wl := testWorkload(30, 200, 4, 6, 3)
+	rng := rand.New(rand.NewSource(31))
+	p := NewPartitioned(rng, db, tinyPartitionedConfig(wl.TMax))
+	before := p.ClusterSizes()
+	totalBefore := 0
+	for _, s := range before {
+		totalBefore += s
+	}
+	// Insert three copies of an existing vector region.
+	ins := [][]float64{
+		append([]float64(nil), db.Vecs[0]...),
+		append([]float64(nil), db.Vecs[1]...),
+		append([]float64(nil), db.Vecs[2]...),
+	}
+	p.ApplyInsert(ins)
+	totalAfter := 0
+	for _, s := range p.ClusterSizes() {
+		totalAfter += s
+	}
+	if totalAfter != totalBefore+3 {
+		t.Fatalf("insert changed total by %d, want 3", totalAfter-totalBefore)
+	}
+	// Local label must see the inserted duplicates.
+	y0 := p.localLabelSum(db.Vecs[0], 0)
+	if y0 < 2 { // original + duplicate at distance 0
+		t.Fatalf("inserted vector not visible in local labels: %v", y0)
+	}
+	// Delete them again.
+	p.ApplyDelete(ins)
+	totalFinal := 0
+	for _, s := range p.ClusterSizes() {
+		totalFinal += s
+	}
+	if totalFinal != totalBefore {
+		t.Fatalf("delete did not restore total: %d vs %d", totalFinal, totalBefore)
+	}
+	// Deleting a vector that does not exist is a no-op.
+	p.ApplyDelete([][]float64{{99, 99, 99, 99}})
+	totalNoop := 0
+	for _, s := range p.ClusterSizes() {
+		totalNoop += s
+	}
+	if totalNoop != totalBefore {
+		t.Fatalf("deleting a missing vector changed sizes")
+	}
+}
+
+// localLabelSum sums the local labels across clusters for (x, t).
+func (p *Partitioned) localLabelSum(x []float64, t float64) float64 {
+	var s float64
+	for ci := 0; ci < p.K(); ci++ {
+		s += p.localLabel(ci, x, t)
+	}
+	return s
+}
+
+func TestPartitionedEstimateNonNegative(t *testing.T) {
+	db, wl := testWorkload(32, 150, 4, 5, 3)
+	rng := rand.New(rand.NewSource(33))
+	p := NewPartitioned(rng, db, tinyPartitionedConfig(wl.TMax))
+	for i := 0; i < 20; i++ {
+		x := db.Vecs[rng.Intn(db.Size())]
+		if v := p.Estimate(x, rng.Float64()*wl.TMax); v < 0 {
+			t.Fatalf("negative estimate %v", v)
+		}
+	}
+}
+
+func TestIndicatorMatrixMatchesIndicator(t *testing.T) {
+	db, wl := testWorkload(34, 200, 4, 6, 3)
+	rng := rand.New(rand.NewSource(35))
+	p := NewPartitioned(rng, db, tinyPartitionedConfig(wl.TMax))
+	qs := wl.Queries[:10]
+	mat := p.indicatorMatrix(qs)
+	for qi, q := range qs {
+		ind := p.part.Indicator(q.X, q.T)
+		for ci := range ind {
+			want := 0.0
+			if ind[ci] {
+				want = 1.0
+			}
+			if mat[ci].At(qi, 0) != want {
+				t.Fatalf("indicator matrix mismatch at query %d cluster %d", qi, ci)
+			}
+		}
+	}
+}
+
+func TestPartitionedMAE(t *testing.T) {
+	db, wl := testWorkload(36, 150, 4, 5, 3)
+	rng := rand.New(rand.NewSource(37))
+	p := NewPartitioned(rng, db, tinyPartitionedConfig(wl.TMax))
+	if p.MAE(nil) != 0 {
+		t.Fatalf("empty MAE should be 0")
+	}
+	mae := p.MAE(wl.Queries[:10])
+	if mae < 0 || math.IsNaN(mae) {
+		t.Fatalf("bad MAE %v", mae)
+	}
+}

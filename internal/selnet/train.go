@@ -1,0 +1,215 @@
+package selnet
+
+import (
+	"math"
+	"math/rand"
+
+	"selnet/internal/autodiff"
+	"selnet/internal/nn"
+	"selnet/internal/tensor"
+	"selnet/internal/vecdata"
+)
+
+// LossKind selects the estimation loss; the paper motivates Huber on logs
+// (Sec. 5.1) and this switch powers the loss ablation bench.
+type LossKind int
+
+// Supported estimation losses, all on log-padded values.
+const (
+	LossHuberLog LossKind = iota
+	LossL1Log
+	LossL2Log
+)
+
+// estLoss builds the configured estimation-loss node.
+func estLoss(tp *autodiff.Tape, tc TrainConfig, yhat, y *autodiff.Node) *autodiff.Node {
+	switch tc.Loss {
+	case LossL1Log:
+		return tp.L1LogLoss(yhat, y, tc.LogEps)
+	case LossL2Log:
+		return tp.L2LogLoss(yhat, y, tc.LogEps)
+	default:
+		return tp.HuberLogLoss(yhat, y, tc.HuberDelta, tc.LogEps)
+	}
+}
+
+// Fit trains the single model on labelled queries with the combined
+// objective J = J_est + λ·J_AE (Eq. 4). The autoencoder is first
+// pretrained on database objects (Sec. 5.2: "we pretrain the AE on all
+// the objects in D, and then continue to train the AE with the queries").
+// If valid is non-empty, the parameters with the best validation loss are
+// kept.
+func (n *Net) Fit(tc TrainConfig, db *vecdata.Database, train, valid []vecdata.Query) {
+	if len(train) == 0 {
+		panic("selnet: no training queries")
+	}
+	rng := rand.New(rand.NewSource(tc.Seed))
+	n.pretrainAE(rng, tc, db)
+
+	x, t, y := vecdata.Matrices(train)
+	opt := nn.NewAdam(tc.LR)
+	nTrain := len(train)
+	idx := make([]int, nTrain)
+	for i := range idx {
+		idx[i] = i
+	}
+	var best []*tensor.Dense
+	bestLoss := math.Inf(1)
+	snapshot := func() {
+		if len(valid) == 0 {
+			return
+		}
+		l := n.Loss(tc, valid)
+		if l < bestLoss {
+			bestLoss = l
+			best = best[:0]
+			for _, p := range n.Params() {
+				best = append(best, p.Value.Clone())
+			}
+		}
+	}
+	for e := 0; e < tc.Epochs; e++ {
+		rng.Shuffle(nTrain, func(i, j int) { idx[i], idx[j] = idx[j], idx[i] })
+		for s := 0; s < nTrain; s += tc.Batch {
+			end := s + tc.Batch
+			if end > nTrain {
+				end = nTrain
+			}
+			b := idx[s:end]
+			tp := autodiff.NewTape()
+			xb := tp.Input(tensor.GatherRows(x, b))
+			tb := tp.Input(tensor.GatherRows(t, b))
+			yb := tp.Input(tensor.GatherRows(y, b))
+			yhat, aeLoss := n.forward(tp, xb, tb)
+			loss := tp.Add(
+				estLoss(tp, tc, yhat, yb),
+				tp.Scale(aeLoss, n.cfg.Lambda),
+			)
+			tp.Backward(loss)
+			opt.Step(n.Params())
+		}
+		if tc.EvalEvery > 0 && (e+1)%tc.EvalEvery == 0 {
+			snapshot()
+		}
+	}
+	snapshot()
+	if best != nil {
+		for i, p := range n.Params() {
+			p.Value.CopyFrom(best[i])
+		}
+	}
+}
+
+// pretrainAE runs autoencoder pretraining on a database sample.
+func (n *Net) pretrainAE(rng *rand.Rand, tc TrainConfig, db *vecdata.Database) {
+	if tc.AEPretrainEpochs <= 0 || db == nil {
+		return
+	}
+	m := tc.AEPretrainSample
+	if m <= 0 || m > db.Size() {
+		m = db.Size()
+	}
+	sample := tensor.New(m, db.Dim)
+	perm := rng.Perm(db.Size())[:m]
+	for i, pi := range perm {
+		copy(sample.Row(i), db.Vecs[pi])
+	}
+	n.ae.Pretrain(rng, sample, tc.AEPretrainEpochs, tc.Batch, tc.LR)
+}
+
+// Loss computes the estimation loss (without the AE term) on a query set;
+// used for validation snapshots and the update trigger.
+func (n *Net) Loss(tc TrainConfig, queries []vecdata.Query) float64 {
+	x, t, y := vecdata.Matrices(queries)
+	tp := autodiff.NewTape()
+	yhat, _ := n.forward(tp, tp.Input(x), tp.Input(t))
+	return estLoss(tp, tc, yhat, tp.Input(y)).Scalar()
+}
+
+// MAE computes the mean absolute error of the estimator on a query set;
+// the update procedure of Sec. 5.4 uses it as its accuracy trigger.
+func (n *Net) MAE(queries []vecdata.Query) float64 {
+	if len(queries) == 0 {
+		return 0
+	}
+	x, _, _ := vecdata.Matrices(queries)
+	ts := make([]float64, len(queries))
+	for i, q := range queries {
+		ts[i] = q.T
+	}
+	pred := n.EstimateBatch(x, ts)
+	var s float64
+	for i, q := range queries {
+		s += math.Abs(pred[i] - q.Y)
+	}
+	return s / float64(len(queries))
+}
+
+// FitEpochsUntilNoImprovement continues training from the current
+// parameters until the validation MAE fails to improve for patience
+// consecutive epochs (the incremental-learning loop of Sec. 5.4). The
+// best-validation parameters seen (including the starting ones) are
+// restored at the end, so the validation MAE never degrades. It returns
+// the number of epochs run.
+func (n *Net) FitEpochsUntilNoImprovement(tc TrainConfig, train, valid []vecdata.Query, patience, maxEpochs int) int {
+	rng := rand.New(rand.NewSource(tc.Seed + 7))
+	x, t, y := vecdata.Matrices(train)
+	opt := nn.NewAdam(tc.LR)
+	nTrain := len(train)
+	idx := make([]int, nTrain)
+	for i := range idx {
+		idx[i] = i
+	}
+	bestMAE := n.MAE(valid)
+	best := snapshotParams(n.Params())
+	bad := 0
+	epochs := 0
+	for epochs < maxEpochs {
+		rng.Shuffle(nTrain, func(i, j int) { idx[i], idx[j] = idx[j], idx[i] })
+		for s := 0; s < nTrain; s += tc.Batch {
+			end := s + tc.Batch
+			if end > nTrain {
+				end = nTrain
+			}
+			b := idx[s:end]
+			tp := autodiff.NewTape()
+			yhat, aeLoss := n.forward(tp, tp.Input(tensor.GatherRows(x, b)), tp.Input(tensor.GatherRows(t, b)))
+			loss := tp.Add(
+				estLoss(tp, tc, yhat, tp.Input(tensor.GatherRows(y, b))),
+				tp.Scale(aeLoss, n.cfg.Lambda),
+			)
+			tp.Backward(loss)
+			opt.Step(n.Params())
+		}
+		epochs++
+		mae := n.MAE(valid)
+		if mae < bestMAE-1e-12 {
+			bestMAE = mae
+			best = snapshotParams(n.Params())
+			bad = 0
+		} else {
+			bad++
+			if bad >= patience {
+				break
+			}
+		}
+	}
+	restoreParams(n.Params(), best)
+	return epochs
+}
+
+// snapshotParams clones the current parameter values.
+func snapshotParams(params []*nn.Param) []*tensor.Dense {
+	out := make([]*tensor.Dense, len(params))
+	for i, p := range params {
+		out[i] = p.Value.Clone()
+	}
+	return out
+}
+
+// restoreParams copies snapshot values back into the parameters.
+func restoreParams(params []*nn.Param, snap []*tensor.Dense) {
+	for i, p := range params {
+		p.Value.CopyFrom(snap[i])
+	}
+}

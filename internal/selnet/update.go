@@ -1,0 +1,122 @@
+package selnet
+
+import (
+	"math"
+
+	"selnet/internal/vecdata"
+)
+
+// UpdateConfig parameterizes the incremental-learning procedure of
+// Sec. 5.4.
+type UpdateConfig struct {
+	// DeltaU is the MAE-change threshold δ_U: if the refreshed validation
+	// MAE differs from the reference MAE by no more than this, the model
+	// is left as-is.
+	DeltaU float64
+	// BaselineMAE, when positive, is the "original MAE" the paper compares
+	// against — the validation MAE recorded when the model was last
+	// (re)trained. This makes slow drift across many small updates
+	// accumulate until it crosses δ_U. When zero, the comparison falls
+	// back to the MAE immediately before the label refresh (per-operation
+	// delta only).
+	BaselineMAE float64
+	// Patience is the number of consecutive non-improving epochs that stops
+	// incremental training (paper: 3).
+	Patience int
+	// MaxEpochs bounds the incremental training loop.
+	MaxEpochs int
+}
+
+// DefaultUpdateConfig mirrors the paper's procedure.
+func DefaultUpdateConfig() UpdateConfig {
+	return UpdateConfig{DeltaU: 1.0, Patience: 3, MaxEpochs: 30}
+}
+
+// UpdateResult reports what the update handler did.
+type UpdateResult struct {
+	// Retrained is false when the δ_U check decided the model was still
+	// accurate enough.
+	Retrained bool
+	// EpochsRun counts incremental epochs (0 when not retrained).
+	EpochsRun int
+	// MAEBefore and MAEAfter are validation MAEs against the refreshed
+	// labels, before and after incremental training.
+	MAEBefore, MAEAfter float64
+}
+
+// HandleUpdate implements Sec. 5.4 for the single model. db must already
+// reflect the update. The procedure: (1) refresh validation labels and
+// re-test MAE; (2) if the change is within δ_U, skip; (3) otherwise
+// refresh training labels too and continue training from the current
+// parameters until validation MAE stops improving for Patience epochs.
+// train and valid are relabelled in place.
+func (n *Net) HandleUpdate(tc TrainConfig, uc UpdateConfig, db *vecdata.Database, train, valid []vecdata.Query) UpdateResult {
+	oldMAE := n.MAE(valid) // MAE against stale labels
+	vecdata.Relabel(valid, db)
+	newMAE := n.MAE(valid) // MAE against refreshed labels
+	res := UpdateResult{MAEBefore: newMAE, MAEAfter: newMAE}
+	ref := oldMAE
+	if uc.BaselineMAE > 0 {
+		ref = uc.BaselineMAE
+	}
+	if math.Abs(newMAE-ref) <= uc.DeltaU {
+		return res
+	}
+	vecdata.Relabel(train, db)
+	res.Retrained = true
+	res.EpochsRun = n.FitEpochsUntilNoImprovement(tc, train, valid, uc.Patience, uc.MaxEpochs)
+	res.MAEAfter = n.MAE(valid)
+	return res
+}
+
+// HandleUpdate implements Sec. 5.4 for the partitioned model. The caller
+// must first register the physical change via ApplyInsert/ApplyDelete (so
+// cluster-local labels stay correct) and apply it to db. Incremental
+// training reuses the joint objective from the current parameters.
+func (p *Partitioned) HandleUpdate(tc TrainConfig, uc UpdateConfig, db *vecdata.Database, train, valid []vecdata.Query) UpdateResult {
+	oldMAE := p.MAE(valid)
+	vecdata.Relabel(valid, db)
+	newMAE := p.MAE(valid)
+	res := UpdateResult{MAEBefore: newMAE, MAEAfter: newMAE}
+	ref := oldMAE
+	if uc.BaselineMAE > 0 {
+		ref = uc.BaselineMAE
+	}
+	if math.Abs(newMAE-ref) <= uc.DeltaU {
+		return res
+	}
+	vecdata.Relabel(train, db)
+	res.Retrained = true
+	// Continue joint training epoch by epoch with the patience rule. We
+	// reuse Fit with a single epoch per call to keep the incremental
+	// semantics ("the training does not start from scratch").
+	bestMAE := newMAE
+	best := snapshotParams(p.Params())
+	bad := 0
+	itc := tc
+	itc.Epochs = 1
+	itc.EvalEvery = 0
+	itc.AEPretrainEpochs = 0
+	pcfgPretrain := p.pcfg.PretrainEpochs
+	p.pcfg.PretrainEpochs = 0 // no local re-pretraining during updates
+	defer func() { p.pcfg.PretrainEpochs = pcfgPretrain }()
+	for res.EpochsRun < uc.MaxEpochs {
+		itc.Seed = tc.Seed + int64(res.EpochsRun)
+		p.Fit(itc, nil, train, nil)
+		res.EpochsRun++
+		mae := p.MAE(valid)
+		if mae < bestMAE-1e-12 {
+			bestMAE = mae
+			best = snapshotParams(p.Params())
+			bad = 0
+		} else {
+			bad++
+			if bad >= uc.Patience {
+				break
+			}
+		}
+	}
+	restoreParams(p.Params(), best)
+	res.MAEAfter = p.MAE(valid)
+	return res
+}

@@ -1,0 +1,125 @@
+package selnet
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"selnet/internal/autodiff"
+	"selnet/internal/tensor"
+)
+
+// The Softmax ablation variant must keep every structural invariant:
+// tau in [0, TMax] with fixed endpoints, monotone estimates.
+func TestSoftmaxTauVariantInvariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(80))
+	cfg := tinyConfig(2.0)
+	cfg.SoftmaxTau = true
+	net := NewNet(rng, 4, cfg)
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		x := []float64{r.NormFloat64(), r.NormFloat64(), r.NormFloat64(), r.NormFloat64()}
+		tau, p := net.ControlPoints(x)
+		if tau[0] != 0 || math.Abs(tau[len(tau)-1]-2.0) > 1e-9 {
+			return false
+		}
+		for i := 1; i < len(tau); i++ {
+			if tau[i] < tau[i-1]-1e-12 {
+				return false
+			}
+		}
+		for i := 1; i < len(p); i++ {
+			if p[i] < p[i-1]-1e-12 {
+				return false
+			}
+		}
+		t1 := r.Float64()
+		t2 := t1 + r.Float64()
+		return net.Estimate(x, t1) <= net.Estimate(x, t2)+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Softmax and Norml2 variants must actually differ (the ablation is not a
+// no-op).
+func TestSoftmaxTauDiffersFromNorml2(t *testing.T) {
+	rngA := rand.New(rand.NewSource(81))
+	rngB := rand.New(rand.NewSource(81)) // identical weights
+	cfgA := tinyConfig(2.0)
+	cfgB := tinyConfig(2.0)
+	cfgB.SoftmaxTau = true
+	a := NewNet(rngA, 3, cfgA)
+	b := NewNet(rngB, 3, cfgB)
+	x := []float64{0.4, -0.2, 1.1}
+	tauA, _ := a.ControlPoints(x)
+	tauB, _ := b.ControlPoints(x)
+	same := true
+	for i := range tauA {
+		if math.Abs(tauA[i]-tauB[i]) > 1e-9 {
+			same = false
+		}
+	}
+	if same {
+		t.Fatalf("softmax variant produced identical tau")
+	}
+}
+
+// estLoss must dispatch to the configured loss.
+func TestEstLossDispatch(t *testing.T) {
+	yhatV := tensor.FromRows([][]float64{{2}, {9}})
+	yV := tensor.FromRows([][]float64{{4}, {3}})
+	tcBase := TrainConfig{HuberDelta: 1.345, LogEps: 1e-3}
+	vals := map[LossKind]float64{}
+	for _, kind := range []LossKind{LossHuberLog, LossL1Log, LossL2Log} {
+		tc := tcBase
+		tc.Loss = kind
+		tp := autodiff.NewTape()
+		vals[kind] = estLoss(tp, tc, tp.Input(yhatV), tp.Input(yV)).Scalar()
+	}
+	// Reference values computed directly.
+	r1 := math.Log(4+1e-3) - math.Log(2+1e-3)
+	r2 := math.Log(3+1e-3) - math.Log(9+1e-3)
+	wantL1 := (math.Abs(r1) + math.Abs(r2)) / 2
+	wantL2 := (r1*r1 + r2*r2) / 2
+	huber := func(r float64) float64 {
+		if math.Abs(r) <= 1.345 {
+			return r * r / 2
+		}
+		return 1.345 * (math.Abs(r) - 1.345/2)
+	}
+	wantHuber := (huber(r1) + huber(r2)) / 2
+	if math.Abs(vals[LossL1Log]-wantL1) > 1e-12 {
+		t.Fatalf("L1 loss %v, want %v", vals[LossL1Log], wantL1)
+	}
+	if math.Abs(vals[LossL2Log]-wantL2) > 1e-12 {
+		t.Fatalf("L2 loss %v, want %v", vals[LossL2Log], wantL2)
+	}
+	if math.Abs(vals[LossHuberLog]-wantHuber) > 1e-12 {
+		t.Fatalf("Huber loss %v, want %v", vals[LossHuberLog], wantHuber)
+	}
+	// The three losses must genuinely differ on this input.
+	if vals[LossL1Log] == vals[LossL2Log] || vals[LossHuberLog] == vals[LossL2Log] {
+		t.Fatalf("loss kinds collapsed: %v", vals)
+	}
+}
+
+// Training with each loss kind must converge without NaNs.
+func TestFitWithAlternativeLosses(t *testing.T) {
+	db, wl := testWorkload(82, 300, 4, 10, 4)
+	rng := rand.New(rand.NewSource(83))
+	train, valid, _ := wl.Split(rng)
+	for _, kind := range []LossKind{LossL1Log, LossL2Log} {
+		net := NewNet(rand.New(rand.NewSource(84)), db.Dim, tinyConfig(wl.TMax))
+		tc := tinyTrainConfig()
+		tc.Epochs = 6
+		tc.Loss = kind
+		net.Fit(tc, db, train, valid)
+		mae := net.MAE(valid)
+		if math.IsNaN(mae) || math.IsInf(mae, 0) {
+			t.Fatalf("loss kind %d diverged", kind)
+		}
+	}
+}

@@ -1,0 +1,361 @@
+package tensor
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewZeroed(t *testing.T) {
+	m := New(3, 4)
+	if m.Rows() != 3 || m.Cols() != 4 || m.Size() != 12 {
+		t.Fatalf("bad shape %dx%d size %d", m.Rows(), m.Cols(), m.Size())
+	}
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 4; j++ {
+			if m.At(i, j) != 0 {
+				t.Fatalf("element (%d,%d) = %v, want 0", i, j, m.At(i, j))
+			}
+		}
+	}
+}
+
+func TestFromRowsAndAt(t *testing.T) {
+	m := FromRows([][]float64{{1, 2}, {3, 4}, {5, 6}})
+	if m.At(2, 1) != 6 || m.At(0, 0) != 1 {
+		t.Fatalf("FromRows stored wrong values: %v", m)
+	}
+	m.Set(1, 0, -7)
+	if m.At(1, 0) != -7 {
+		t.Fatalf("Set did not take effect")
+	}
+}
+
+func TestFromSlicePanicsOnBadLength(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("expected panic")
+		}
+	}()
+	FromSlice(2, 3, []float64{1, 2})
+}
+
+func TestRowSharesStorage(t *testing.T) {
+	m := FromRows([][]float64{{1, 2}, {3, 4}})
+	r := m.Row(1)
+	r[0] = 99
+	if m.At(1, 0) != 99 {
+		t.Fatalf("Row should alias matrix storage")
+	}
+}
+
+func TestCloneIndependent(t *testing.T) {
+	m := FromRows([][]float64{{1, 2}})
+	c := m.Clone()
+	c.Set(0, 0, 42)
+	if m.At(0, 0) != 1 {
+		t.Fatalf("Clone must not share storage")
+	}
+}
+
+func TestTranspose(t *testing.T) {
+	m := FromRows([][]float64{{1, 2, 3}, {4, 5, 6}})
+	tr := m.T()
+	want := FromRows([][]float64{{1, 4}, {2, 5}, {3, 6}})
+	if !EqualApprox(tr, want, 0) {
+		t.Fatalf("T() = %v, want %v", tr, want)
+	}
+}
+
+func TestTransposeInvolution(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		r, c := 1+rng.Intn(6), 1+rng.Intn(6)
+		m := randMat(rng, r, c)
+		return EqualApprox(m.T().T(), m, 0)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMatMulSmall(t *testing.T) {
+	a := FromRows([][]float64{{1, 2}, {3, 4}})
+	b := FromRows([][]float64{{5, 6}, {7, 8}})
+	got := MatMul(a, b)
+	want := FromRows([][]float64{{19, 22}, {43, 50}})
+	if !EqualApprox(got, want, 1e-12) {
+		t.Fatalf("MatMul = %v, want %v", got, want)
+	}
+}
+
+func TestMatMulIdentity(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	m := randMat(rng, 4, 4)
+	id := New(4, 4)
+	for i := 0; i < 4; i++ {
+		id.Set(i, i, 1)
+	}
+	if !EqualApprox(MatMul(m, id), m, 1e-12) || !EqualApprox(MatMul(id, m), m, 1e-12) {
+		t.Fatalf("identity matmul failed")
+	}
+}
+
+func TestMatMulShapePanic(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("expected panic")
+		}
+	}()
+	MatMul(New(2, 3), New(2, 3))
+}
+
+// (AB)ᵀ = BᵀAᵀ, checked with random matrices.
+func TestMatMulTransposeIdentityProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := randMat(rng, 1+rng.Intn(5), 1+rng.Intn(5))
+		b := randMat(rng, a.Cols(), 1+rng.Intn(5))
+		lhs := MatMul(a, b).T()
+		rhs := MatMul(b.T(), a.T())
+		return EqualApprox(lhs, rhs, 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMatMulTransAMatchesExplicit(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := randMat(rng, 1+rng.Intn(5), 1+rng.Intn(5))
+		b := randMat(rng, a.Rows(), 1+rng.Intn(5))
+		return EqualApprox(MatMulTransA(a, b), MatMul(a.T(), b), 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMatMulTransBMatchesExplicit(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := randMat(rng, 1+rng.Intn(5), 1+rng.Intn(5))
+		b := randMat(rng, 1+rng.Intn(5), a.Cols())
+		return EqualApprox(MatMulTransB(a, b), MatMul(a, b.T()), 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMatMulAddInto(t *testing.T) {
+	a := FromRows([][]float64{{1, 0}, {0, 1}})
+	b := FromRows([][]float64{{2, 3}, {4, 5}})
+	out := b.Clone()
+	MatMulAddInto(out, a, b)
+	want := FromRows([][]float64{{4, 6}, {8, 10}})
+	if !EqualApprox(out, want, 1e-12) {
+		t.Fatalf("MatMulAddInto = %v, want %v", out, want)
+	}
+}
+
+func TestAddSubMul(t *testing.T) {
+	a := FromRows([][]float64{{1, 2}, {3, 4}})
+	b := FromRows([][]float64{{10, 20}, {30, 40}})
+	if got := Add(a, b); !EqualApprox(got, FromRows([][]float64{{11, 22}, {33, 44}}), 0) {
+		t.Fatalf("Add = %v", got)
+	}
+	if got := Sub(b, a); !EqualApprox(got, FromRows([][]float64{{9, 18}, {27, 36}}), 0) {
+		t.Fatalf("Sub = %v", got)
+	}
+	if got := Mul(a, b); !EqualApprox(got, FromRows([][]float64{{10, 40}, {90, 160}}), 0) {
+		t.Fatalf("Mul = %v", got)
+	}
+}
+
+func TestAddCommutative(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		r, c := 1+rng.Intn(5), 1+rng.Intn(5)
+		a, b := randMat(rng, r, c), randMat(rng, r, c)
+		return EqualApprox(Add(a, b), Add(b, a), 0)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestScaleAxpy(t *testing.T) {
+	a := FromRows([][]float64{{1, -2}})
+	if got := Scale(a, -3); !EqualApprox(got, FromRows([][]float64{{-3, 6}}), 0) {
+		t.Fatalf("Scale = %v", got)
+	}
+	b := FromRows([][]float64{{10, 10}})
+	AxpyInPlace(b, 2, a)
+	if !EqualApprox(b, FromRows([][]float64{{12, 6}}), 0) {
+		t.Fatalf("Axpy = %v", b)
+	}
+}
+
+func TestAddRowVector(t *testing.T) {
+	m := FromRows([][]float64{{1, 2}, {3, 4}})
+	v := RowVector([]float64{10, 20})
+	got := AddRowVector(m, v)
+	want := FromRows([][]float64{{11, 22}, {13, 24}})
+	if !EqualApprox(got, want, 0) {
+		t.Fatalf("AddRowVector = %v, want %v", got, want)
+	}
+}
+
+func TestSumRowsAndSum(t *testing.T) {
+	m := FromRows([][]float64{{1, 2}, {3, 4}})
+	if got := SumRows(m); !EqualApprox(got, RowVector([]float64{4, 6}), 0) {
+		t.Fatalf("SumRows = %v", got)
+	}
+	if Sum(m) != 10 {
+		t.Fatalf("Sum = %v", Sum(m))
+	}
+}
+
+func TestApply(t *testing.T) {
+	m := FromRows([][]float64{{-1, 4}})
+	got := Apply(m, math.Abs)
+	if !EqualApprox(got, FromRows([][]float64{{1, 4}}), 0) {
+		t.Fatalf("Apply = %v", got)
+	}
+}
+
+func TestConcatAndSliceColsRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		r := 1 + rng.Intn(4)
+		a := randMat(rng, r, 1+rng.Intn(4))
+		b := randMat(rng, r, 1+rng.Intn(4))
+		cat := ConcatCols(a, b)
+		return EqualApprox(SliceCols(cat, 0, a.Cols()), a, 0) &&
+			EqualApprox(SliceCols(cat, a.Cols(), cat.Cols()), b, 0)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSliceRows(t *testing.T) {
+	m := FromRows([][]float64{{1}, {2}, {3}, {4}})
+	got := SliceRows(m, 1, 3)
+	if !EqualApprox(got, FromRows([][]float64{{2}, {3}}), 0) {
+		t.Fatalf("SliceRows = %v", got)
+	}
+}
+
+func TestGatherRows(t *testing.T) {
+	m := FromRows([][]float64{{1, 1}, {2, 2}, {3, 3}})
+	got := GatherRows(m, []int{2, 0, 2})
+	want := FromRows([][]float64{{3, 3}, {1, 1}, {3, 3}})
+	if !EqualApprox(got, want, 0) {
+		t.Fatalf("GatherRows = %v", got)
+	}
+}
+
+func TestPrefixSumCols(t *testing.T) {
+	m := FromRows([][]float64{{1, 2, 3}, {0, -1, 5}})
+	got := PrefixSumCols(m)
+	want := FromRows([][]float64{{1, 3, 6}, {0, -1, 4}})
+	if !EqualApprox(got, want, 0) {
+		t.Fatalf("PrefixSumCols = %v, want %v", got, want)
+	}
+}
+
+// Prefix sum is equivalent to multiplying by the paper's Mpsum lower
+// triangular matrix on the right: (row) * Mpsumᵀ.
+func TestPrefixSumMatchesTriangularMatmul(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		r, c := 1+rng.Intn(4), 1+rng.Intn(6)
+		m := randMat(rng, r, c)
+		// Mpsum[i][j] = 1 if j <= i. Prefix sum of row v is v * U where
+		// U[k][j] = 1 if k <= j (upper triangular of ones).
+		u := New(c, c)
+		for k := 0; k < c; k++ {
+			for j := k; j < c; j++ {
+				u.Set(k, j, 1)
+			}
+		}
+		return EqualApprox(PrefixSumCols(m), MatMul(m, u), 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReshapeSharesStorage(t *testing.T) {
+	m := FromRows([][]float64{{1, 2, 3, 4}})
+	r := m.Reshape(2, 2)
+	r.Set(1, 1, 99)
+	if m.At(0, 3) != 99 {
+		t.Fatalf("Reshape should be a view")
+	}
+}
+
+func TestNormsAndNaN(t *testing.T) {
+	m := FromRows([][]float64{{3, -4}})
+	if Norm2(m) != 5 {
+		t.Fatalf("Norm2 = %v", Norm2(m))
+	}
+	if MaxAbs(m) != 4 {
+		t.Fatalf("MaxAbs = %v", MaxAbs(m))
+	}
+	if HasNaN(m) {
+		t.Fatalf("HasNaN false positive")
+	}
+	m.Set(0, 0, math.NaN())
+	if !HasNaN(m) {
+		t.Fatalf("HasNaN missed NaN")
+	}
+	m.Set(0, 0, math.Inf(1))
+	if !HasNaN(m) {
+		t.Fatalf("HasNaN missed Inf")
+	}
+}
+
+func TestColVectorRowVector(t *testing.T) {
+	if v := ColVector([]float64{1, 2}); v.Rows() != 2 || v.Cols() != 1 {
+		t.Fatalf("ColVector shape %dx%d", v.Rows(), v.Cols())
+	}
+	if v := RowVector([]float64{1, 2}); v.Rows() != 1 || v.Cols() != 2 {
+		t.Fatalf("RowVector shape %dx%d", v.Rows(), v.Cols())
+	}
+}
+
+func TestZeroFill(t *testing.T) {
+	m := FromRows([][]float64{{1, 2}})
+	m.Fill(7)
+	if m.At(0, 0) != 7 || m.At(0, 1) != 7 {
+		t.Fatalf("Fill failed: %v", m)
+	}
+	m.Zero()
+	if Sum(m) != 0 {
+		t.Fatalf("Zero failed: %v", m)
+	}
+}
+
+func randMat(rng *rand.Rand, r, c int) *Dense {
+	m := New(r, c)
+	for i := range m.Data() {
+		m.Data()[i] = rng.NormFloat64()
+	}
+	return m
+}
+
+func BenchmarkMatMul64(b *testing.B) {
+	rng := rand.New(rand.NewSource(7))
+	a := randMat(rng, 64, 64)
+	c := randMat(rng, 64, 64)
+	out := New(64, 64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MatMulInto(out, a, c)
+	}
+}

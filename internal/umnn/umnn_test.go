@@ -1,0 +1,151 @@
+package umnn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"selnet/internal/vecdata"
+)
+
+func TestClenshawCurtisWeightsPositiveAndSumTo2(t *testing.T) {
+	for _, n := range []int{2, 4, 8, 16, 17} {
+		nodes, weights := ClenshawCurtis(n)
+		if len(nodes) != n+1 || len(weights) != n+1 {
+			t.Fatalf("n=%d: got %d nodes, %d weights", n, len(nodes), len(weights))
+		}
+		var sum float64
+		for _, w := range weights {
+			if w <= 0 {
+				t.Fatalf("n=%d: non-positive weight %v", n, w)
+			}
+			sum += w
+		}
+		// Integrating f=1 over [-1,1] gives 2.
+		if math.Abs(sum-2) > 1e-12 {
+			t.Fatalf("n=%d: weights sum to %v, want 2", n, sum)
+		}
+	}
+}
+
+func TestClenshawCurtisExactForPolynomials(t *testing.T) {
+	nodes, weights := ClenshawCurtis(8)
+	// Exact for polynomials of degree <= 8: check x^2, x^3, x^6 on [-1,1].
+	cases := []struct {
+		f    func(float64) float64
+		want float64
+	}{
+		{func(x float64) float64 { return x * x }, 2.0 / 3},
+		{func(x float64) float64 { return x * x * x }, 0},
+		{func(x float64) float64 { return math.Pow(x, 6) }, 2.0 / 7},
+	}
+	for i, c := range cases {
+		var got float64
+		for k, u := range nodes {
+			got += weights[k] * c.f(u)
+		}
+		if math.Abs(got-c.want) > 1e-10 {
+			t.Fatalf("case %d: integral %v, want %v", i, got, c.want)
+		}
+	}
+}
+
+func TestClenshawCurtisApproximatesSmoothIntegrals(t *testing.T) {
+	nodes, weights := ClenshawCurtis(16)
+	var got float64
+	for k, u := range nodes {
+		got += weights[k] * math.Exp(u)
+	}
+	want := math.E - 1/math.E
+	if math.Abs(got-want) > 1e-8 {
+		t.Fatalf("exp integral %v, want %v", got, want)
+	}
+}
+
+func TestClenshawCurtisPanicsOnTiny(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("expected panic")
+		}
+	}()
+	ClenshawCurtis(1)
+}
+
+func makeQueries(rng *rand.Rand, n, dim int) []vecdata.Query {
+	qs := make([]vecdata.Query, n)
+	for i := range qs {
+		x := make([]float64, dim)
+		for j := range x {
+			x[j] = rng.NormFloat64()
+		}
+		tt := rng.Float64() * 2
+		qs[i] = vecdata.Query{X: x, T: tt, Y: math.Max(1, 50*tt+6*x[0])}
+	}
+	return qs
+}
+
+func TestUMNNMonotoneInT(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	train := makeQueries(rng, 300, 3)
+	cfg := DefaultConfig()
+	cfg.Epochs = 15
+	cfg.Hidden = []int{24, 24}
+	cfg.QuadPoints = 8
+	m := New(rng, 3, cfg)
+	m.Fit(train)
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		x := []float64{r.NormFloat64(), r.NormFloat64(), r.NormFloat64()}
+		t1 := r.Float64() * 2
+		t2 := t1 + r.Float64()*2
+		return m.Estimate(x, t1) <= m.Estimate(x, t2)+1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUMNNLearns(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	train := makeQueries(rng, 400, 3)
+	cfg := DefaultConfig()
+	cfg.Epochs = 50
+	cfg.Hidden = []int{32, 32}
+	cfg.QuadPoints = 8
+	m := New(rng, 3, cfg)
+	m.Fit(train)
+	test := makeQueries(rng, 100, 3)
+	var mape float64
+	for _, q := range test {
+		mape += math.Abs(m.Estimate(q.X, q.T)-q.Y) / q.Y
+	}
+	mape /= 100
+	if mape > 0.8 {
+		t.Fatalf("UMNN test MAPE %v too high", mape)
+	}
+	if m.Name() != "UMNN" || !m.ConsistencyGuaranteed() {
+		t.Fatalf("metadata wrong")
+	}
+}
+
+func TestUMNNZeroThreshold(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	m := New(rng, 2, DefaultConfig())
+	// At t=0 the integral vanishes: output equals the offset net, which is
+	// finite; estimate must be non-negative.
+	if v := m.Estimate([]float64{0.5, -0.5}, 0); v < 0 {
+		t.Fatalf("negative estimate at t=0: %v", v)
+	}
+}
+
+func TestUMNNFitPanicsOnEmpty(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	m := New(rng, 2, DefaultConfig())
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("expected panic")
+		}
+	}()
+	m.Fit(nil)
+}

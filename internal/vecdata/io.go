@@ -1,0 +1,110 @@
+package vecdata
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+	"os"
+
+	"selnet/internal/distance"
+)
+
+// databaseBlob is the gob wire form of a Database.
+type databaseBlob struct {
+	Name string
+	Dist int
+	Vecs [][]float64
+}
+
+// SaveDatabase writes the database to w in gob format.
+func SaveDatabase(w io.Writer, db *Database) error {
+	blob := databaseBlob{Name: db.Name, Dist: int(db.Dist), Vecs: db.Vecs}
+	if err := gob.NewEncoder(w).Encode(blob); err != nil {
+		return fmt.Errorf("vecdata: encode database: %w", err)
+	}
+	return nil
+}
+
+// LoadDatabase reads a database written by SaveDatabase.
+func LoadDatabase(r io.Reader) (*Database, error) {
+	var blob databaseBlob
+	if err := gob.NewDecoder(r).Decode(&blob); err != nil {
+		return nil, fmt.Errorf("vecdata: decode database: %w", err)
+	}
+	if len(blob.Vecs) == 0 {
+		return nil, fmt.Errorf("vecdata: decoded database is empty")
+	}
+	return NewDatabase(blob.Name, distance.Func(blob.Dist), blob.Vecs), nil
+}
+
+// SplitWorkload bundles the labelled query splits of one experiment.
+type SplitWorkload struct {
+	Setting string
+	TMax    float64
+	Train   []Query
+	Valid   []Query
+	Test    []Query
+}
+
+// SaveSplitWorkload writes the workload splits to w in gob format.
+func SaveSplitWorkload(w io.Writer, s *SplitWorkload) error {
+	if err := gob.NewEncoder(w).Encode(s); err != nil {
+		return fmt.Errorf("vecdata: encode workload: %w", err)
+	}
+	return nil
+}
+
+// LoadSplitWorkload reads a workload written by SaveSplitWorkload.
+func LoadSplitWorkload(r io.Reader) (*SplitWorkload, error) {
+	var s SplitWorkload
+	if err := gob.NewDecoder(r).Decode(&s); err != nil {
+		return nil, fmt.Errorf("vecdata: decode workload: %w", err)
+	}
+	return &s, nil
+}
+
+// SaveDatabaseFile writes the database to path.
+func SaveDatabaseFile(path string, db *Database) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := SaveDatabase(f, db); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// LoadDatabaseFile reads a database from path.
+func LoadDatabaseFile(path string) (*Database, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return LoadDatabase(f)
+}
+
+// SaveSplitWorkloadFile writes the workload to path.
+func SaveSplitWorkloadFile(path string, s *SplitWorkload) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := SaveSplitWorkload(f, s); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// LoadSplitWorkloadFile reads a workload from path.
+func LoadSplitWorkloadFile(path string) (*SplitWorkload, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return LoadSplitWorkload(f)
+}

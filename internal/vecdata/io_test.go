@@ -1,0 +1,97 @@
+package vecdata
+
+import (
+	"bytes"
+	"math/rand"
+	"path/filepath"
+	"testing"
+
+	"selnet/internal/distance"
+)
+
+func TestDatabaseSaveLoadRoundTrip(t *testing.T) {
+	db := smallDB(70, 50, 4, distance.Cosine)
+	var buf bytes.Buffer
+	if err := SaveDatabase(&buf, db); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadDatabase(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != db.Name || got.Dist != db.Dist || got.Dim != db.Dim || got.Size() != db.Size() {
+		t.Fatalf("metadata mismatch")
+	}
+	for i := range db.Vecs {
+		for j := range db.Vecs[i] {
+			if got.Vecs[i][j] != db.Vecs[i][j] {
+				t.Fatalf("vector %d differs", i)
+			}
+		}
+	}
+}
+
+func TestLoadDatabaseRejectsGarbage(t *testing.T) {
+	if _, err := LoadDatabase(bytes.NewReader([]byte("junk"))); err == nil {
+		t.Fatalf("expected error")
+	}
+}
+
+func TestSplitWorkloadRoundTrip(t *testing.T) {
+	db := smallDB(71, 200, 3, distance.Euclidean)
+	rng := rand.New(rand.NewSource(72))
+	wl := GeometricWorkload(rng, db, 10, 4)
+	train, valid, test := wl.Split(rng)
+	s := &SplitWorkload{Setting: "test", TMax: wl.TMax, Train: train, Valid: valid, Test: test}
+	var buf bytes.Buffer
+	if err := SaveSplitWorkload(&buf, s); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadSplitWorkload(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Setting != "test" || got.TMax != wl.TMax {
+		t.Fatalf("metadata mismatch")
+	}
+	if len(got.Train) != len(train) || len(got.Valid) != len(valid) || len(got.Test) != len(test) {
+		t.Fatalf("split sizes mismatch")
+	}
+	if got.Train[0].Y != train[0].Y || got.Train[0].T != train[0].T {
+		t.Fatalf("query values mismatch")
+	}
+}
+
+func TestFileHelpers(t *testing.T) {
+	dir := t.TempDir()
+	db := smallDB(73, 30, 3, distance.Euclidean)
+	dbPath := filepath.Join(dir, "db.gob")
+	if err := SaveDatabaseFile(dbPath, db); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadDatabaseFile(dbPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Size() != 30 {
+		t.Fatalf("size %d", got.Size())
+	}
+	rng := rand.New(rand.NewSource(74))
+	wl := GeometricWorkload(rng, db, 5, 3)
+	train, valid, test := wl.Split(rng)
+	wlPath := filepath.Join(dir, "wl.gob")
+	s := &SplitWorkload{Setting: "t", TMax: wl.TMax, Train: train, Valid: valid, Test: test}
+	if err := SaveSplitWorkloadFile(wlPath, s); err != nil {
+		t.Fatal(err)
+	}
+	got2, err := LoadSplitWorkloadFile(wlPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got2.Train) != len(train) {
+		t.Fatalf("train size mismatch")
+	}
+	if _, err := LoadDatabaseFile(filepath.Join(dir, "missing.gob")); err == nil {
+		t.Fatalf("expected error for missing file")
+	}
+}

@@ -1,0 +1,166 @@
+package vecdata
+
+import (
+	"math/rand"
+
+	"selnet/internal/distance"
+)
+
+// This file holds the synthetic stand-ins for the paper's three embedding
+// datasets (Sec. 7.1). We cannot ship fasttext/MS-Celeb/YouTube-Faces
+// embeddings, so each generator produces a Gaussian-mixture point cloud
+// whose relevant statistical structure matches the original:
+//
+//   - fasttext: unnormalized word vectors with cluster structure and
+//     anisotropic spread, so both cosine and Euclidean workloads are
+//     meaningful and selectivity varies by orders of magnitude.
+//   - face: unit-normalized embeddings with many tight clusters
+//     (images of the same identity are near-duplicates on the sphere).
+//   - YouTube: unit-normalized vectors with high ambient but low intrinsic
+//     dimension (the generator embeds a low-dimensional mixture through a
+//     fixed random linear map before normalizing).
+//
+// The estimators only ever observe (x, t, selectivity) triples, so the
+// behaviours the paper measures — consistency, variance across queries,
+// curse of dimensionality — depend on this structure, not on the
+// provenance of the vectors. Sizes and dimensions are parameters; the
+// defaults used by the experiment harness are scaled down from the paper
+// (documented in DESIGN.md and EXPERIMENTS.md).
+
+// MixtureSpec configures a Gaussian-mixture generator.
+type MixtureSpec struct {
+	N          int     // number of vectors
+	Dim        int     // ambient dimension
+	Clusters   int     // mixture components
+	Spread     float64 // cluster center scale
+	Sigma      float64 // base within-cluster standard deviation
+	Anisotropy float64 // per-dimension sigma multiplier range (1 = isotropic)
+	Intrinsic  int     // if >0, generate in this dim then map up to Dim
+	Normalize  bool    // project onto the unit sphere
+}
+
+// GenerateMixture produces vectors according to spec, deterministically
+// for a given rng state.
+func GenerateMixture(rng *rand.Rand, spec MixtureSpec) [][]float64 {
+	genDim := spec.Dim
+	if spec.Intrinsic > 0 && spec.Intrinsic < spec.Dim {
+		genDim = spec.Intrinsic
+	}
+	// Cluster centers and per-cluster anisotropic scales.
+	centers := make([][]float64, spec.Clusters)
+	scales := make([][]float64, spec.Clusters)
+	for c := range centers {
+		centers[c] = make([]float64, genDim)
+		scales[c] = make([]float64, genDim)
+		for j := 0; j < genDim; j++ {
+			centers[c][j] = rng.NormFloat64() * spec.Spread
+			a := 1.0
+			if spec.Anisotropy > 1 {
+				a = 1 + rng.Float64()*(spec.Anisotropy-1)
+			}
+			scales[c][j] = spec.Sigma * a
+		}
+	}
+	// Unequal cluster weights: a few dominant clusters plus a tail, which
+	// produces the large selectivity variance the paper highlights.
+	weights := make([]float64, spec.Clusters)
+	var wsum float64
+	for c := range weights {
+		weights[c] = SampleGamma(rng, 1.2)
+		wsum += weights[c]
+	}
+	cum := make([]float64, spec.Clusters)
+	acc := 0.0
+	for c := range weights {
+		acc += weights[c] / wsum
+		cum[c] = acc
+	}
+
+	// Optional random up-projection for low intrinsic dimension.
+	var proj [][]float64
+	if genDim != spec.Dim {
+		proj = make([][]float64, genDim)
+		for i := range proj {
+			proj[i] = make([]float64, spec.Dim)
+			for j := range proj[i] {
+				proj[i][j] = rng.NormFloat64()
+			}
+		}
+	}
+
+	vecs := make([][]float64, spec.N)
+	for i := range vecs {
+		u := rng.Float64()
+		c := 0
+		for c < spec.Clusters-1 && u > cum[c] {
+			c++
+		}
+		v := make([]float64, genDim)
+		for j := 0; j < genDim; j++ {
+			v[j] = centers[c][j] + rng.NormFloat64()*scales[c][j]
+		}
+		if proj != nil {
+			up := make([]float64, spec.Dim)
+			for a, va := range v {
+				row := proj[a]
+				for b := range up {
+					up[b] += va * row[b]
+				}
+			}
+			v = up
+		}
+		if spec.Normalize {
+			v = distance.Normalize(v)
+		}
+		vecs[i] = v
+	}
+	return vecs
+}
+
+// SyntheticFasttext builds the unnormalized word-embedding stand-in.
+func SyntheticFasttext(rng *rand.Rand, n, dim int, dist distance.Func) *Database {
+	vecs := GenerateMixture(rng, MixtureSpec{
+		N: n, Dim: dim, Clusters: 24,
+		Spread: 1.0, Sigma: 0.45, Anisotropy: 3,
+	})
+	name := "fasttext-" + dist.String()
+	return NewDatabase(name, dist, vecs)
+}
+
+// SyntheticFace builds the normalized face-embedding stand-in (cosine).
+func SyntheticFace(rng *rand.Rand, n, dim int) *Database {
+	vecs := GenerateMixture(rng, MixtureSpec{
+		N: n, Dim: dim, Clusters: 48,
+		Spread: 1.0, Sigma: 0.18, Anisotropy: 1.5, Normalize: true,
+	})
+	return NewDatabase("face-cos", distance.Cosine, vecs)
+}
+
+// SyntheticYouTube builds the normalized high-dimensional/low-intrinsic
+// stand-in (cosine).
+func SyntheticYouTube(rng *rand.Rand, n, dim int) *Database {
+	intrinsic := dim / 8
+	if intrinsic < 4 {
+		intrinsic = 4
+	}
+	vecs := GenerateMixture(rng, MixtureSpec{
+		N: n, Dim: dim, Clusters: 16,
+		Spread: 1.0, Sigma: 0.35, Anisotropy: 2, Intrinsic: intrinsic, Normalize: true,
+	})
+	return NewDatabase("youtube-cos", distance.Cosine, vecs)
+}
+
+// SampleLike draws a fresh vector resembling db's distribution by jittering
+// a random existing vector; used to generate insertions for update streams.
+func SampleLike(rng *rand.Rand, db *Database, jitter float64) []float64 {
+	base := db.Vecs[rng.Intn(db.Size())]
+	v := make([]float64, len(base))
+	for i, b := range base {
+		v[i] = b + rng.NormFloat64()*jitter
+	}
+	if db.Dist == distance.Cosine {
+		// Keep normalized datasets on the sphere.
+		v = distance.Normalize(v)
+	}
+	return v
+}
