@@ -7,9 +7,15 @@
 package selnet_bench
 
 import (
+	"context"
+	"math/rand"
+	"runtime"
 	"testing"
+	"time"
 
 	"selnet/internal/experiments"
+	"selnet/internal/selnet"
+	"selnet/internal/serve"
 )
 
 func quick() experiments.Config { return experiments.QuickConfig() }
@@ -207,6 +213,83 @@ func BenchmarkEstimateGBM(b *testing.B)      { benchEstimate(b, "LightGBM") }
 func BenchmarkEstimateDNN(b *testing.B)      { benchEstimate(b, "DNN") }
 func BenchmarkEstimateUMNN(b *testing.B)     { benchEstimate(b, "UMNN") }
 func BenchmarkEstimateDLN(b *testing.B)      { benchEstimate(b, "DLN") }
+
+// Serving-path benchmarks: the selestd coalescer (concurrent requests
+// fused into one EstimateBatch tensor pass) against naive per-request
+// Estimate calls, at >= 8 concurrent clients. Coalescing amortizes the
+// tape setup and matrix passes across the batch, so ns/op should drop
+// well below the naive arm's.
+
+func servingNet() *selnet.Net {
+	cfg := selnet.DefaultConfig()
+	cfg.TMax = 1
+	// Weights are random: estimation cost is independent of training.
+	return selnet.NewNet(rand.New(rand.NewSource(1)), 16, cfg)
+}
+
+func servingQueries(n, dim int) [][]float64 {
+	rng := rand.New(rand.NewSource(2))
+	qs := make([][]float64, n)
+	for i := range qs {
+		qs[i] = make([]float64, dim)
+		for j := range qs[i] {
+			qs[i][j] = rng.Float64()
+		}
+	}
+	return qs
+}
+
+// setClients makes RunParallel use at least n goroutines.
+func setClients(b *testing.B, n int) {
+	procs := runtime.GOMAXPROCS(0)
+	p := n / procs
+	if p*procs < n {
+		p++
+	}
+	b.SetParallelism(p)
+}
+
+func BenchmarkServeCoalesced(b *testing.B) {
+	net := servingNet()
+	batcher := serve.NewBatcher(net, serve.BatcherConfig{
+		MaxBatch: 32, FlushInterval: 500 * time.Microsecond, Workers: 1,
+	})
+	defer batcher.Close()
+	queries := servingQueries(256, net.Dim())
+	setClients(b, 8)
+	ctx := context.Background()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			q := queries[i%len(queries)]
+			if _, err := batcher.Submit(ctx, q, 0.5); err != nil {
+				b.Error(err)
+				return
+			}
+			i++
+		}
+	})
+	b.StopTimer()
+	st := batcher.Stats()
+	if st.Batches > 0 {
+		b.ReportMetric(float64(st.Requests)/float64(st.Batches), "reqs/batch")
+	}
+}
+
+func BenchmarkServeNaive(b *testing.B) {
+	net := servingNet()
+	queries := servingQueries(256, net.Dim())
+	setClients(b, 8)
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			net.Estimate(queries[i%len(queries)], 0.5)
+			i++
+		}
+	})
+}
 
 func benchEstimate(b *testing.B, model string) {
 	cfg := quick()

@@ -9,6 +9,10 @@
 //	selest train    -data data.gob -workload wl.gob -epochs 40 -out model.gob
 //	selest evaluate -model model.gob -workload wl.gob
 //	selest estimate -model model.gob -data data.gob -index 7 -t 0.25
+//	selest estimate -model model.gob -data data.gob -index 7,8,9 -t 0.1,0.25
+//
+// Comma-separated -index and -t lists estimate every (query, threshold)
+// pair in one batched tensor pass — the same path selestd serves.
 package main
 
 import (
@@ -22,6 +26,7 @@ import (
 	"selnet/internal/distance"
 	"selnet/internal/metrics"
 	"selnet/internal/selnet"
+	"selnet/internal/tensor"
 	"selnet/internal/vecdata"
 )
 
@@ -63,7 +68,7 @@ commands:
   workload  build a labelled (query, threshold, selectivity) workload
   train     train a SelNet estimator
   evaluate  report MSE/MAE/MAPE of a trained model on a workload split
-  estimate  estimate the selectivity of one query
+  estimate  estimate the selectivity of one or more (query, threshold) pairs
 
 run 'selest <command> -h' for command flags.
 `)
@@ -210,9 +215,9 @@ func cmdEstimate(args []string) error {
 	modelPath := fs.String("model", "model.gob", "trained model file")
 	dataPath := fs.String("data", "", "dataset file, .gob or .csv (for -index queries and exact counts)")
 	dist := fs.String("dist", "cos", "distance for .csv datasets: cos or l2")
-	index := fs.Int("index", -1, "use database vector at this index as the query")
+	indexStr := fs.String("index", "", "comma-separated database vector indices to use as queries")
 	vecStr := fs.String("vec", "", "comma-separated query vector (alternative to -index)")
-	t := fs.Float64("t", 0.1, "distance threshold")
+	tStr := fs.String("t", "0.1", "comma-separated distance thresholds")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -226,30 +231,81 @@ func cmdEstimate(args []string) error {
 			return err
 		}
 	}
-	var x []float64
+	ts, err := parseVector(*tStr)
+	if err != nil {
+		return fmt.Errorf("bad -t: %w", err)
+	}
+
+	// Collect the query vectors: one from -vec, or any number from the
+	// comma-separated -index list.
+	var queries [][]float64
+	var labels []string
 	switch {
+	case *vecStr != "" && *indexStr != "":
+		return fmt.Errorf("provide -index or -vec, not both")
 	case *vecStr != "":
-		if x, err = parseVector(*vecStr); err != nil {
+		x, err := parseVector(*vecStr)
+		if err != nil {
 			return err
 		}
-	case *index >= 0:
+		queries, labels = [][]float64{x}, []string{"vec"}
+	case *indexStr != "":
 		if db == nil {
 			return fmt.Errorf("-index requires -data")
 		}
-		if *index >= db.Size() {
-			return fmt.Errorf("index %d out of range (database holds %d vectors)", *index, db.Size())
+		for _, part := range strings.Split(*indexStr, ",") {
+			idx, err := strconv.Atoi(strings.TrimSpace(part))
+			if err != nil {
+				return fmt.Errorf("bad index %q: %w", part, err)
+			}
+			if idx < 0 || idx >= db.Size() {
+				return fmt.Errorf("index %d out of range (database holds %d vectors)", idx, db.Size())
+			}
+			queries = append(queries, db.Vecs[idx])
+			labels = append(labels, fmt.Sprintf("#%d", idx))
 		}
-		x = db.Vecs[*index]
 	default:
 		return fmt.Errorf("provide a query via -index or -vec")
 	}
-	if len(x) != net.Dim() {
-		return fmt.Errorf("query has dim %d, model expects %d", len(x), net.Dim())
+	for _, x := range queries {
+		if len(x) != net.Dim() {
+			return fmt.Errorf("query has dim %d, model expects %d", len(x), net.Dim())
+		}
 	}
-	est := net.Estimate(x, *t)
-	fmt.Printf("estimated selectivity at t=%.4f: %.2f\n", *t, est)
+
+	// One estimate per (query, threshold) pair, computed in a single
+	// EstimateBatch tensor pass — the same path selestd serves.
+	x := tensor.New(len(queries)*len(ts), net.Dim())
+	tcol := make([]float64, 0, len(queries)*len(ts))
+	for _, q := range queries {
+		for _, t := range ts {
+			copy(x.Row(len(tcol)), q)
+			tcol = append(tcol, t)
+		}
+	}
+	ests := net.EstimateBatch(x, tcol)
+
+	if len(ests) == 1 {
+		fmt.Printf("estimated selectivity at t=%.4f: %.2f\n", ts[0], ests[0])
+		if db != nil {
+			fmt.Printf("exact selectivity:               %.0f\n", db.Selectivity(queries[0], ts[0]))
+		}
+		return nil
+	}
 	if db != nil {
-		fmt.Printf("exact selectivity:               %.0f\n", db.Selectivity(x, *t))
+		fmt.Printf("%8s %10s %12s %10s\n", "query", "t", "estimated", "exact")
+	} else {
+		fmt.Printf("%8s %10s %12s\n", "query", "t", "estimated")
+	}
+	for i, q := range queries {
+		for j, t := range ts {
+			est := ests[i*len(ts)+j]
+			if db != nil {
+				fmt.Printf("%8s %10.4f %12.2f %10.0f\n", labels[i], t, est, db.Selectivity(q, t))
+			} else {
+				fmt.Printf("%8s %10.4f %12.2f\n", labels[i], t, est)
+			}
+		}
 	}
 	return nil
 }

@@ -1,0 +1,131 @@
+// Command selestd is the SelNet model-serving daemon: it loads trained
+// .gob models (from 'selest train') and serves selectivity estimates
+// over HTTP with batched inference, an LRU estimate cache, and
+// hot-swappable models.
+//
+//	selestd -addr :8080 -model default=model.gob -model faces=faces.gob
+//
+// API (JSON):
+//
+//	GET  /healthz                liveness probe
+//	GET  /stats                  server, cache, and per-model counters
+//	GET  /v1/models              list loaded models
+//	POST /v1/models/{name}       load or hot-swap a model: {"path": "model.gob"}
+//	POST /v1/estimate            {"model": "default", "query": [...], "t": 0.2}
+//	POST /v1/estimate/batch      {"model": "default", "queries": [[...], ...], "ts": [...]}
+//
+// SIGINT/SIGTERM trigger a graceful shutdown: the listener stops, open
+// requests finish, and in-flight inference batches drain.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"selnet/internal/selnet"
+	"selnet/internal/serve"
+)
+
+// modelFlags collects repeated -model name=path arguments.
+type modelFlags []string
+
+func (m *modelFlags) String() string { return strings.Join(*m, ",") }
+
+func (m *modelFlags) Set(v string) error {
+	*m = append(*m, v)
+	return nil
+}
+
+func main() {
+	var models modelFlags
+	addr := flag.String("addr", ":8080", "listen address")
+	maxBatch := flag.Int("max-batch", 32, "max requests fused into one inference batch")
+	flush := flag.Duration("flush", 2*time.Millisecond, "max wait for a batch to fill before flushing")
+	workers := flag.Int("workers", 2, "concurrent inference batches per model")
+	cacheSize := flag.Int("cache", 4096, "LRU estimate cache capacity (0 disables)")
+	quantum := flag.Float64("quantum", 1e-6, "cache key quantization step for query coordinates and thresholds")
+	drain := flag.Duration("drain", 10*time.Second, "graceful shutdown timeout")
+	flag.Var(&models, "model", "model to serve as name=path (repeatable); bare path serves as \"default\"")
+	flag.Parse()
+
+	if err := run(*addr, models, serve.Config{
+		Batcher: serve.BatcherConfig{MaxBatch: *maxBatch, FlushInterval: *flush, Workers: *workers},
+		Cache:   serve.CacheConfig{Capacity: *cacheSize, Quantum: *quantum},
+	}, *drain); err != nil {
+		fmt.Fprintf(os.Stderr, "selestd: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr string, models []string, cfg serve.Config, drain time.Duration) error {
+	srv := serve.NewServer(cfg)
+	// srv.Close() waits for in-flight batches, which is unbounded if a
+	// handler is stuck; the drain-timeout path below skips it so -drain
+	// really bounds shutdown.
+	closeServer := true
+	defer func() {
+		if closeServer {
+			srv.Close()
+		}
+	}()
+
+	for _, spec := range models {
+		name, path, ok := strings.Cut(spec, "=")
+		if !ok {
+			name, path = "default", spec
+		}
+		net, err := selnet.LoadNetFile(path)
+		if err != nil {
+			return fmt.Errorf("load -model %s: %w", spec, err)
+		}
+		if _, err := srv.Registry().Publish(name, net, path); err != nil {
+			return err
+		}
+		log.Printf("loaded model %q from %s (dim %d, t_max %.4f)", name, path, net.Dim(), net.TMax())
+	}
+	if len(models) == 0 {
+		log.Printf("no -model given; load one with POST /v1/models/{name}")
+	}
+
+	hs := &http.Server{Addr: addr, Handler: srv.Handler()}
+	errc := make(chan error, 1)
+	go func() {
+		log.Printf("selestd listening on %s", addr)
+		errc <- hs.ListenAndServe()
+	}()
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errc:
+		return err
+	case sig := <-stop:
+		log.Printf("received %v, draining (timeout %v)...", sig, drain)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), drain)
+	defer cancel()
+	if err := hs.Shutdown(ctx); err != nil {
+		if errors.Is(err, context.DeadlineExceeded) {
+			// Handlers are still running; draining their batches would
+			// block past the deadline the operator asked for.
+			closeServer = false
+			log.Printf("drain timeout exceeded, exiting with requests in flight")
+			return nil
+		}
+		return err
+	}
+	// Shutdown returned cleanly: handlers finished, so the deferred
+	// srv.Close() only has empty batch queues to drain.
+	log.Printf("bye")
+	return nil
+}

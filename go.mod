@@ -1,0 +1,3 @@
+module selnet
+
+go 1.24

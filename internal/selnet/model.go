@@ -243,6 +243,14 @@ func (n *Net) forward(tp *autodiff.Tape, x, t *autodiff.Node) (yhat, aeLoss *aut
 // Estimate returns the estimated selectivity for a single query. The
 // threshold is clamped into [0, TMax]; Lemma 1 guarantees the result is
 // non-decreasing in t.
+//
+// Estimate, EstimateBatch and ControlPoints are safe for concurrent use:
+// each call builds a private tape and only reads the shared parameter
+// tensors (gradients are touched exclusively by Backward during Fit).
+// They must not run concurrently with Fit or Update, which mutate the
+// parameters in place — the serving layer (internal/serve) gets this
+// isolation by hot-swapping whole models instead of retraining live
+// ones.
 func (n *Net) Estimate(x []float64, t float64) float64 {
 	return n.EstimateBatch(tensor.RowVector(x), []float64{t})[0]
 }

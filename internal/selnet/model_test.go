@@ -3,6 +3,7 @@ package selnet
 import (
 	"math"
 	"math/rand"
+	"sync"
 	"testing"
 	"testing/quick"
 
@@ -257,4 +258,38 @@ func TestMAEAndLoss(t *testing.T) {
 	if loss <= 0 {
 		t.Fatalf("untrained loss should be positive, got %v", loss)
 	}
+}
+
+// TestConcurrentInference verifies the documented guarantee that
+// Estimate/EstimateBatch/ControlPoints are read-only and safe for
+// concurrent use (the serving layer depends on it); run with -race, and
+// check results are independent of interleaving.
+func TestConcurrentInference(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	net := NewNet(rng, 5, tinyConfig(1))
+	const goroutines = 8
+	queries := make([][]float64, goroutines)
+	want := make([]float64, goroutines)
+	for i := range queries {
+		queries[i] = make([]float64, 5)
+		for j := range queries[i] {
+			queries[i][j] = rng.Float64()
+		}
+		want[i] = net.Estimate(queries[i], 0.4)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				if got := net.Estimate(queries[g], 0.4); got != want[g] {
+					t.Errorf("goroutine %d: estimate %v, want %v", g, got, want[g])
+					return
+				}
+				net.ControlPoints(queries[g])
+			}
+		}(g)
+	}
+	wg.Wait()
 }

@@ -1,0 +1,247 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"selnet/internal/tensor"
+)
+
+// ErrBatcherClosed is returned by Submit after Close has begun.
+var ErrBatcherClosed = errors.New("serve: batcher closed")
+
+// BatcherConfig tunes the request coalescer.
+type BatcherConfig struct {
+	// MaxBatch is the largest number of requests fused into one
+	// EstimateBatch call (default 32).
+	MaxBatch int
+	// FlushInterval bounds how long a lone request waits for company
+	// before its batch is flushed anyway (default 2ms). Once at least
+	// two requests are fused, a drained queue flushes immediately.
+	FlushInterval time.Duration
+	// Workers is the number of goroutines running batches; each gathers
+	// its own batch, so up to Workers batches are in flight at once
+	// (default 2).
+	Workers int
+	// QueueDepth is the request channel's buffer (default 4*MaxBatch).
+	QueueDepth int
+}
+
+func (c BatcherConfig) withDefaults() BatcherConfig {
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = 32
+	}
+	if c.FlushInterval <= 0 {
+		c.FlushInterval = 2 * time.Millisecond
+	}
+	if c.Workers <= 0 {
+		c.Workers = 2
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 4 * c.MaxBatch
+	}
+	return c
+}
+
+// BatcherStats is a snapshot of coalescing effectiveness counters.
+type BatcherStats struct {
+	// Requests counts single-query requests submitted.
+	Requests uint64 `json:"requests"`
+	// Batches counts EstimateBatch calls issued.
+	Batches uint64 `json:"batches"`
+	// MaxFused is the largest batch fused so far.
+	MaxFused uint64 `json:"max_fused"`
+	// Timeouts counts batches flushed by the interval timer.
+	Timeouts uint64 `json:"timeouts"`
+}
+
+// Batcher coalesces concurrent single-query estimate requests for one
+// model into batched EstimateBatch calls — the hot path of serving,
+// since one tape pass over a B-row tensor is far cheaper than B passes
+// over 1-row tensors. A worker greedily gathers every queued request up
+// to MaxBatch and flushes as soon as the queue drains (never stalling
+// fused work); only a lone request waits, up to FlushInterval, for a
+// companion.
+type Batcher struct {
+	est Estimator
+	cfg BatcherConfig
+
+	reqs chan batchReq
+	wg   sync.WaitGroup // workers
+
+	mu       sync.Mutex // guards closed + inflight Add
+	closed   bool
+	inflight sync.WaitGroup // submitters inside the reqs channel handoff
+
+	requests atomic.Uint64
+	batches  atomic.Uint64
+	maxFused atomic.Uint64
+	timeouts atomic.Uint64
+}
+
+type batchReq struct {
+	x   []float64
+	t   float64
+	out chan batchRes
+}
+
+type batchRes struct {
+	v   float64
+	err error
+}
+
+// NewBatcher starts the coalescer's worker pool for est.
+func NewBatcher(est Estimator, cfg BatcherConfig) *Batcher {
+	cfg = cfg.withDefaults()
+	b := &Batcher{
+		est:  est,
+		cfg:  cfg,
+		reqs: make(chan batchReq, cfg.QueueDepth),
+	}
+	b.wg.Add(cfg.Workers)
+	for i := 0; i < cfg.Workers; i++ {
+		go b.worker()
+	}
+	return b
+}
+
+// Submit queues one (query, threshold) estimate and blocks until its
+// batch runs or ctx is done. It is safe for concurrent use.
+func (b *Batcher) Submit(ctx context.Context, x []float64, t float64) (float64, error) {
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		return 0, ErrBatcherClosed
+	}
+	b.inflight.Add(1)
+	b.mu.Unlock()
+	defer b.inflight.Done()
+
+	b.requests.Add(1)
+	r := batchReq{x: x, t: t, out: make(chan batchRes, 1)}
+	select {
+	case b.reqs <- r:
+	case <-ctx.Done():
+		return 0, ctx.Err()
+	}
+	// The batch worker always answers (even on panic), so waiting only on
+	// ctx alongside the reply never leaks the request.
+	select {
+	case res := <-r.out:
+		return res.v, res.err
+	case <-ctx.Done():
+		return 0, ctx.Err()
+	}
+}
+
+// Close stops accepting submissions, waits for queued requests to be
+// answered, and stops the workers. It is idempotent.
+func (b *Batcher) Close() {
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		b.wg.Wait()
+		return
+	}
+	b.closed = true
+	b.mu.Unlock()
+	b.inflight.Wait() // no submitter is mid-handoff once this returns
+	close(b.reqs)     // workers drain the buffer, then exit
+	b.wg.Wait()
+}
+
+// Stats returns a snapshot of the coalescing counters.
+func (b *Batcher) Stats() BatcherStats {
+	return BatcherStats{
+		Requests: b.requests.Load(),
+		Batches:  b.batches.Load(),
+		MaxFused: b.maxFused.Load(),
+		Timeouts: b.timeouts.Load(),
+	}
+}
+
+// worker gathers and runs batches until the request channel closes.
+func (b *Batcher) worker() {
+	defer b.wg.Done()
+	timer := time.NewTimer(0)
+	if !timer.Stop() {
+		<-timer.C
+	}
+	for first := range b.reqs {
+		batch := append(make([]batchReq, 0, b.cfg.MaxBatch), first)
+		timer.Reset(b.cfg.FlushInterval)
+	gather:
+		for len(batch) < b.cfg.MaxBatch {
+			// Greedy drain: take whatever is already queued without
+			// blocking.
+			select {
+			case r, ok := <-b.reqs:
+				if !ok {
+					break gather
+				}
+				batch = append(batch, r)
+				continue
+			default:
+			}
+			// Queue drained. With two or more requests fused there is
+			// nothing to wait for — stalling here would add the flush
+			// interval to every closed-loop client's latency. A lone
+			// request lingers up to the flush interval for company.
+			if len(batch) > 1 {
+				break gather
+			}
+			select {
+			case r, ok := <-b.reqs:
+				if !ok {
+					break gather
+				}
+				batch = append(batch, r)
+			case <-timer.C:
+				b.timeouts.Add(1)
+				break gather
+			}
+		}
+		if !timer.Stop() {
+			select {
+			case <-timer.C:
+			default:
+			}
+		}
+		b.run(batch)
+	}
+}
+
+// run executes one fused EstimateBatch call and distributes results.
+func (b *Batcher) run(batch []batchReq) {
+	defer func() {
+		if p := recover(); p != nil {
+			err := fmt.Errorf("serve: batched inference panicked: %v", p)
+			for _, r := range batch {
+				// Buffered reply channels: never blocks, even if the
+				// submitter already gave up on ctx.
+				r.out <- batchRes{err: err}
+			}
+		}
+	}()
+	b.batches.Add(1)
+	for {
+		cur := b.maxFused.Load()
+		if uint64(len(batch)) <= cur || b.maxFused.CompareAndSwap(cur, uint64(len(batch))) {
+			break
+		}
+	}
+	x := tensor.New(len(batch), len(batch[0].x))
+	ts := make([]float64, len(batch))
+	for i, r := range batch {
+		copy(x.Row(i), r.x)
+		ts[i] = r.t
+	}
+	out := b.est.EstimateBatch(x, ts)
+	for i, r := range batch {
+		r.out <- batchRes{v: out[i]}
+	}
+}

@@ -1,0 +1,190 @@
+package serve
+
+import (
+	"context"
+	"math"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"selnet/internal/tensor"
+)
+
+// fakeEst is a deterministic, instrumented Estimator: the estimate is
+// scale*(sum(x)+t), each EstimateBatch call is counted, and an optional
+// per-call delay models real inference cost.
+type fakeEst struct {
+	dim   int
+	scale float64
+	delay time.Duration
+
+	calls   atomic.Uint64
+	rows    atomic.Uint64
+	maxRows atomic.Uint64
+}
+
+func newFakeEst(dim int) *fakeEst { return &fakeEst{dim: dim, scale: 1} }
+
+func (f *fakeEst) Estimate(x []float64, t float64) float64 {
+	return f.EstimateBatch(tensor.RowVector(x), []float64{t})[0]
+}
+
+func (f *fakeEst) EstimateBatch(x *tensor.Dense, ts []float64) []float64 {
+	f.calls.Add(1)
+	f.rows.Add(uint64(len(ts)))
+	for {
+		cur := f.maxRows.Load()
+		if uint64(len(ts)) <= cur || f.maxRows.CompareAndSwap(cur, uint64(len(ts))) {
+			break
+		}
+	}
+	if f.delay > 0 {
+		time.Sleep(f.delay)
+	}
+	out := make([]float64, len(ts))
+	for i := range out {
+		var s float64
+		for _, v := range x.Row(i) {
+			s += v
+		}
+		out[i] = f.scale * (s + ts[i])
+	}
+	return out
+}
+
+func (f *fakeEst) Dim() int      { return f.dim }
+func (f *fakeEst) TMax() float64 { return 1 }
+func (f *fakeEst) Name() string  { return "fake" }
+
+func fakeWant(scale float64, x []float64, t float64) float64 {
+	var s float64
+	for _, v := range x {
+		s += v
+	}
+	return scale * (s + t)
+}
+
+func TestBatcherCoalescesConcurrentRequests(t *testing.T) {
+	est := newFakeEst(3)
+	est.delay = 2 * time.Millisecond // give submitters time to pile up
+	b := NewBatcher(est, BatcherConfig{MaxBatch: 64, FlushInterval: 5 * time.Millisecond, Workers: 1})
+	defer b.Close()
+
+	const n = 48
+	var wg sync.WaitGroup
+	errs := make(chan error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			x := []float64{float64(i), 1, 2}
+			got, err := b.Submit(context.Background(), x, 0.5)
+			if err != nil {
+				errs <- err
+				return
+			}
+			if want := fakeWant(1, x, 0.5); math.Abs(got-want) > 1e-12 {
+				t.Errorf("request %d: got %v, want %v", i, got, want)
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatalf("submit: %v", err)
+	}
+	st := b.Stats()
+	if st.Requests != n {
+		t.Fatalf("stats requests = %d, want %d", st.Requests, n)
+	}
+	if st.Batches >= n {
+		t.Fatalf("no coalescing: %d batches for %d requests", st.Batches, n)
+	}
+	if st.MaxFused < 2 {
+		t.Fatalf("max fused batch %d, want >= 2", st.MaxFused)
+	}
+}
+
+func TestBatcherRespectsMaxBatch(t *testing.T) {
+	est := newFakeEst(2)
+	est.delay = time.Millisecond
+	b := NewBatcher(est, BatcherConfig{MaxBatch: 4, FlushInterval: 20 * time.Millisecond, Workers: 2})
+	defer b.Close()
+
+	var wg sync.WaitGroup
+	for i := 0; i < 32; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if _, err := b.Submit(context.Background(), []float64{float64(i), 0}, 0.1); err != nil {
+				t.Errorf("submit: %v", err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	if got := est.maxRows.Load(); got > 4 {
+		t.Fatalf("largest EstimateBatch had %d rows, MaxBatch is 4", got)
+	}
+	if got := est.rows.Load(); got != 32 {
+		t.Fatalf("estimator saw %d rows, want 32", got)
+	}
+}
+
+func TestBatcherFlushInterval(t *testing.T) {
+	est := newFakeEst(1)
+	b := NewBatcher(est, BatcherConfig{MaxBatch: 1000, FlushInterval: time.Millisecond, Workers: 1})
+	defer b.Close()
+
+	// A lone request must not wait for 999 friends.
+	start := time.Now()
+	if _, err := b.Submit(context.Background(), []float64{1}, 0.2); err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	if d := time.Since(start); d > 2*time.Second {
+		t.Fatalf("lone request took %v, the flush timer is not firing", d)
+	}
+	if st := b.Stats(); st.Timeouts == 0 {
+		t.Fatalf("expected a timer flush, stats: %+v", st)
+	}
+}
+
+func TestBatcherCloseDrainsAndRejects(t *testing.T) {
+	est := newFakeEst(1)
+	est.delay = time.Millisecond
+	b := NewBatcher(est, BatcherConfig{MaxBatch: 8, FlushInterval: time.Millisecond, Workers: 1})
+
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			// Every request submitted before Close must be answered, not
+			// dropped.
+			if _, err := b.Submit(context.Background(), []float64{float64(i)}, 0.1); err != nil {
+				t.Errorf("pre-close submit: %v", err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	b.Close()
+	b.Close() // idempotent
+	if _, err := b.Submit(context.Background(), []float64{1}, 0.1); err != ErrBatcherClosed {
+		t.Fatalf("post-close submit error = %v, want ErrBatcherClosed", err)
+	}
+	if got := est.rows.Load(); got != 16 {
+		t.Fatalf("estimator saw %d rows, want 16", got)
+	}
+}
+
+func TestBatcherContextCancellation(t *testing.T) {
+	est := newFakeEst(1)
+	b := NewBatcher(est, BatcherConfig{MaxBatch: 4, FlushInterval: time.Hour, Workers: 1})
+	defer b.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := b.Submit(ctx, []float64{1}, 0.1); err != context.Canceled {
+		t.Fatalf("submit error = %v, want context.Canceled", err)
+	}
+}

@@ -1,0 +1,190 @@
+// Package serve is the model-serving subsystem behind the selestd
+// daemon: a registry of trained SelNet models with lock-free reads and
+// copy-on-write hot-swap, a request coalescer that batches concurrent
+// single-query estimates into one tensor inference call, an LRU cache of
+// recent estimates, and an HTTP server tying them together with graceful,
+// drain-aware shutdown.
+//
+// The subsystem serves any Estimator; in practice that is *selnet.Net,
+// whose inference methods are read-only and safe for concurrent use (see
+// the concurrency note on Net.EstimateBatch).
+package serve
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"selnet/internal/tensor"
+)
+
+// Estimator is the inference surface the server needs from a model.
+// *selnet.Net satisfies it. Implementations must be safe for concurrent
+// use: the server calls EstimateBatch from many goroutines at once.
+type Estimator interface {
+	Estimate(x []float64, t float64) float64
+	EstimateBatch(x *tensor.Dense, ts []float64) []float64
+	Dim() int
+	TMax() float64
+	Name() string
+}
+
+// Model is one registry entry: an estimator plus its serving apparatus
+// (per-model coalescer) and metadata. Models are immutable once
+// published; hot-swapping replaces the whole entry.
+type Model struct {
+	// Name is the registry key, chosen at load time (not the estimator's
+	// architecture name).
+	Name string
+	// Est is the underlying estimator.
+	Est Estimator
+	// Source records where the model was loaded from (a file path).
+	Source string
+	// LoadedAt is the publication time.
+	LoadedAt time.Time
+	// Generation increments on every swap of this name, starting at 1.
+	Generation uint64
+
+	batcher *Batcher
+}
+
+// Batcher returns the model's request coalescer (nil if the registry was
+// built without batching).
+func (m *Model) Batcher() *Batcher { return m.batcher }
+
+// Registry maps model names to Models. Reads are lock-free: the live
+// table is an immutable map behind an atomic pointer, and every mutation
+// copies it (copy-on-write), so in-flight requests holding a *Model are
+// never blocked — or affected — by a hot-swap. Writers serialize on a
+// mutex.
+type Registry struct {
+	table atomic.Pointer[map[string]*Model]
+
+	mu         sync.Mutex // serializes writers
+	generation map[string]uint64
+	newBatcher func(Estimator) *Batcher
+}
+
+// NewRegistry returns an empty registry. newBatcher, if non-nil, is
+// invoked for each published model to build its coalescer; the registry
+// closes the old model's batcher after a swap.
+func NewRegistry(newBatcher func(Estimator) *Batcher) *Registry {
+	r := &Registry{
+		generation: make(map[string]uint64),
+		newBatcher: newBatcher,
+	}
+	empty := map[string]*Model{}
+	r.table.Store(&empty)
+	return r
+}
+
+// Get returns the model published under name, or false. The returned
+// *Model and its estimator remain valid even if the name is swapped or
+// removed concurrently. Its batcher, however, begins closing once the
+// model is swapped out: queued requests still drain, but a Submit
+// racing the swap can return ErrBatcherClosed — callers should fall
+// back to direct inference on the handle's estimator (the HTTP server
+// does).
+func (r *Registry) Get(name string) (*Model, bool) {
+	m, ok := (*r.table.Load())[name]
+	return m, ok
+}
+
+// List returns the published models sorted by name.
+func (r *Registry) List() []*Model {
+	t := *r.table.Load()
+	out := make([]*Model, 0, len(t))
+	for _, m := range t {
+		out = append(out, m)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Len returns the number of published models.
+func (r *Registry) Len() int { return len(*r.table.Load()) }
+
+// Publish installs est under name, replacing any existing model with
+// that name (hot-swap). The previous model's batcher, if any, is closed
+// in the background after draining. It returns the new entry.
+func (r *Registry) Publish(name string, est Estimator, source string) (*Model, error) {
+	if name == "" {
+		return nil, fmt.Errorf("serve: empty model name")
+	}
+	if est == nil {
+		return nil, fmt.Errorf("serve: nil estimator for %q", name)
+	}
+	m := &Model{
+		Name:     name,
+		Est:      est,
+		Source:   source,
+		LoadedAt: time.Now(),
+	}
+	if r.newBatcher != nil {
+		m.batcher = r.newBatcher(est)
+	}
+
+	r.mu.Lock()
+	r.generation[name]++
+	m.Generation = r.generation[name]
+	old := r.swapLocked(name, m)
+	r.mu.Unlock()
+
+	if old != nil && old.batcher != nil {
+		// Close drains in-flight work; do it off the writer's goroutine so
+		// Publish never waits on the old model's queue.
+		go old.batcher.Close()
+	}
+	return m, nil
+}
+
+// Remove unpublishes name, returning whether it was present. Like a
+// swap, the removed model's batcher drains and closes in the background.
+func (r *Registry) Remove(name string) bool {
+	r.mu.Lock()
+	old := r.swapLocked(name, nil)
+	r.mu.Unlock()
+	if old == nil {
+		return false
+	}
+	if old.batcher != nil {
+		go old.batcher.Close()
+	}
+	return true
+}
+
+// swapLocked installs m under name (or deletes name when m is nil) by
+// copying the live table, and returns the previous entry. Callers hold
+// r.mu.
+func (r *Registry) swapLocked(name string, m *Model) *Model {
+	cur := *r.table.Load()
+	next := make(map[string]*Model, len(cur)+1)
+	for k, v := range cur {
+		next[k] = v
+	}
+	old := next[name]
+	if m == nil {
+		delete(next, name)
+	} else {
+		next[name] = m
+	}
+	r.table.Store(&next)
+	return old
+}
+
+// Close drains and closes every published model's batcher and empties
+// the registry.
+func (r *Registry) Close() {
+	r.mu.Lock()
+	cur := *r.table.Load()
+	empty := map[string]*Model{}
+	r.table.Store(&empty)
+	r.mu.Unlock()
+	for _, m := range cur {
+		if m.batcher != nil {
+			m.batcher.Close()
+		}
+	}
+}

@@ -1,0 +1,358 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sync/atomic"
+	"time"
+
+	"selnet/internal/selnet"
+	"selnet/internal/tensor"
+)
+
+// Config assembles a Server.
+type Config struct {
+	// Batcher tunes the per-model request coalescer.
+	Batcher BatcherConfig
+	// Cache tunes the shared estimate cache (Capacity 0 disables it).
+	Cache CacheConfig
+	// NoBatch disables coalescing: single estimates run inline on the
+	// caller's goroutine. Used by the naive arm of the serving benchmark.
+	NoBatch bool
+}
+
+// Server is the HTTP model-serving front end: it owns the model
+// registry, the per-model coalescers, and the estimate cache, and
+// exposes them as a JSON API (see Handler for routes).
+type Server struct {
+	cfg      Config
+	registry *Registry
+	cache    *Cache
+	started  time.Time
+
+	requests atomic.Uint64 // HTTP requests accepted
+	errors   atomic.Uint64 // requests answered 4xx/5xx
+}
+
+// NewServer builds a server with an empty registry.
+func NewServer(cfg Config) *Server {
+	s := &Server{cfg: cfg, started: time.Now()}
+	var nb func(Estimator) *Batcher
+	if !cfg.NoBatch {
+		nb = func(est Estimator) *Batcher { return NewBatcher(est, cfg.Batcher) }
+	}
+	s.registry = NewRegistry(nb)
+	s.cache = NewCache(cfg.Cache)
+	return s
+}
+
+// Registry exposes the model registry (the daemon preloads models
+// through it).
+func (s *Server) Registry() *Registry { return s.registry }
+
+// Close drains every model's in-flight batches and releases the worker
+// pools. Call after the HTTP listener has stopped accepting requests.
+func (s *Server) Close() { s.registry.Close() }
+
+// Handler returns the route table:
+//
+//	GET  /healthz              liveness probe
+//	GET  /stats                server, cache, and per-model counters
+//	GET  /v1/models            list published models
+//	POST /v1/models/{name}     load/hot-swap a .gob model: {"path": "..."}
+//	POST /v1/estimate          {"model","query","t"} -> one estimate
+//	POST /v1/estimate/batch    {"model","queries",["ts"|"t"]} -> estimates
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /stats", s.handleStats)
+	mux.HandleFunc("GET /v1/models", s.handleListModels)
+	mux.HandleFunc("POST /v1/models/{name}", s.handleLoadModel)
+	mux.HandleFunc("POST /v1/estimate", s.handleEstimate)
+	mux.HandleFunc("POST /v1/estimate/batch", s.handleEstimateBatch)
+	return s.count(mux)
+}
+
+// count wraps the mux with the request/error counters.
+func (s *Server) count(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		s.requests.Add(1)
+		cw := &codeWriter{ResponseWriter: w, code: http.StatusOK}
+		next.ServeHTTP(cw, r)
+		if cw.code >= 400 {
+			s.errors.Add(1)
+		}
+	})
+}
+
+type codeWriter struct {
+	http.ResponseWriter
+	code int
+}
+
+func (w *codeWriter) WriteHeader(code int) {
+	w.code = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// ----------------------------------------------------------------------------
+// Wire types
+
+type estimateRequest struct {
+	Model string    `json:"model"`
+	Query []float64 `json:"query"`
+	T     float64   `json:"t"`
+}
+
+type estimateResponse struct {
+	Model    string  `json:"model"`
+	Estimate float64 `json:"estimate"`
+	T        float64 `json:"t"`
+	Cached   bool    `json:"cached"`
+}
+
+type estimateBatchRequest struct {
+	Model   string      `json:"model"`
+	Queries [][]float64 `json:"queries"`
+	// Ts gives one threshold per query; alternatively T broadcasts a
+	// single threshold to every query.
+	Ts []float64 `json:"ts,omitempty"`
+	T  *float64  `json:"t,omitempty"`
+}
+
+type estimateBatchResponse struct {
+	Model     string    `json:"model"`
+	Estimates []float64 `json:"estimates"`
+}
+
+type loadModelRequest struct {
+	Path string `json:"path"`
+}
+
+type modelInfo struct {
+	Name       string        `json:"name"`
+	Kind       string        `json:"kind"`
+	Dim        int           `json:"dim"`
+	TMax       float64       `json:"t_max"`
+	Source     string        `json:"source,omitempty"`
+	Generation uint64        `json:"generation"`
+	LoadedAt   time.Time     `json:"loaded_at"`
+	Batcher    *BatcherStats `json:"batcher,omitempty"`
+}
+
+type statsResponse struct {
+	UptimeSeconds float64     `json:"uptime_seconds"`
+	Requests      uint64      `json:"requests"`
+	Errors        uint64      `json:"errors"`
+	Cache         CacheStats  `json:"cache"`
+	Models        []modelInfo `json:"models"`
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+// ----------------------------------------------------------------------------
+// Handlers
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"status": "ok", "models": s.registry.Len()})
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	resp := statsResponse{
+		UptimeSeconds: time.Since(s.started).Seconds(),
+		Requests:      s.requests.Load(),
+		Errors:        s.errors.Load(),
+		Cache:         s.cache.Stats(),
+		Models:        s.modelInfos(true),
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleListModels(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"models": s.modelInfos(false)})
+}
+
+func newModelInfo(m *Model) modelInfo {
+	return modelInfo{
+		Name:       m.Name,
+		Kind:       m.Est.Name(),
+		Dim:        m.Est.Dim(),
+		TMax:       m.Est.TMax(),
+		Source:     m.Source,
+		Generation: m.Generation,
+		LoadedAt:   m.LoadedAt,
+	}
+}
+
+func (s *Server) modelInfos(withBatcher bool) []modelInfo {
+	models := s.registry.List()
+	out := make([]modelInfo, 0, len(models))
+	for _, m := range models {
+		mi := newModelInfo(m)
+		if withBatcher && m.Batcher() != nil {
+			st := m.Batcher().Stats()
+			mi.Batcher = &st
+		}
+		out = append(out, mi)
+	}
+	return out
+}
+
+func (s *Server) handleLoadModel(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	var req loadModelRequest
+	if err := decodeJSON(r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if req.Path == "" {
+		writeError(w, http.StatusBadRequest, errors.New("missing \"path\""))
+		return
+	}
+	net, err := selnet.LoadNetFile(req.Path)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("load %s: %w", req.Path, err))
+		return
+	}
+	m, err := s.registry.Publish(name, net, req.Path)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, newModelInfo(m))
+}
+
+func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
+	var req estimateRequest
+	if err := decodeJSON(r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	m, status, err := s.lookup(req.Model, req.Query)
+	if err != nil {
+		writeError(w, status, err)
+		return
+	}
+	var key string
+	if s.cache.Enabled() {
+		key = s.cache.Key(m, req.Query, req.T)
+		if v, ok := s.cache.Get(key); ok {
+			writeJSON(w, http.StatusOK, estimateResponse{Model: m.Name, Estimate: v, T: req.T, Cached: true})
+			return
+		}
+	}
+	var v float64
+	if b := m.Batcher(); b != nil {
+		v, err = b.Submit(r.Context(), req.Query, req.T)
+		if errors.Is(err, ErrBatcherClosed) {
+			// The model was hot-swapped or removed between lookup and
+			// submit; our handle's estimator is still valid, so answer
+			// inline rather than surfacing the swap to the client.
+			v, err = m.Est.Estimate(req.Query, req.T), nil
+		}
+		if err != nil {
+			status := http.StatusServiceUnavailable
+			if errors.Is(err, r.Context().Err()) && r.Context().Err() != nil {
+				status = 499 // client closed request
+			}
+			writeError(w, status, err)
+			return
+		}
+	} else {
+		v = m.Est.Estimate(req.Query, req.T)
+	}
+	if s.cache.Enabled() {
+		s.cache.Put(key, v)
+	}
+	writeJSON(w, http.StatusOK, estimateResponse{Model: m.Name, Estimate: v, T: req.T})
+}
+
+func (s *Server) handleEstimateBatch(w http.ResponseWriter, r *http.Request) {
+	var req estimateBatchRequest
+	if err := decodeJSON(r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if len(req.Queries) == 0 {
+		writeError(w, http.StatusBadRequest, errors.New("empty \"queries\""))
+		return
+	}
+	ts := req.Ts
+	switch {
+	case req.T != nil && len(ts) > 0:
+		writeError(w, http.StatusBadRequest, errors.New("provide \"t\" or \"ts\", not both"))
+		return
+	case req.T != nil:
+		ts = make([]float64, len(req.Queries))
+		for i := range ts {
+			ts[i] = *req.T
+		}
+	case len(ts) != len(req.Queries):
+		writeError(w, http.StatusBadRequest,
+			fmt.Errorf("%d queries but %d thresholds", len(req.Queries), len(ts)))
+		return
+	}
+	m, status, err := s.lookup(req.Model, req.Queries[0])
+	if err != nil {
+		writeError(w, status, err)
+		return
+	}
+	x := tensor.New(len(req.Queries), m.Est.Dim())
+	for i, q := range req.Queries {
+		if len(q) != m.Est.Dim() {
+			writeError(w, http.StatusBadRequest,
+				fmt.Errorf("query %d has dim %d, model %q expects %d", i, len(q), m.Name, m.Est.Dim()))
+			return
+		}
+		copy(x.Row(i), q)
+	}
+	// Already a batch: run the tensor pass directly, bypassing the
+	// coalescer (which exists to fuse separate requests).
+	writeJSON(w, http.StatusOK, estimateBatchResponse{Model: m.Name, Estimates: m.Est.EstimateBatch(x, ts)})
+}
+
+// lookup resolves the model and validates the query shape, returning an
+// HTTP status on failure.
+func (s *Server) lookup(name string, query []float64) (*Model, int, error) {
+	if name == "" {
+		name = "default"
+	}
+	m, ok := s.registry.Get(name)
+	if !ok {
+		return nil, http.StatusNotFound, fmt.Errorf("unknown model %q", name)
+	}
+	if len(query) == 0 {
+		return nil, http.StatusBadRequest, errors.New("empty \"query\"")
+	}
+	if len(query) != m.Est.Dim() {
+		return nil, http.StatusBadRequest,
+			fmt.Errorf("query has dim %d, model %q expects %d", len(query), m.Name, m.Est.Dim())
+	}
+	return m, 0, nil
+}
+
+// ----------------------------------------------------------------------------
+// JSON plumbing
+
+func decodeJSON(r *http.Request, v any) error {
+	dec := json.NewDecoder(http.MaxBytesReader(nil, r.Body, 16<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return fmt.Errorf("bad request body: %w", err)
+	}
+	return nil
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, errorResponse{Error: err.Error()})
+}
