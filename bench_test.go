@@ -14,8 +14,10 @@ import (
 	"time"
 
 	"selnet/internal/experiments"
+	"selnet/internal/ingest"
 	"selnet/internal/selnet"
 	"selnet/internal/serve"
+	"selnet/internal/vecdata"
 )
 
 func quick() experiments.Config { return experiments.QuickConfig() }
@@ -289,6 +291,70 @@ func BenchmarkServeNaive(b *testing.B) {
 			i++
 		}
 	})
+}
+
+// BenchmarkIngestRetrainSwap measures the end-to-end update-to-visible
+// latency of the ingest subsystem: one insert batch journaled through
+// the pipeline, applied to the private database, shadow-retrained
+// (δ_U forced to fire, capped incremental epochs), and hot-swapped into
+// the registry. ns/op is the full journal->apply->retrain->swap cycle;
+// the retrain dominates, so this is the number future PRs should drive
+// down (cheaper relabelling, fewer epochs, faster tape).
+func BenchmarkIngestRetrainSwap(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	db := vecdata.SyntheticFace(rng, 400, 8)
+	wl := vecdata.GeometricWorkload(rng, db, 16, 4)
+	cut := len(wl.Queries) * 3 / 4
+	train, valid := wl.Queries[:cut], wl.Queries[cut:]
+	cfg := selnet.Config{
+		L: 8, EmbedDim: 8,
+		AEHidden: []int{16}, AELatent: 4,
+		TauHidden: []int{16}, MHidden: []int{16},
+		TMax: wl.TMax, Lambda: 0.1, QueryDependentTau: true, NormEps: 1e-6,
+	}
+	net := selnet.NewNet(rng, db.Dim, cfg)
+	tc := selnet.TrainConfig{Epochs: 2, Batch: 64, LR: 5e-3, HuberDelta: 1.345, LogEps: 1e-3, Seed: 1}
+	net.Fit(tc, db, train, valid)
+
+	reg := serve.NewRegistry(nil)
+	if _, err := reg.Publish("bench", net, "bench"); err != nil {
+		b.Fatal(err)
+	}
+	pipe := ingest.New(ingest.Config{
+		Registry: reg,
+		Train:    tc,
+		// DeltaU < 0 forces a retrain+swap every cycle, so every
+		// iteration measures the full update-to-visible path.
+		Update: selnet.UpdateConfig{DeltaU: -1, Patience: 1, MaxEpochs: 2},
+	})
+	defer pipe.Close()
+	// The pipeline owns its database copy; the benchmark keeps sampling
+	// insert vectors from the original without racing the worker.
+	if err := pipe.Attach("bench", net, db.Clone(), train, valid); err != nil {
+		b.Fatal(err)
+	}
+
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ins := make([][]float64, 5)
+		for j := range ins {
+			ins[j] = vecdata.SampleLike(rng, db, 0.05)
+		}
+		ack, err := pipe.Enqueue("bench", ins, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !pipe.WaitApplied("bench", ack.Seq) {
+			b.Fatal("batch never applied")
+		}
+	}
+	b.StopTimer()
+	m, _ := reg.Get("bench")
+	if got, want := m.Generation, uint64(b.N+1); got != want {
+		b.Fatalf("generation %d after %d updates, want %d", got, b.N, want)
+	}
+	st := pipe.UpdaterStats()["bench"]
+	b.ReportMetric(float64(st.Retrained), "swaps")
 }
 
 func benchEstimate(b *testing.B, model string) {

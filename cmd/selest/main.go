@@ -315,24 +315,13 @@ func cmdEstimate(args []string) error {
 // (one per line) under the given distance function.
 func loadAnyDatabase(path, dist string) (*vecdata.Database, error) {
 	if strings.HasSuffix(path, ".csv") {
-		d, err := parseDist(dist)
+		d, err := distance.Parse(dist)
 		if err != nil {
 			return nil, err
 		}
 		return vecdata.ReadCSVFile(path, d)
 	}
 	return vecdata.LoadDatabaseFile(path)
-}
-
-func parseDist(s string) (distance.Func, error) {
-	switch s {
-	case "cos", "cosine":
-		return distance.Cosine, nil
-	case "l2", "euclidean":
-		return distance.Euclidean, nil
-	default:
-		return 0, fmt.Errorf("unknown distance %q (use cos or l2)", s)
-	}
 }
 
 func parseVector(s string) ([]float64, error) {

@@ -1,21 +1,31 @@
 // Command selestd is the SelNet model-serving daemon: it loads trained
 // .gob models (from 'selest train') and serves selectivity estimates
-// over HTTP with batched inference, an LRU estimate cache, and
-// hot-swappable models.
+// over HTTP with batched inference, an LRU estimate cache, hot-swappable
+// models, and — for models attached to a database via -data — streaming
+// insert/delete ingestion with Sec. 5.4 shadow retraining.
 //
-//	selestd -addr :8080 -model default=model.gob -model faces=faces.gob
+//	selestd -addr :8080 -model default=model.gob -data default=vectors.csv
 //
 // API (JSON):
 //
-//	GET  /healthz                liveness probe
-//	GET  /stats                  server, cache, and per-model counters
-//	GET  /v1/models              list loaded models
-//	POST /v1/models/{name}       load or hot-swap a model: {"path": "model.gob"}
-//	POST /v1/estimate            {"model": "default", "query": [...], "t": 0.2}
-//	POST /v1/estimate/batch      {"model": "default", "queries": [[...], ...], "ts": [...]}
+//	GET  /healthz                   liveness probe
+//	GET  /stats                     server, cache, ingest, per-model counters
+//	GET  /metrics                   Prometheus text exposition
+//	GET  /v1/models                 list loaded models
+//	POST /v1/models/{name}          load or hot-swap a model: {"path": "model.gob"}
+//	POST /v1/models/{name}/update   {"insert": [[...]], "delete": [[...]]}
+//	POST /v1/estimate               {"model": "default", "query": [...], "t": 0.2}
+//	POST /v1/estimate/batch         {"model": "default", "queries": [[...], ...], "ts": [...]}
+//
+// Updates are journaled per model and answered 202 immediately (429
+// under queue backpressure); a background worker coalesces pending
+// batches, applies them to the model's private database copy, runs the
+// δ_U accuracy check on a shadow clone, and hot-swaps the retrained
+// shadow in — serving traffic never blocks on retraining.
 //
 // SIGINT/SIGTERM trigger a graceful shutdown: the listener stops, open
-// requests finish, and in-flight inference batches drain.
+// requests finish, the ingest journals drain (every accepted batch is
+// applied), and in-flight inference batches drain.
 package main
 
 import (
@@ -24,6 +34,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"math/rand"
 	"net/http"
 	"os"
 	"os/signal"
@@ -31,22 +42,37 @@ import (
 	"syscall"
 	"time"
 
+	"selnet/internal/distance"
+	"selnet/internal/ingest"
 	"selnet/internal/selnet"
 	"selnet/internal/serve"
+	"selnet/internal/vecdata"
 )
 
-// modelFlags collects repeated -model name=path arguments.
-type modelFlags []string
+// repeatedFlags collects repeated name=value arguments.
+type repeatedFlags []string
 
-func (m *modelFlags) String() string { return strings.Join(*m, ",") }
+func (m *repeatedFlags) String() string { return strings.Join(*m, ",") }
 
-func (m *modelFlags) Set(v string) error {
+func (m *repeatedFlags) Set(v string) error {
 	*m = append(*m, v)
 	return nil
 }
 
+// ingestOptions carries the -update-* and retrain flag values.
+type ingestOptions struct {
+	queueDepth     int
+	coalesceMax    int
+	retrainWorkers int
+	deltaU         float64
+	patience       int
+	maxEpochs      int
+	queries        int
+	dist           distance.Func
+}
+
 func main() {
-	var models modelFlags
+	var models, data repeatedFlags
 	addr := flag.String("addr", ":8080", "listen address")
 	maxBatch := flag.Int("max-batch", 32, "max requests fused into one inference batch")
 	flush := flag.Duration("flush", 2*time.Millisecond, "max wait for a batch to fill before flushing")
@@ -54,19 +80,43 @@ func main() {
 	cacheSize := flag.Int("cache", 4096, "LRU estimate cache capacity (0 disables)")
 	quantum := flag.Float64("quantum", 1e-6, "cache key quantization step for query coordinates and thresholds")
 	drain := flag.Duration("drain", 10*time.Second, "graceful shutdown timeout")
+	updateQueue := flag.Int("update-queue", 64, "pending update batches per model before 429 backpressure")
+	coalesce := flag.Int("coalesce", 8, "max update batches fused into one retrain cycle")
+	retrainWorkers := flag.Int("retrain-workers", 1, "concurrent shadow retrains across all models")
+	deltaU := flag.Float64("delta-u", 1.0, "MAE-change threshold delta_U gating incremental retraining (Sec. 5.4)")
+	patience := flag.Int("retrain-patience", 3, "non-improving epochs that stop incremental retraining")
+	maxEpochs := flag.Int("retrain-epochs", 30, "max incremental epochs per retrain cycle")
+	updateQueries := flag.Int("update-queries", 32, "query vectors in the generated delta_U validation workload")
+	distName := flag.String("dist", "l2", "distance function for -data CSV databases: l2 or cosine")
 	flag.Var(&models, "model", "model to serve as name=path (repeatable); bare path serves as \"default\"")
+	flag.Var(&data, "data", "CSV vector database attached to a -model for streaming updates, as name=path.csv (repeatable)")
 	flag.Parse()
 
-	if err := run(*addr, models, serve.Config{
+	dist, err := distance.Parse(*distName)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "selestd: %v\n", err)
+		os.Exit(1)
+	}
+	opts := ingestOptions{
+		queueDepth:     *updateQueue,
+		coalesceMax:    *coalesce,
+		retrainWorkers: *retrainWorkers,
+		deltaU:         *deltaU,
+		patience:       *patience,
+		maxEpochs:      *maxEpochs,
+		queries:        *updateQueries,
+		dist:           dist,
+	}
+	if err := run(*addr, models, data, serve.Config{
 		Batcher: serve.BatcherConfig{MaxBatch: *maxBatch, FlushInterval: *flush, Workers: *workers},
 		Cache:   serve.CacheConfig{Capacity: *cacheSize, Quantum: *quantum},
-	}, *drain); err != nil {
+	}, opts, *drain); err != nil {
 		fmt.Fprintf(os.Stderr, "selestd: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr string, models []string, cfg serve.Config, drain time.Duration) error {
+func run(addr string, models, data []string, cfg serve.Config, opts ingestOptions, drain time.Duration) error {
 	srv := serve.NewServer(cfg)
 	// srv.Close() waits for in-flight batches, which is unbounded if a
 	// handler is stuck; the drain-timeout path below skips it so -drain
@@ -78,6 +128,7 @@ func run(addr string, models []string, cfg serve.Config, drain time.Duration) er
 		}
 	}()
 
+	loaded := map[string]*selnet.Net{}
 	for _, spec := range models {
 		name, path, ok := strings.Cut(spec, "=")
 		if !ok {
@@ -90,10 +141,27 @@ func run(addr string, models []string, cfg serve.Config, drain time.Duration) er
 		if _, err := srv.Registry().Publish(name, net, path); err != nil {
 			return err
 		}
+		loaded[name] = net
 		log.Printf("loaded model %q from %s (dim %d, t_max %.4f)", name, path, net.Dim(), net.TMax())
 	}
 	if len(models) == 0 {
 		log.Printf("no -model given; load one with POST /v1/models/{name}")
+	}
+
+	// Like srv.Close, draining the update journals (shadow retrains
+	// included) is unbounded work; the drain-timeout path below skips it
+	// so -drain really bounds shutdown even with a full update queue.
+	drainPipeline := true
+	pipe, err := attachIngest(srv, loaded, data, opts)
+	if err != nil {
+		return err
+	}
+	if pipe != nil {
+		defer func() {
+			if drainPipeline {
+				pipe.Close()
+			}
+		}()
 	}
 
 	hs := &http.Server{Addr: addr, Handler: srv.Handler()}
@@ -116,16 +184,85 @@ func run(addr string, models []string, cfg serve.Config, drain time.Duration) er
 	defer cancel()
 	if err := hs.Shutdown(ctx); err != nil {
 		if errors.Is(err, context.DeadlineExceeded) {
-			// Handlers are still running; draining their batches would
-			// block past the deadline the operator asked for.
+			// Handlers are still running; draining their batches — or the
+			// update journals, whose shadow retrains can take minutes —
+			// would block past the deadline the operator asked for.
 			closeServer = false
+			drainPipeline = false
 			log.Printf("drain timeout exceeded, exiting with requests in flight")
 			return nil
 		}
 		return err
 	}
-	// Shutdown returned cleanly: handlers finished, so the deferred
-	// srv.Close() only has empty batch queues to drain.
+	// Shutdown returned cleanly: handlers finished. Drain the update
+	// journals now (accepted batches are applied before exit — Close is
+	// idempotent, so the deferred call becomes a no-op); the deferred
+	// srv.Close() then drains inference batches.
+	if pipe != nil {
+		pipe.Close()
+	}
 	log.Printf("bye")
 	return nil
+}
+
+// attachIngest builds the update pipeline for every -data spec, pairing
+// each CSV database with its already-loaded model and generating a
+// labelled validation workload for the δ_U trigger.
+func attachIngest(srv *serve.Server, loaded map[string]*selnet.Net, data []string, opts ingestOptions) (*ingest.Pipeline, error) {
+	if len(data) == 0 {
+		return nil, nil
+	}
+	tc := selnet.DefaultTrainConfig()
+	tc.AEPretrainEpochs = 0 // incremental retraining continues from current weights
+	pipe := ingest.New(ingest.Config{
+		Registry:       srv.Registry(),
+		QueueDepth:     opts.queueDepth,
+		CoalesceMax:    opts.coalesceMax,
+		RetrainWorkers: opts.retrainWorkers,
+		Train:          tc,
+		Update:         selnet.UpdateConfig{DeltaU: opts.deltaU, Patience: opts.patience, MaxEpochs: opts.maxEpochs},
+		OnCycle: func(model string, c ingest.Cycle) {
+			if c.Err != nil {
+				log.Printf("ingest %q: seq %d-%d failed: %v", model, c.FirstSeq, c.LastSeq, c.Err)
+				return
+			}
+			log.Printf("ingest %q: seq %d-%d (+%d/-%d vecs) retrained=%v epochs=%d mae %.3f->%.3f gen=%d (%v)",
+				model, c.FirstSeq, c.LastSeq, c.Inserted, c.Deleted,
+				c.Result.Retrained, c.Result.EpochsRun, c.Result.MAEBefore, c.Result.MAEAfter,
+				c.Generation, c.Duration.Round(time.Millisecond))
+		},
+	})
+	for _, spec := range data {
+		name, path, ok := strings.Cut(spec, "=")
+		if !ok {
+			name, path = "default", spec
+		}
+		net, okM := loaded[name]
+		if !okM {
+			pipe.Close()
+			return nil, fmt.Errorf("-data %s: no -model loaded under %q", spec, name)
+		}
+		db, err := vecdata.ReadCSVFile(path, opts.dist)
+		if err != nil {
+			pipe.Close()
+			return nil, fmt.Errorf("load -data %s: %w", spec, err)
+		}
+		if db.Dim != net.Dim() {
+			pipe.Close()
+			return nil, fmt.Errorf("-data %s: database dim %d but model %q has dim %d", spec, db.Dim, name, net.Dim())
+		}
+		// The δ_U trigger needs labelled queries whose labels track the
+		// evolving database; generate them from the data itself.
+		rng := rand.New(rand.NewSource(1))
+		wl := vecdata.GeometricWorkload(rng, db, opts.queries, 4)
+		cut := len(wl.Queries) * 3 / 4
+		if err := pipe.Attach(name, net, db, wl.Queries[:cut], wl.Queries[cut:]); err != nil {
+			pipe.Close()
+			return nil, err
+		}
+		log.Printf("attached %q for streaming updates (%d vectors, %d delta_U queries, queue %d)",
+			name, db.Size(), len(wl.Queries), opts.queueDepth)
+	}
+	srv.SetUpdater(pipe)
+	return pipe, nil
 }

@@ -22,6 +22,19 @@ const (
 	Cosine
 )
 
+// Parse resolves a distance function from its command-line spelling;
+// both CLIs (selest, selestd) accept the same names through it.
+func Parse(s string) (Func, error) {
+	switch s {
+	case "l2", "euclidean":
+		return Euclidean, nil
+	case "cos", "cosine":
+		return Cosine, nil
+	default:
+		return 0, fmt.Errorf("unknown distance %q (use l2/euclidean or cos/cosine)", s)
+	}
+}
+
 // String returns the conventional short name.
 func (f Func) String() string {
 	switch f {

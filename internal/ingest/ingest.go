@@ -1,0 +1,508 @@
+// Package ingest is the streaming update-ingestion subsystem behind
+// POST /v1/models/{name}/update: it journals insert/delete batches into
+// per-model append-only logs, coalesces pending batches, and runs a
+// background shadow-retrain worker per model that (1) applies the
+// batches to the model's private database copy, (2) runs the paper's
+// Sec. 5.4 incremental-update procedure — the δ_U accuracy check and, if
+// it fires, incremental training — on a shadow clone of the model, off
+// the serving path, and (3) atomically hot-swaps the retrained shadow
+// into the serve.Registry, bumping the model's generation so the
+// estimate cache self-invalidates.
+//
+// Serving is never blocked or perturbed: published models are immutable,
+// the shadow is private to the worker until the swap, and a swap is one
+// copy-on-write registry publish. Backpressure is by journal depth
+// (serve.ErrUpdateQueueFull -> HTTP 429), and Close drains every journal
+// before returning, so acknowledged batches are never dropped on
+// shutdown.
+package ingest
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"sync"
+	"time"
+
+	"selnet/internal/selnet"
+	"selnet/internal/serve"
+	"selnet/internal/vecdata"
+)
+
+// Updatable is the surface the pipeline needs from a model: the serving
+// interface plus the Sec. 5.4 update procedure. *selnet.Net and
+// *selnet.Partitioned both satisfy it.
+type Updatable interface {
+	serve.Estimator
+	HandleUpdate(tc selnet.TrainConfig, uc selnet.UpdateConfig, db *vecdata.Database,
+		train, valid []vecdata.Query) selnet.UpdateResult
+	MAE(queries []vecdata.Query) float64
+}
+
+// bulkApplier is the optional cluster-bookkeeping surface of partitioned
+// models: inserted/deleted vectors must be registered so local labels
+// and indicator balls stay sound (*selnet.Partitioned implements it;
+// single models need no structural bookkeeping).
+type bulkApplier interface {
+	ApplyInsert(vecs [][]float64)
+	ApplyDelete(vecs [][]float64)
+}
+
+// Config assembles a Pipeline.
+type Config struct {
+	// Registry receives retrained shadow models via hot-swap publishes.
+	Registry *serve.Registry
+	// QueueDepth bounds each model's pending-batch journal; appends
+	// beyond it fail with serve.ErrUpdateQueueFull (default 64).
+	QueueDepth int
+	// CoalesceMax is the largest number of journaled batches fused into
+	// one apply+retrain cycle (default 8).
+	CoalesceMax int
+	// RetrainWorkers caps concurrent shadow retrains across all models
+	// (default 1): journaling and database application stay parallel, but
+	// training is CPU-heavy and serving shares the machine.
+	RetrainWorkers int
+	// Train parameterizes incremental training; Update is the Sec. 5.4
+	// procedure (δ_U, patience, epoch cap). The per-model baseline MAE is
+	// managed by the pipeline and overrides Update.BaselineMAE.
+	Train  selnet.TrainConfig
+	Update selnet.UpdateConfig
+	// OnCycle, if set, observes every completed apply+retrain cycle
+	// (logging, tests). Called from the model's worker goroutine.
+	OnCycle func(model string, c Cycle)
+	// BeforeRetrain, if set, runs after a cycle's batches are coalesced
+	// and applied to the private database but before the shadow clone and
+	// δ_U check. Tests use it to freeze the pipeline at the point where
+	// serving must still be answering from the old model.
+	BeforeRetrain func(model string)
+}
+
+func (c Config) withDefaults() Config {
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 64
+	}
+	if c.CoalesceMax <= 0 {
+		c.CoalesceMax = 8
+	}
+	if c.RetrainWorkers <= 0 {
+		c.RetrainWorkers = 1
+	}
+	return c
+}
+
+// Cycle reports one coalesced apply+retrain cycle.
+type Cycle struct {
+	// FirstSeq..LastSeq are the journal sequences fused into the cycle.
+	FirstSeq, LastSeq uint64
+	// Batches is the number of journal entries coalesced; Inserted and
+	// Deleted count vectors actually applied to the database (deletes of
+	// absent vectors do not count).
+	Batches, Inserted, Deleted int
+	// Result is the Sec. 5.4 outcome on the shadow model.
+	Result selnet.UpdateResult
+	// Swapped reports whether the shadow was published; Generation is its
+	// registry generation when it was.
+	Swapped    bool
+	Generation uint64
+	// Adopted reports that an externally hot-swapped model (a manual
+	// POST /v1/models/{name}) was taken over as the new shadow base.
+	Adopted bool
+	// Err is set when the cycle failed before the δ_U check (e.g. the
+	// model could not be cloned); the batches still count as applied.
+	Err error
+
+	Duration time.Duration
+}
+
+// Pipeline fans journaled update batches into per-model shadow-retrain
+// workers. All methods are safe for concurrent use.
+type Pipeline struct {
+	cfg Config
+	sem chan struct{} // retrain permits
+
+	mu     sync.Mutex
+	models map[string]*modelPipeline
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// modelPipeline is one model's ingest state. Everything below the
+// journal is owned by the worker goroutine; stats are the only shared
+// state and sit behind their own mutex.
+type modelPipeline struct {
+	name  string
+	j     *journal
+	db    *vecdata.Database
+	train []vecdata.Query
+	valid []vecdata.Query
+	cur   Updatable
+	// published is the estimator this pipeline last installed in (or
+	// attached to) the registry; when the registry holds something else,
+	// an operator hot-swapped a model manually and the pipeline adopts it
+	// as the new shadow base instead of clobbering it.
+	published Updatable
+	// baseline is the reference MAE of the δ_U trigger: the validation
+	// MAE recorded when the model was last (re)trained, so drift
+	// accumulates across skipped updates (Sec. 5.4).
+	baseline float64
+
+	statsMu sync.Mutex
+	stats   serve.UpdaterStats
+}
+
+// New builds a pipeline; cfg.Registry must be set.
+func New(cfg Config) *Pipeline {
+	if cfg.Registry == nil {
+		panic("ingest: Config.Registry must be set")
+	}
+	cfg = cfg.withDefaults()
+	return &Pipeline{
+		cfg:    cfg,
+		sem:    make(chan struct{}, cfg.RetrainWorkers),
+		models: make(map[string]*modelPipeline),
+	}
+}
+
+// Attach registers a model for streaming updates. db is the model's
+// private database copy (the pipeline owns it afterwards); train and
+// valid are labelled query sets whose labels are current against db —
+// they are relabelled in place as updates arrive. The model must be
+// published in the registry under the same name before updates arrive:
+// retrained shadows are installed with a compare-and-swap against this
+// pipeline's last publish, so with no registry entry (or after a manual
+// Remove) they are deliberately not published. Attach starts the
+// model's worker goroutine.
+func (p *Pipeline) Attach(name string, m Updatable, db *vecdata.Database, train, valid []vecdata.Query) error {
+	if name == "" {
+		return fmt.Errorf("ingest: empty model name")
+	}
+	if m == nil || db == nil {
+		return fmt.Errorf("ingest: nil model or database for %q", name)
+	}
+	if m.Dim() != db.Dim {
+		return fmt.Errorf("ingest: model %q has dim %d but database has dim %d", name, m.Dim(), db.Dim)
+	}
+	if _, err := cloneUpdatable(m); err != nil {
+		return fmt.Errorf("ingest: model %q: %w", name, err)
+	}
+	if len(valid) == 0 {
+		return fmt.Errorf("ingest: model %q needs validation queries for the delta_U check", name)
+	}
+	mp := &modelPipeline{
+		name:      name,
+		j:         newJournal(p.cfg.QueueDepth),
+		db:        db,
+		train:     train,
+		valid:     valid,
+		cur:       m,
+		published: m,
+		baseline:  m.MAE(valid),
+	}
+	mp.stats.QueueCapacity = p.cfg.QueueDepth
+
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return serve.ErrUpdaterClosed
+	}
+	if _, dup := p.models[name]; dup {
+		return fmt.Errorf("ingest: model %q already attached", name)
+	}
+	p.models[name] = mp
+	p.wg.Add(1)
+	go p.worker(mp)
+	return nil
+}
+
+// Enqueue journals one insert/delete batch for the named model. It
+// implements serve.Updater, so the HTTP server forwards
+// POST /v1/models/{name}/update here.
+func (p *Pipeline) Enqueue(model string, insert, del [][]float64) (serve.UpdateAck, error) {
+	mp := p.lookup(model)
+	if mp == nil {
+		return serve.UpdateAck{}, serve.ErrNotUpdatable
+	}
+	for i, v := range insert {
+		if len(v) != mp.db.Dim {
+			return serve.UpdateAck{}, fmt.Errorf("%w: insert %d has dim %d, model %q expects %d",
+				serve.ErrInvalidUpdate, i, len(v), model, mp.db.Dim)
+		}
+	}
+	for i, v := range del {
+		if len(v) != mp.db.Dim {
+			return serve.UpdateAck{}, fmt.Errorf("%w: delete %d has dim %d, model %q expects %d",
+				serve.ErrInvalidUpdate, i, len(v), model, mp.db.Dim)
+		}
+	}
+	e, depth, err := mp.j.append(insert, del)
+	if err != nil {
+		return serve.UpdateAck{}, err
+	}
+	return serve.UpdateAck{Seq: e.Seq, QueueDepth: depth}, nil
+}
+
+// WaitApplied blocks until the named model's applied sequence reaches
+// seq (i.e. the batch has been applied and its retrain cycle decided).
+// It returns false for unknown models or when the pipeline closes with
+// seq unreachable.
+func (p *Pipeline) WaitApplied(model string, seq uint64) bool {
+	mp := p.lookup(model)
+	if mp == nil {
+		return false
+	}
+	return mp.j.waitApplied(seq)
+}
+
+// UpdaterStats implements serve.Updater: a snapshot of every attached
+// model's ingest counters.
+func (p *Pipeline) UpdaterStats() map[string]serve.UpdaterStats {
+	p.mu.Lock()
+	models := make([]*modelPipeline, 0, len(p.models))
+	for _, mp := range p.models {
+		models = append(models, mp)
+	}
+	p.mu.Unlock()
+
+	out := make(map[string]serve.UpdaterStats, len(models))
+	for _, mp := range models {
+		lastSeq, applied, depth := mp.j.snapshot()
+		mp.statsMu.Lock()
+		s := mp.stats
+		mp.statsMu.Unlock()
+		s.NextSeq = lastSeq
+		s.AppliedSeq = applied
+		s.Lag = lastSeq - applied
+		s.QueueDepth = depth
+		out[mp.name] = s
+	}
+	return out
+}
+
+// Close stops accepting batches and drains: every journaled entry is
+// still applied (and retrained if δ_U fires) before Close returns — the
+// drain-on-shutdown guarantee. Idempotent.
+func (p *Pipeline) Close() {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		p.wg.Wait()
+		return
+	}
+	p.closed = true
+	models := make([]*modelPipeline, 0, len(p.models))
+	for _, mp := range p.models {
+		models = append(models, mp)
+	}
+	p.mu.Unlock()
+	for _, mp := range models {
+		mp.j.close()
+	}
+	p.wg.Wait()
+}
+
+func (p *Pipeline) lookup(model string) *modelPipeline {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.models[model]
+}
+
+// worker drains one model's journal until close, one coalesced cycle at
+// a time.
+func (p *Pipeline) worker(mp *modelPipeline) {
+	defer p.wg.Done()
+	for {
+		entries := mp.j.claim(p.cfg.CoalesceMax)
+		if len(entries) == 0 {
+			return
+		}
+		c := p.cycle(mp, entries)
+		mp.j.markApplied(c.LastSeq, c.Batches)
+		if p.cfg.OnCycle != nil {
+			p.cfg.OnCycle(mp.name, c)
+		}
+	}
+}
+
+// cycle runs one coalesced apply + shadow-retrain + swap pass. The
+// database and query labels mutate first (they are pipeline-private);
+// the serving model only changes at the final registry publish.
+func (p *Pipeline) cycle(mp *modelPipeline, entries []Entry) Cycle {
+	start := time.Now()
+	c := Cycle{FirstSeq: entries[0].Seq, LastSeq: entries[len(entries)-1].Seq, Batches: len(entries)}
+	// Entries apply in journal order (a delete only matches vectors
+	// present at its position in the stream). Deletions are resolved
+	// through a value index built at most once per cycle and maintained
+	// across the coalesced entries, then compacted out of the database in
+	// a single Delete pass.
+	var inserted, deleted [][]float64
+	var index *valueIndex
+	var drop []int
+	for _, e := range entries {
+		if len(e.Insert) > 0 {
+			base := mp.db.Size()
+			mp.db.Insert(e.Insert...)
+			if index != nil {
+				index.add(base, e.Insert)
+			}
+			inserted = append(inserted, e.Insert...)
+		}
+		for _, v := range e.Delete {
+			if index == nil {
+				index = newValueIndex(mp.db)
+			}
+			if i, ok := index.remove(v); ok {
+				drop = append(drop, i)
+				deleted = append(deleted, v)
+			}
+		}
+	}
+	mp.db.Delete(drop...)
+	c.Inserted, c.Deleted = len(inserted), len(deleted)
+
+	if p.cfg.BeforeRetrain != nil {
+		p.cfg.BeforeRetrain(mp.name)
+	}
+
+	// Shadow step under the retrain semaphore: clone, register the
+	// structural change, run the δ_U check + incremental training.
+	p.sem <- struct{}{}
+	// If the registry no longer holds what this pipeline last published,
+	// an operator hot-swapped a model in manually; adopt it as the new
+	// shadow base (when compatible) rather than silently reverting it at
+	// the next publish. Validation labels are still pre-update here, so
+	// the adopted baseline MAE reflects the data the model was loaded
+	// against, exactly like the baseline recorded at Attach.
+	if pub, ok := p.cfg.Registry.Get(mp.name); ok && pub.Est != serve.Estimator(mp.published) {
+		if ext, isUpd := pub.Est.(Updatable); isUpd && ext.Dim() == mp.db.Dim {
+			if _, cerr := cloneUpdatable(ext); cerr == nil {
+				mp.cur, mp.published = ext, ext
+				mp.baseline = ext.MAE(mp.valid)
+				c.Adopted = true
+			}
+		}
+	}
+	shadow, err := cloneUpdatable(mp.cur)
+	if err != nil {
+		<-p.sem
+		c.Err = err
+		c.Duration = time.Since(start)
+		p.recordCycle(mp, c)
+		return c
+	}
+	if ba, ok := shadow.(bulkApplier); ok {
+		if len(inserted) > 0 {
+			ba.ApplyInsert(inserted)
+		}
+		if len(deleted) > 0 {
+			ba.ApplyDelete(deleted)
+		}
+	}
+	uc := p.cfg.Update
+	uc.BaselineMAE = mp.baseline
+	c.Result = shadow.HandleUpdate(p.cfg.Train, uc, mp.db, mp.train, mp.valid)
+	<-p.sem
+
+	// The shadow carries the authoritative structural state (cluster
+	// membership, ball radii) even when δ_U absorbed the change, so it
+	// always becomes the next cycle's base.
+	mp.cur = shadow
+	if c.Result.Retrained {
+		// Conditional on the registry still holding what this pipeline
+		// last published: if a manual load slipped in while the shadow was
+		// training, the swap is abandoned and the next cycle adopts the
+		// operator's model instead.
+		m, swapped, perr := p.cfg.Registry.PublishIf(mp.name, shadow,
+			fmt.Sprintf("ingest: seq %d-%d", c.FirstSeq, c.LastSeq), serve.Estimator(mp.published))
+		switch {
+		case perr != nil:
+			c.Err = perr
+		case swapped:
+			c.Swapped = true
+			c.Generation = m.Generation
+			mp.published = shadow
+			mp.baseline = c.Result.MAEAfter
+		}
+	}
+	c.Duration = time.Since(start)
+	p.recordCycle(mp, c)
+	return c
+}
+
+// recordCycle folds a cycle into the model's stats.
+func (p *Pipeline) recordCycle(mp *modelPipeline, c Cycle) {
+	mp.statsMu.Lock()
+	defer mp.statsMu.Unlock()
+	s := &mp.stats
+	s.BatchesApplied += uint64(c.Batches)
+	s.InsertedVecs += uint64(c.Inserted)
+	s.DeletedVecs += uint64(c.Deleted)
+	if c.Err == nil {
+		if c.Result.Retrained {
+			s.Retrained++
+		} else {
+			s.Skipped++
+		}
+		s.LastMAEBefore = c.Result.MAEBefore
+		s.LastMAEAfter = c.Result.MAEAfter
+		s.LastEpochs = c.Result.EpochsRun
+	}
+	if c.Swapped {
+		s.SwapGeneration = c.Generation
+	}
+}
+
+// cloneUpdatable deep-copies a model for shadow retraining.
+func cloneUpdatable(m Updatable) (Updatable, error) {
+	switch v := m.(type) {
+	case *selnet.Net:
+		return v.Clone(), nil
+	case *selnet.Partitioned:
+		return v.Clone()
+	default:
+		return nil, fmt.Errorf("ingest: cannot clone model of type %T", m)
+	}
+}
+
+// valueIndex resolves delete-by-value against a database in O(1) per
+// vector (absent vectors miss, so delete batches are idempotent against
+// replays). Building it costs one O(|D|) pass; a cycle maintains it
+// incrementally across coalesced entries so the whole apply step is
+// O(|D| + inserts + deletes) instead of O(|D|·deletes).
+type valueIndex struct {
+	byValue map[string][]int // vector value key -> database row indices
+}
+
+func newValueIndex(db *vecdata.Database) *valueIndex {
+	ix := &valueIndex{byValue: make(map[string][]int, db.Size())}
+	ix.add(0, db.Vecs)
+	return ix
+}
+
+// add registers vecs occupying database rows base, base+1, ...
+func (ix *valueIndex) add(base int, vecs [][]float64) {
+	for i, v := range vecs {
+		k := vecValueKey(v)
+		ix.byValue[k] = append(ix.byValue[k], base+i)
+	}
+}
+
+// remove claims one row holding a vector equal to v, if any.
+func (ix *valueIndex) remove(v []float64) (int, bool) {
+	k := vecValueKey(v)
+	left := ix.byValue[k]
+	if len(left) == 0 {
+		return 0, false
+	}
+	ix.byValue[k] = left[:len(left)-1]
+	return left[len(left)-1], true
+}
+
+// vecValueKey is the exact-value identity of a vector (float bits, with
+// -0.0 normalized to +0.0 so the key agrees with == comparison).
+func vecValueKey(v []float64) string {
+	buf := make([]byte, 0, 8*len(v))
+	for _, x := range v {
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(x+0))
+	}
+	return string(buf)
+}

@@ -1,0 +1,411 @@
+package ingest
+
+import (
+	"errors"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"selnet/internal/partition"
+	"selnet/internal/selnet"
+	"selnet/internal/serve"
+	"selnet/internal/vecdata"
+)
+
+// testData builds a small database plus a labelled workload, split by
+// hand (the 80/10/10 Split yields an empty validation set at this scale).
+func testData(seed int64, n, dim, queries int) (*vecdata.Database, *vecdata.Workload, []vecdata.Query, []vecdata.Query) {
+	rng := rand.New(rand.NewSource(seed))
+	db := vecdata.SyntheticFace(rng, n, dim)
+	wl := vecdata.GeometricWorkload(rng, db, queries, 4)
+	cut := len(wl.Queries) * 3 / 4
+	return db, wl, wl.Queries[:cut], wl.Queries[cut:]
+}
+
+// tinyModel builds a small untrained SelNet; incremental updates retrain
+// from whatever parameters are current, so training quality is moot.
+func tinyModel(seed int64, dim int, tmax float64) *selnet.Net {
+	cfg := selnet.Config{
+		L: 4, EmbedDim: 4,
+		AEHidden: []int{8}, AELatent: 4,
+		TauHidden: []int{8}, MHidden: []int{8},
+		TMax: tmax, Lambda: 0.1, QueryDependentTau: true, NormEps: 1e-6,
+	}
+	return selnet.NewNet(rand.New(rand.NewSource(seed)), dim, cfg)
+}
+
+func tinyTrain() selnet.TrainConfig {
+	return selnet.TrainConfig{
+		Epochs: 1, Batch: 32, LR: 5e-3, HuberDelta: 1.345, LogEps: 1e-3, Seed: 1,
+	}
+}
+
+// forceRetrain makes the δ_U check fire on every cycle (|Δ| <= -1 never
+// holds) with a single cheap epoch.
+func forceRetrain() selnet.UpdateConfig {
+	return selnet.UpdateConfig{DeltaU: -1, Patience: 1, MaxEpochs: 1}
+}
+
+// neverRetrain absorbs any label shift.
+func neverRetrain() selnet.UpdateConfig {
+	return selnet.UpdateConfig{DeltaU: 1e12, Patience: 1, MaxEpochs: 1}
+}
+
+func newPipeline(t *testing.T, cfg Config) (*Pipeline, *serve.Registry) {
+	t.Helper()
+	if cfg.Registry == nil {
+		cfg.Registry = serve.NewRegistry(nil)
+	}
+	if cfg.Train.Batch == 0 {
+		cfg.Train = tinyTrain()
+	}
+	p := New(cfg)
+	t.Cleanup(p.Close)
+	return p, cfg.Registry
+}
+
+func TestAttachValidation(t *testing.T) {
+	db, wl, train, valid := testData(1, 150, 4, 8)
+	m := tinyModel(2, db.Dim, wl.TMax)
+	p, _ := newPipeline(t, Config{Update: neverRetrain()})
+
+	if err := p.Attach("", m, db, train, valid); err == nil {
+		t.Fatal("empty name accepted")
+	}
+	if err := p.Attach("m", nil, db, train, valid); err == nil {
+		t.Fatal("nil model accepted")
+	}
+	if err := p.Attach("m", tinyModel(3, db.Dim+1, wl.TMax), db, train, valid); err == nil {
+		t.Fatal("dim mismatch accepted")
+	}
+	if err := p.Attach("m", m, db, train, nil); err == nil {
+		t.Fatal("missing validation queries accepted")
+	}
+	if err := p.Attach("m", m, db, train, valid); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Attach("m", m, db, train, valid); err == nil || !strings.Contains(err.Error(), "already attached") {
+		t.Fatalf("duplicate attach: %v", err)
+	}
+}
+
+func TestEnqueueValidation(t *testing.T) {
+	db, wl, train, valid := testData(4, 150, 4, 8)
+	p, _ := newPipeline(t, Config{Update: neverRetrain()})
+	if _, err := p.Enqueue("ghost", [][]float64{{1, 2, 3, 4}}, nil); !errors.Is(err, serve.ErrNotUpdatable) {
+		t.Fatalf("unknown model: %v", err)
+	}
+	if err := p.Attach("m", tinyModel(5, db.Dim, wl.TMax), db, train, valid); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Enqueue("m", [][]float64{{1, 2}}, nil); !errors.Is(err, serve.ErrInvalidUpdate) {
+		t.Fatalf("bad insert dim: %v", err)
+	}
+	if _, err := p.Enqueue("m", nil, [][]float64{{1, 2}}); !errors.Is(err, serve.ErrInvalidUpdate) {
+		t.Fatalf("bad delete dim: %v", err)
+	}
+	ack, err := p.Enqueue("m", [][]float64{{1, 2, 3, 4}}, nil)
+	if err != nil || ack.Seq != 1 {
+		t.Fatalf("ack %+v err %v", ack, err)
+	}
+}
+
+func TestForcedRetrainSwapsGeneration(t *testing.T) {
+	db, wl, train, valid := testData(6, 200, 4, 10)
+	m := tinyModel(7, db.Dim, wl.TMax)
+	p, reg := newPipeline(t, Config{Update: forceRetrain()})
+	if _, err := reg.Publish("m", m, "test"); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Attach("m", m, db, train, valid); err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(8))
+	ins := make([][]float64, 30)
+	for i := range ins {
+		ins[i] = vecdata.SampleLike(rng, db, 0.05)
+	}
+	ack, err := p.Enqueue("m", ins, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.WaitApplied("m", ack.Seq) {
+		t.Fatal("batch never applied")
+	}
+	pub, ok := reg.Get("m")
+	if !ok || pub.Generation != 2 {
+		t.Fatalf("generation %d, want 2 (swap)", pub.Generation)
+	}
+	if n, ok := pub.Est.(*selnet.Net); !ok || n == m {
+		t.Fatal("published estimator is still the original, not the shadow")
+	}
+	st := p.UpdaterStats()["m"]
+	if st.Retrained != 1 || st.Skipped != 0 || st.BatchesApplied != 1 || st.InsertedVecs != 30 {
+		t.Fatalf("stats %+v", st)
+	}
+	if st.AppliedSeq != 1 || st.Lag != 0 || st.SwapGeneration != 2 {
+		t.Fatalf("stats %+v", st)
+	}
+	if db.Size() != 230 {
+		t.Fatalf("db size %d, want 230", db.Size())
+	}
+}
+
+func TestDeltaUAbsorbsSmallChanges(t *testing.T) {
+	db, wl, train, valid := testData(9, 200, 4, 10)
+	m := tinyModel(10, db.Dim, wl.TMax)
+	p, reg := newPipeline(t, Config{Update: neverRetrain()})
+	if _, err := reg.Publish("m", m, "test"); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Attach("m", m, db, train, valid); err != nil {
+		t.Fatal(err)
+	}
+	ack, err := p.Enqueue("m", [][]float64{append([]float64(nil), db.Vecs[0]...)}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.WaitApplied("m", ack.Seq) {
+		t.Fatal("batch never applied")
+	}
+	if pub, _ := reg.Get("m"); pub.Generation != 1 {
+		t.Fatalf("skip must not swap: generation %d", pub.Generation)
+	}
+	st := p.UpdaterStats()["m"]
+	if st.Skipped != 1 || st.Retrained != 0 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+func TestDeleteByValueAppliesAndIgnoresAbsent(t *testing.T) {
+	db, wl, train, valid := testData(11, 150, 4, 8)
+	m := tinyModel(12, db.Dim, wl.TMax)
+	p, reg := newPipeline(t, Config{Update: neverRetrain()})
+	reg.Publish("m", m, "test")
+	if err := p.Attach("m", m, db, train, valid); err != nil {
+		t.Fatal(err)
+	}
+	victim := append([]float64(nil), db.Vecs[3]...)
+	ack, err := p.Enqueue("m", nil, [][]float64{victim, {9, 9, 9, 9}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.WaitApplied("m", ack.Seq)
+	if db.Size() != 149 {
+		t.Fatalf("db size %d, want 149", db.Size())
+	}
+	st := p.UpdaterStats()["m"]
+	if st.DeletedVecs != 1 {
+		t.Fatalf("deleted %d, want 1 (absent vector ignored)", st.DeletedVecs)
+	}
+}
+
+func TestCoalescingFusesPendingBatches(t *testing.T) {
+	db, wl, train, valid := testData(13, 200, 4, 10)
+	m := tinyModel(14, db.Dim, wl.TMax)
+	gate := make(chan struct{})
+	entered := make(chan string, 8)
+	var cycles []Cycle
+	done := make(chan struct{}, 8)
+	p, reg := newPipeline(t, Config{
+		Update:        neverRetrain(),
+		BeforeRetrain: func(model string) { entered <- model; <-gate },
+		OnCycle:       func(model string, c Cycle) { cycles = append(cycles, c); done <- struct{}{} },
+	})
+	reg.Publish("m", m, "test")
+	if err := p.Attach("m", m, db, train, valid); err != nil {
+		t.Fatal(err)
+	}
+	vec := func() [][]float64 { return [][]float64{append([]float64(nil), db.Vecs[0]...)} }
+	if _, err := p.Enqueue("m", vec(), nil); err != nil {
+		t.Fatal(err)
+	}
+	<-entered // worker holds batch 1, queue is empty again
+	for i := 0; i < 3; i++ {
+		if _, err := p.Enqueue("m", vec(), nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	gate <- struct{}{} // finish cycle 1
+	<-done
+	<-entered // cycle 2 claimed; it must have coalesced batches 2-4
+	gate <- struct{}{}
+	<-done
+	if len(cycles) != 2 {
+		t.Fatalf("%d cycles, want 2", len(cycles))
+	}
+	if cycles[0].Batches != 1 || cycles[1].Batches != 3 {
+		t.Fatalf("cycle batches %d, %d; want 1, 3", cycles[0].Batches, cycles[1].Batches)
+	}
+	if cycles[1].FirstSeq != 2 || cycles[1].LastSeq != 4 {
+		t.Fatalf("cycle 2 seqs %d-%d, want 2-4", cycles[1].FirstSeq, cycles[1].LastSeq)
+	}
+}
+
+func TestBackpressureAndDrainOnClose(t *testing.T) {
+	db, wl, train, valid := testData(15, 200, 4, 10)
+	m := tinyModel(16, db.Dim, wl.TMax)
+	gate := make(chan struct{})
+	entered := make(chan string, 1)
+	blocking := true
+	p, reg := newPipeline(t, Config{
+		QueueDepth: 2,
+		Update:     neverRetrain(),
+		BeforeRetrain: func(model string) {
+			if blocking {
+				entered <- model
+				<-gate
+			}
+		},
+	})
+	reg.Publish("m", m, "test")
+	if err := p.Attach("m", m, db, train, valid); err != nil {
+		t.Fatal(err)
+	}
+	vec := func() [][]float64 { return [][]float64{append([]float64(nil), db.Vecs[0]...)} }
+	if _, err := p.Enqueue("m", vec(), nil); err != nil {
+		t.Fatal(err)
+	}
+	<-entered // worker busy; queue empty
+	// Fill the queue to its depth of 2, then overflow.
+	for i := 0; i < 2; i++ {
+		if _, err := p.Enqueue("m", vec(), nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := p.Enqueue("m", vec(), nil); !errors.Is(err, serve.ErrUpdateQueueFull) {
+		t.Fatalf("expected backpressure, got %v", err)
+	}
+	st := p.UpdaterStats()["m"]
+	if st.QueueDepth != 2 || st.QueueCapacity != 2 {
+		t.Fatalf("queue stats %+v", st)
+	}
+	// Close must drain the two pending batches before returning.
+	blocking = false
+	gate <- struct{}{}
+	p.Close()
+	st = p.UpdaterStats()["m"]
+	if st.BatchesApplied != 3 || st.Lag != 0 {
+		t.Fatalf("drain incomplete: %+v", st)
+	}
+	if _, err := p.Enqueue("m", vec(), nil); !errors.Is(err, serve.ErrUpdaterClosed) {
+		t.Fatalf("enqueue after close: %v", err)
+	}
+}
+
+// A model hot-swapped in manually (POST /v1/models/{name}) must become
+// the pipeline's new shadow base instead of being silently reverted by
+// the next update cycle's publish.
+func TestExternallyLoadedModelIsAdopted(t *testing.T) {
+	db, wl, train, valid := testData(18, 200, 4, 10)
+	m := tinyModel(19, db.Dim, wl.TMax)
+	var adopted []bool
+	done := make(chan struct{}, 4)
+	p, reg := newPipeline(t, Config{
+		Update:  forceRetrain(),
+		OnCycle: func(_ string, c Cycle) { adopted = append(adopted, c.Adopted); done <- struct{}{} },
+	})
+	reg.Publish("m", m, "test")
+	if err := p.Attach("m", m, db, train, valid); err != nil {
+		t.Fatal(err)
+	}
+	// Operator swaps in a different model out-of-band.
+	ext := tinyModel(20, db.Dim, wl.TMax)
+	if _, err := reg.Publish("m", ext, "manual"); err != nil {
+		t.Fatal(err)
+	}
+	ack, err := p.Enqueue("m", [][]float64{append([]float64(nil), db.Vecs[0]...)}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.WaitApplied("m", ack.Seq) {
+		t.Fatal("batch never applied")
+	}
+	<-done
+	if len(adopted) != 1 || !adopted[0] {
+		t.Fatalf("external model not adopted: %v", adopted)
+	}
+	// The retrained publish must derive from ext, not from the original
+	// attach lineage: generation 3 (attach=1, manual=2, retrain=3) and a
+	// fresh clone distinct from both.
+	pub, _ := reg.Get("m")
+	if pub.Generation != 3 {
+		t.Fatalf("generation %d, want 3", pub.Generation)
+	}
+	n, ok := pub.Est.(*selnet.Net)
+	if !ok || n == m || n == ext {
+		t.Fatalf("published model is not a shadow clone of the adopted model")
+	}
+	// A second cycle must not re-adopt (the pipeline's publish is current).
+	ack, err = p.Enqueue("m", [][]float64{append([]float64(nil), db.Vecs[1]...)}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.WaitApplied("m", ack.Seq)
+	<-done
+	if len(adopted) != 2 || adopted[1] {
+		t.Fatalf("unexpected re-adoption: %v", adopted)
+	}
+}
+
+func TestPartitionedModelPipeline(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	db := vecdata.SyntheticFace(rng, 150, 4)
+	wl := vecdata.GeometricWorkload(rng, db, 8, 3)
+	cut := len(wl.Queries) * 3 / 4
+	train, valid := wl.Queries[:cut], wl.Queries[cut:]
+	pcfg := selnet.PartitionedConfig{
+		Model: selnet.Config{
+			L: 3, EmbedDim: 4, AEHidden: []int{8}, AELatent: 4,
+			TauHidden: []int{8}, MHidden: []int{8},
+			TMax: wl.TMax, Lambda: 0.1, QueryDependentTau: true, NormEps: 1e-6,
+		},
+		K: 2, Ratio: 0.2, Method: partition.CoverTree, Beta: 0.1, PretrainEpochs: 0,
+	}
+	pm := selnet.NewPartitioned(rng, db, pcfg)
+
+	p, reg := newPipeline(t, Config{Update: forceRetrain()})
+	if _, err := reg.Publish("pm", pm, "test"); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Attach("pm", pm, db, train, valid); err != nil {
+		t.Fatal(err)
+	}
+	ins := make([][]float64, 10)
+	for i := range ins {
+		ins[i] = vecdata.SampleLike(rng, db, 0.05)
+	}
+	del := [][]float64{append([]float64(nil), db.Vecs[0]...)}
+	ack, err := p.Enqueue("pm", ins, del)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.WaitApplied("pm", ack.Seq) {
+		t.Fatal("batch never applied")
+	}
+	pub, _ := reg.Get("pm")
+	if pub.Generation != 2 {
+		t.Fatalf("generation %d, want 2", pub.Generation)
+	}
+	// The swapped-in shadow must carry the structural change: cluster
+	// sizes sum to the updated database size.
+	shadow, ok := pub.Est.(*selnet.Partitioned)
+	if !ok {
+		t.Fatalf("published estimator is %T", pub.Est)
+	}
+	total := 0
+	for _, s := range shadow.ClusterSizes() {
+		total += s
+	}
+	if total != db.Size() || db.Size() != 159 {
+		t.Fatalf("cluster total %d, db %d, want 159", total, db.Size())
+	}
+	// The original model must be untouched (still 150 vectors).
+	origTotal := 0
+	for _, s := range pm.ClusterSizes() {
+		origTotal += s
+	}
+	if origTotal != 150 {
+		t.Fatalf("original model mutated: %d", origTotal)
+	}
+}

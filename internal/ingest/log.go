@@ -1,0 +1,125 @@
+package ingest
+
+import (
+	"sync"
+	"time"
+
+	"selnet/internal/serve"
+)
+
+// Entry is one journaled update batch. Sequence numbers start at 1 and
+// are assigned in arrival order; the journal is append-only, so a
+// model's update history is totally ordered and "has batch N taken
+// effect yet?" reduces to comparing N against the applied sequence.
+type Entry struct {
+	Seq    uint64
+	At     time.Time
+	Insert [][]float64
+	Delete [][]float64
+}
+
+// journal is one model's append-only update log: the producer side of
+// the pipeline appends batches under queue-depth backpressure, the
+// worker claims pending entries in sequence order (several at a time —
+// coalescing), and appliers acknowledge with markApplied so waiters can
+// block until a given sequence is live.
+type journal struct {
+	mu   sync.Mutex
+	cond *sync.Cond
+
+	depth    int // max pending entries before backpressure
+	next     uint64
+	applied  uint64
+	pending  []Entry
+	inFlight int // entries claimed but not yet acknowledged
+	closed   bool
+}
+
+func newJournal(depth int) *journal {
+	j := &journal{depth: depth, next: 1}
+	j.cond = sync.NewCond(&j.mu)
+	return j
+}
+
+// append journals one batch, returning the entry and the pending depth
+// after it. It fails with serve.ErrUpdateQueueFull under backpressure
+// and serve.ErrUpdaterClosed after close.
+func (j *journal) append(insert, del [][]float64) (Entry, int, error) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.closed {
+		return Entry{}, 0, serve.ErrUpdaterClosed
+	}
+	if len(j.pending) >= j.depth {
+		return Entry{}, 0, serve.ErrUpdateQueueFull
+	}
+	e := Entry{Seq: j.next, At: time.Now(), Insert: insert, Delete: del}
+	j.next++
+	j.pending = append(j.pending, e)
+	j.cond.Broadcast()
+	return e, len(j.pending), nil
+}
+
+// claim blocks until at least one entry is pending (or the journal is
+// closed and drained, returning nil) and takes up to max entries in
+// sequence order. Claimed entries must be acknowledged via markApplied.
+func (j *journal) claim(max int) []Entry {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	for len(j.pending) == 0 && !j.closed {
+		j.cond.Wait()
+	}
+	if len(j.pending) == 0 {
+		return nil
+	}
+	n := max
+	if n > len(j.pending) {
+		n = len(j.pending)
+	}
+	out := append([]Entry(nil), j.pending[:n]...)
+	j.pending = append(j.pending[:0], j.pending[n:]...)
+	j.inFlight += n
+	return out
+}
+
+// markApplied acknowledges every claimed entry up to and including seq.
+func (j *journal) markApplied(seq uint64, entries int) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if seq > j.applied {
+		j.applied = seq
+	}
+	j.inFlight -= entries
+	j.cond.Broadcast()
+}
+
+// waitApplied blocks until the applied sequence reaches seq. It returns
+// false if the journal closed with seq still unreachable (never
+// journaled, or the pipeline aborted before applying it).
+func (j *journal) waitApplied(seq uint64) bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	for j.applied < seq {
+		if j.closed && len(j.pending) == 0 && j.inFlight == 0 {
+			return false
+		}
+		j.cond.Wait()
+	}
+	return true
+}
+
+// close stops accepting appends. Pending entries remain claimable so the
+// worker can drain them.
+func (j *journal) close() {
+	j.mu.Lock()
+	j.closed = true
+	j.cond.Broadcast()
+	j.mu.Unlock()
+}
+
+// snapshot reports (last assigned seq, applied seq, pending depth).
+func (j *journal) snapshot() (lastSeq, applied uint64, depth int) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.next - 1, j.applied, len(j.pending)
+}

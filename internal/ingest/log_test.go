@@ -1,0 +1,84 @@
+package ingest
+
+import (
+	"errors"
+	"testing"
+
+	"selnet/internal/serve"
+)
+
+func TestJournalSequencingAndCoalescing(t *testing.T) {
+	j := newJournal(8)
+	for i := 1; i <= 3; i++ {
+		e, depth, err := j.append([][]float64{{float64(i)}}, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if e.Seq != uint64(i) || depth != i {
+			t.Fatalf("append %d: seq %d depth %d", i, e.Seq, depth)
+		}
+	}
+	got := j.claim(2)
+	if len(got) != 2 || got[0].Seq != 1 || got[1].Seq != 2 {
+		t.Fatalf("claim(2) = %+v", got)
+	}
+	if last, applied, depth := j.snapshot(); last != 3 || applied != 0 || depth != 1 {
+		t.Fatalf("snapshot %d %d %d", last, applied, depth)
+	}
+	j.markApplied(2, 2)
+	if !j.waitApplied(2) {
+		t.Fatal("waitApplied(2) after markApplied")
+	}
+	rest := j.claim(8)
+	if len(rest) != 1 || rest[0].Seq != 3 {
+		t.Fatalf("claim rest = %+v", rest)
+	}
+	j.markApplied(3, 1)
+	if last, applied, depth := j.snapshot(); last != 3 || applied != 3 || depth != 0 {
+		t.Fatalf("final snapshot %d %d %d", last, applied, depth)
+	}
+}
+
+func TestJournalBackpressure(t *testing.T) {
+	j := newJournal(2)
+	for i := 0; i < 2; i++ {
+		if _, _, err := j.append([][]float64{{1}}, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, _, err := j.append([][]float64{{1}}, nil); !errors.Is(err, serve.ErrUpdateQueueFull) {
+		t.Fatalf("expected queue-full, got %v", err)
+	}
+	// Claiming frees capacity.
+	j.claim(1)
+	if _, _, err := j.append([][]float64{{1}}, nil); err != nil {
+		t.Fatalf("append after claim: %v", err)
+	}
+}
+
+func TestJournalCloseDrains(t *testing.T) {
+	j := newJournal(8)
+	j.append([][]float64{{1}}, nil)
+	j.append(nil, [][]float64{{2}})
+	j.close()
+	if _, _, err := j.append([][]float64{{3}}, nil); !errors.Is(err, serve.ErrUpdaterClosed) {
+		t.Fatalf("append after close: %v", err)
+	}
+	// Pending entries stay claimable after close — the drain guarantee.
+	got := j.claim(10)
+	if len(got) != 2 {
+		t.Fatalf("claim after close = %d entries", len(got))
+	}
+	j.markApplied(2, 2)
+	if !j.waitApplied(2) {
+		t.Fatal("applied entries must be waitable after close")
+	}
+	// A sequence that was never journaled is reported unreachable, not
+	// waited on forever.
+	if j.waitApplied(3) {
+		t.Fatal("waitApplied(3) should fail: seq never journaled")
+	}
+	if got := j.claim(10); got != nil {
+		t.Fatalf("claim on drained closed journal = %+v", got)
+	}
+}

@@ -1,0 +1,122 @@
+package selnet
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"selnet/internal/tensor"
+)
+
+func TestNetCloneMatchesAndIsolates(t *testing.T) {
+	db, wl := testWorkload(40, 300, 4, 8, 4)
+	rng := rand.New(rand.NewSource(41))
+	n := NewNet(rng, db.Dim, tinyConfig(wl.TMax))
+	c := n.Clone()
+	if c.Name() != n.Name() || c.Dim() != n.Dim() || c.TMax() != n.TMax() {
+		t.Fatalf("clone metadata differs")
+	}
+	for _, q := range wl.Queries[:10] {
+		if got, want := c.Estimate(q.X, q.T), n.Estimate(q.X, q.T); got != want {
+			t.Fatalf("clone estimate %v != original %v", got, want)
+		}
+	}
+	// Mutating the clone's parameters must not leak into the original.
+	before := n.Estimate(wl.Queries[0].X, wl.Queries[0].T)
+	for _, pr := range c.Params() {
+		pr.Value.Set(0, 0, pr.Value.At(0, 0)+1)
+	}
+	if after := n.Estimate(wl.Queries[0].X, wl.Queries[0].T); after != before {
+		t.Fatalf("mutating clone changed original estimate: %v -> %v", before, after)
+	}
+}
+
+func TestNetCloneRetrainLeavesOriginalUntouched(t *testing.T) {
+	db, wl := testWorkload(42, 400, 4, 12, 4)
+	rng := rand.New(rand.NewSource(43))
+	train, valid, _ := wl.Split(rng)
+	n := NewNet(rng, db.Dim, tinyConfig(wl.TMax))
+	snaps := snapshotParams(n.Params())
+	shadow := n.Clone()
+	tc := tinyTrainConfig()
+	shadow.FitEpochsUntilNoImprovement(tc, train, valid, 2, 3)
+	for i, pr := range n.Params() {
+		for r := 0; r < pr.Value.Rows(); r++ {
+			for c := 0; c < pr.Value.Cols(); c++ {
+				if pr.Value.At(r, c) != snaps[i].At(r, c) {
+					t.Fatalf("shadow retraining mutated original param %d", i)
+				}
+			}
+		}
+	}
+}
+
+func TestPartitionedCloneMatchesAndIsolates(t *testing.T) {
+	db, wl := testWorkload(44, 300, 4, 8, 4)
+	rng := rand.New(rand.NewSource(45))
+	p := NewPartitioned(rng, db, tinyPartitionedConfig(wl.TMax))
+	c, err := p.Clone()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range wl.Queries[:10] {
+		got, want := c.Estimate(q.X, q.T), p.Estimate(q.X, q.T)
+		if math.Abs(got-want) > 1e-12 {
+			t.Fatalf("clone estimate %v != original %v", got, want)
+		}
+	}
+	// Cluster bookkeeping on the clone must not leak into the original.
+	before := append([]int(nil), p.ClusterSizes()...)
+	c.ApplyInsert([][]float64{append([]float64(nil), db.Vecs[0]...)})
+	for i, s := range p.ClusterSizes() {
+		if s != before[i] {
+			t.Fatalf("clone ApplyInsert changed original cluster sizes")
+		}
+	}
+	// Parameter mutation on the clone must not leak either.
+	e0 := p.Estimate(wl.Queries[0].X, wl.Queries[0].T)
+	for _, pr := range c.Params() {
+		pr.Value.Set(0, 0, pr.Value.At(0, 0)+1)
+	}
+	if e1 := p.Estimate(wl.Queries[0].X, wl.Queries[0].T); e1 != e0 {
+		t.Fatalf("mutating clone changed original estimate: %v -> %v", e0, e1)
+	}
+}
+
+func TestPartitionedEstimateBatchMatchesEstimate(t *testing.T) {
+	db, wl := testWorkload(46, 400, 4, 12, 5)
+	rng := rand.New(rand.NewSource(47))
+	p := NewPartitioned(rng, db, tinyPartitionedConfig(wl.TMax))
+	qs := wl.Queries[:32]
+	x := tensor.New(len(qs), db.Dim)
+	ts := make([]float64, len(qs))
+	for i, q := range qs {
+		copy(x.Row(i), q.X)
+		ts[i] = q.T
+	}
+	// Include thresholds beyond TMax and at zero to exercise clamping.
+	ts[0] = wl.TMax * 2
+	ts[1] = 0
+	got := p.EstimateBatch(x, ts)
+	for i := range qs {
+		want := p.Estimate(x.Row(i), ts[i])
+		if math.Abs(got[i]-want) > 1e-9 {
+			t.Fatalf("row %d: batch %v != single %v", i, got[i], want)
+		}
+	}
+	if out := p.EstimateBatch(tensor.New(0, db.Dim), nil); len(out) != 0 {
+		t.Fatalf("empty batch returned %d values", len(out))
+	}
+}
+
+func TestPartitionedEstimateBatchPanicsOnShapeMismatch(t *testing.T) {
+	db, wl := testWorkload(48, 150, 4, 5, 3)
+	rng := rand.New(rand.NewSource(49))
+	p := NewPartitioned(rng, db, tinyPartitionedConfig(wl.TMax))
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("expected panic on rows/thresholds mismatch")
+		}
+	}()
+	p.EstimateBatch(tensor.New(2, db.Dim), []float64{0.1})
+}

@@ -1,6 +1,7 @@
 package selnet
 
 import (
+	"fmt"
 	"math"
 	"math/rand"
 
@@ -83,6 +84,12 @@ func NewPartitioned(rng *rand.Rand, db *vecdata.Database, pcfg PartitionedConfig
 
 // K returns the number of clusters actually built.
 func (p *Partitioned) K() int { return len(p.locals) }
+
+// Dim returns the query dimensionality.
+func (p *Partitioned) Dim() int { return p.dim }
+
+// TMax returns the maximum supported threshold.
+func (p *Partitioned) TMax() float64 { return p.pcfg.Model.TMax }
 
 // localLabel computes the exact selectivity of (x, t) within cluster ci.
 func (p *Partitioned) localLabel(ci int, x []float64, t float64) float64 {
@@ -246,6 +253,61 @@ func (p *Partitioned) Estimate(x []float64, t float64) float64 {
 		sum += p.locals[ci].Estimate(x, tc)
 	}
 	return sum
+}
+
+// EstimateBatch estimates selectivities for several (query, threshold)
+// pairs at once, matching row-by-row Estimate exactly. One tape computes
+// the shared enhanced input [x; z_x] for the whole batch, and each local
+// head whose region is active for at least one row runs a single batched
+// control-point pass; per-row indicator gating then sums the active local
+// estimates. Like Net.EstimateBatch it is read-only on the parameters and
+// safe for concurrent use (but not concurrently with Fit/HandleUpdate).
+func (p *Partitioned) EstimateBatch(x *tensor.Dense, ts []float64) []float64 {
+	if x.Rows() != len(ts) {
+		panic(fmt.Sprintf("selnet: %d query rows but %d thresholds", x.Rows(), len(ts)))
+	}
+	n := x.Rows()
+	out := make([]float64, n)
+	if n == 0 {
+		return out
+	}
+	active := make([][]bool, n)
+	for i := 0; i < n; i++ {
+		active[i] = p.part.Indicator(x.Row(i), ts[i])
+	}
+	// The enhanced input is computed once for the whole batch; each local
+	// head then runs only over the rows its region is active for (gather,
+	// not mask), so per-head cost scales with active pairs rather than
+	// cluster count times batch size.
+	tp := autodiff.NewTape()
+	xn := tp.Input(x)
+	enhanced := tp.ConcatCols(xn, p.ae.Encode(tp, xn)).Value
+	for ci, l := range p.locals {
+		var rows []int
+		for i := 0; i < n; i++ {
+			if active[i][ci] {
+				rows = append(rows, i)
+			}
+		}
+		if len(rows) == 0 {
+			continue
+		}
+		tcol := tensor.New(len(rows), 1)
+		for j, i := range rows {
+			tcol.Set(j, 0, clamp(ts[i], 0, p.pcfg.Model.TMax))
+		}
+		ltp := autodiff.NewTape()
+		tau, pp := l.controlPointsFromEnhanced(ltp, ltp.Input(tensor.GatherRows(enhanced, rows)))
+		yhat := ltp.PWLInterp(tau, pp, ltp.Input(tcol))
+		for j, i := range rows {
+			v := yhat.Value.At(j, 0)
+			if v < 0 {
+				v = 0
+			}
+			out[i] += v
+		}
+	}
+	return out
 }
 
 // Loss computes the global estimation loss on a query set.

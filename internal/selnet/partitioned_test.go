@@ -6,6 +6,8 @@ import (
 	"testing"
 	"testing/quick"
 
+	"selnet/internal/distance"
+	"selnet/internal/nn"
 	"selnet/internal/partition"
 )
 
@@ -163,6 +165,147 @@ func (p *Partitioned) localLabelSum(x []float64, t float64) float64 {
 		s += p.localLabel(ci, x, t)
 	}
 	return s
+}
+
+// handBuiltPartitioned assembles a Partitioned with explicit cluster
+// geometry and member vectors, bypassing partition.Build, so tests can
+// exercise degenerate shapes (empty clusters, ball-less clusters).
+func handBuiltPartitioned(dim int, clusters []partition.Cluster, vecs [][][]float64) *Partitioned {
+	rng := rand.New(rand.NewSource(1))
+	cfg := tinyPartitionedConfig(1.0)
+	ae := nn.NewAutoencoder(rng, dim, cfg.Model.AEHidden, cfg.Model.AELatent)
+	p := &Partitioned{
+		pcfg:        cfg,
+		dim:         dim,
+		dist:        distance.Euclidean,
+		ae:          ae,
+		part:        partition.Restore(partition.CoverTree, clusters, false, false),
+		clusterVecs: vecs,
+	}
+	for range clusters {
+		p.locals = append(p.locals, NewNetWithAE(rng, dim, cfg.Model, ae))
+	}
+	return p
+}
+
+// Inserting near an empty cluster's ball must land the vector there (and
+// grow the ball if the vector falls outside it), not in a populated
+// cluster farther away.
+func TestApplyInsertIntoEmptyCluster(t *testing.T) {
+	dim := 3
+	clusters := []partition.Cluster{
+		{Members: []int{0, 1}, Balls: []partition.Ball{{Center: []float64{0, 0, 0}, Radius: 1}}},
+		{Members: nil, Balls: []partition.Ball{{Center: []float64{10, 10, 10}, Radius: 1}}},
+	}
+	vecs := [][][]float64{
+		{{0.1, 0, 0}, {0, 0.1, 0}},
+		{}, // empty cluster
+	}
+	p := handBuiltPartitioned(dim, clusters, vecs)
+	p.ApplyInsert([][]float64{{10, 10, 12}})
+	sizes := p.ClusterSizes()
+	if sizes[0] != 2 || sizes[1] != 1 {
+		t.Fatalf("insert landed wrong: sizes %v, want [2 1]", sizes)
+	}
+	// The vector is at distance 2 from the empty cluster's center, outside
+	// its radius-1 ball: the radius must grow so the indicator stays sound.
+	if r := p.part.Clusters[1].Balls[0].Radius; r < 2 {
+		t.Fatalf("ball radius %v not grown to cover inserted vector", r)
+	}
+	// The inserted vector must be visible in the empty cluster's labels.
+	if y := p.localLabel(1, []float64{10, 10, 12}, 0); y != 1 {
+		t.Fatalf("inserted vector not labelled in empty cluster: %v", y)
+	}
+}
+
+// With no balls anywhere, insertion falls back to a ball-less cluster
+// instead of panicking or dropping the vector.
+func TestApplyInsertNoBallsFallback(t *testing.T) {
+	dim := 2
+	clusters := []partition.Cluster{{Members: nil}, {Members: nil}}
+	p := handBuiltPartitioned(dim, clusters, [][][]float64{{}, {}})
+	p.ApplyInsert([][]float64{{1, 2}})
+	total := 0
+	for _, s := range p.ClusterSizes() {
+		total += s
+	}
+	if total != 1 {
+		t.Fatalf("inserted vector lost: sizes %v", p.ClusterSizes())
+	}
+}
+
+// Deleting from a model with an empty cluster, and deleting vectors
+// absent from every cluster, must both be harmless no-ops.
+func TestApplyDeleteAbsentAndEmptyCluster(t *testing.T) {
+	dim := 3
+	clusters := []partition.Cluster{
+		{Members: []int{0}, Balls: []partition.Ball{{Center: []float64{0, 0, 0}, Radius: 1}}},
+		{Members: nil, Balls: []partition.Ball{{Center: []float64{5, 5, 5}, Radius: 1}}},
+	}
+	p := handBuiltPartitioned(dim, clusters, [][][]float64{{{0.5, 0, 0}}, {}})
+	p.ApplyDelete([][]float64{{9, 9, 9}, {5, 5, 5}})
+	if sizes := p.ClusterSizes(); sizes[0] != 1 || sizes[1] != 0 {
+		t.Fatalf("absent delete changed sizes: %v", sizes)
+	}
+	// Delete the one real vector; a second delete of it is then a no-op.
+	p.ApplyDelete([][]float64{{0.5, 0, 0}})
+	p.ApplyDelete([][]float64{{0.5, 0, 0}})
+	if sizes := p.ClusterSizes(); sizes[0] != 0 || sizes[1] != 0 {
+		t.Fatalf("delete did not empty cluster exactly once: %v", sizes)
+	}
+}
+
+// Mixed insert/delete batches must preserve the invariant
+// sum(ClusterSizes) == initial + inserts - (deletes that matched).
+func TestClusterSizeInvariantAfterMixedBatches(t *testing.T) {
+	db, wl := testWorkload(38, 250, 4, 6, 3)
+	rng := rand.New(rand.NewSource(39))
+	p := NewPartitioned(rng, db, tinyPartitionedConfig(wl.TMax))
+	total := func() int {
+		s := 0
+		for _, n := range p.ClusterSizes() {
+			s += n
+		}
+		return s
+	}
+	want := total()
+	present := make([][]float64, 0)
+	for op := 0; op < 20; op++ {
+		if rng.Intn(2) == 0 {
+			batch := make([][]float64, 1+rng.Intn(4))
+			for i := range batch {
+				batch[i] = freshVec(rng, db.Dim)
+			}
+			p.ApplyInsert(batch)
+			present = append(present, batch...)
+			want += len(batch)
+		} else {
+			batch := make([][]float64, 0, 3)
+			// One vector we know is present (if any), one absent.
+			if len(present) > 0 {
+				i := rng.Intn(len(present))
+				batch = append(batch, present[i])
+				present = append(present[:i], present[i+1:]...)
+				want--
+			}
+			batch = append(batch, []float64{77, 77, 77, 77})
+			p.ApplyDelete(batch)
+		}
+		if got := total(); got != want {
+			t.Fatalf("op %d: total %d, want %d", op, got, want)
+		}
+	}
+}
+
+// freshVec draws a random vector; continuous coordinates make an exact
+// value collision with an existing vector impossible in practice, so
+// delete-by-value hits exactly the vectors this test inserted.
+func freshVec(rng *rand.Rand, dim int) []float64 {
+	v := make([]float64, dim)
+	for i := range v {
+		v[i] = 1 + rng.Float64()
+	}
+	return v
 }
 
 func TestPartitionedEstimateNonNegative(t *testing.T) {

@@ -81,6 +81,7 @@ type Batcher struct {
 	batches  atomic.Uint64
 	maxFused atomic.Uint64
 	timeouts atomic.Uint64
+	sizes    *Histogram // fused-batch sizes, exported via /metrics
 }
 
 type batchReq struct {
@@ -98,9 +99,10 @@ type batchRes struct {
 func NewBatcher(est Estimator, cfg BatcherConfig) *Batcher {
 	cfg = cfg.withDefaults()
 	b := &Batcher{
-		est:  est,
-		cfg:  cfg,
-		reqs: make(chan batchReq, cfg.QueueDepth),
+		est:   est,
+		cfg:   cfg,
+		reqs:  make(chan batchReq, cfg.QueueDepth),
+		sizes: NewHistogram(BatchSizeBuckets()...),
 	}
 	b.wg.Add(cfg.Workers)
 	for i := 0; i < cfg.Workers; i++ {
@@ -153,6 +155,9 @@ func (b *Batcher) Close() {
 	close(b.reqs)     // workers drain the buffer, then exit
 	b.wg.Wait()
 }
+
+// SizeHistogram snapshots the distribution of fused batch sizes.
+func (b *Batcher) SizeHistogram() HistogramSnapshot { return b.sizes.Snapshot() }
 
 // Stats returns a snapshot of the coalescing counters.
 func (b *Batcher) Stats() BatcherStats {
@@ -228,6 +233,7 @@ func (b *Batcher) run(batch []batchReq) {
 		}
 	}()
 	b.batches.Add(1)
+	b.sizes.Observe(float64(len(batch)))
 	for {
 		cur := b.maxFused.Load()
 		if uint64(len(batch)) <= cur || b.maxFused.CompareAndSwap(cur, uint64(len(batch))) {

@@ -1,0 +1,183 @@
+package serve
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestHistogramObserveAndSnapshot(t *testing.T) {
+	h := NewHistogram(1, 10, 100)
+	for _, v := range []float64{0.5, 1, 5, 50, 500, 1000} {
+		h.Observe(v)
+	}
+	s := h.Snapshot()
+	// SearchFloat64s puts v == bound into the bucket it bounds.
+	want := []uint64{2, 1, 1, 2} // (<=1)=0.5,1  (<=10)=5  (<=100)=50  (+Inf)=500,1000
+	for i, w := range want {
+		if s.Counts[i] != w {
+			t.Fatalf("bucket %d: %d, want %d (all %v)", i, s.Counts[i], w, s.Counts)
+		}
+	}
+	if s.Count != 6 || s.Sum != 1556.5 {
+		t.Fatalf("count %d sum %v", s.Count, s.Sum)
+	}
+}
+
+func TestHistogramConcurrent(t *testing.T) {
+	h := NewHistogram(LatencyBuckets()...)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				h.Observe(0.001)
+			}
+		}()
+	}
+	wg.Wait()
+	s := h.Snapshot()
+	if s.Count != 8000 {
+		t.Fatalf("count %d, want 8000", s.Count)
+	}
+	if s.Sum < 7.999 || s.Sum > 8.001 {
+		t.Fatalf("sum %v, want ~8", s.Sum)
+	}
+}
+
+func TestHistogramPanicsOnUnsortedBounds(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewHistogram(2, 1)
+}
+
+// fakeUpdater satisfies Updater for endpoint tests without the full
+// ingest pipeline.
+type fakeUpdater struct {
+	ack   UpdateAck
+	err   error
+	stats map[string]UpdaterStats
+}
+
+func (f *fakeUpdater) Enqueue(model string, insert, del [][]float64) (UpdateAck, error) {
+	return f.ack, f.err
+}
+func (f *fakeUpdater) UpdaterStats() map[string]UpdaterStats { return f.stats }
+
+func TestMetricsEndpoint(t *testing.T) {
+	s, ts := newTestServer(t, Config{Batcher: BatcherConfig{MaxBatch: 4}, Cache: CacheConfig{Capacity: 16}})
+	if _, err := s.Registry().Publish("m", tinyNet(1, 3), "mem"); err != nil {
+		t.Fatal(err)
+	}
+	s.SetUpdater(&fakeUpdater{stats: map[string]UpdaterStats{
+		"m": {QueueDepth: 2, QueueCapacity: 8, Lag: 2, Retrained: 1},
+	}})
+
+	// Generate some traffic so the histograms are non-empty.
+	postJSON(t, ts.URL+"/v1/estimate", map[string]any{"model": "m", "query": []float64{0, 0, 0}, "t": 0.5})
+	postJSON(t, ts.URL+"/v1/estimate", map[string]any{"model": "m", "query": []float64{0, 0, 0}, "t": 0.5})
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("content type %q", ct)
+	}
+	raw, _ := io.ReadAll(resp.Body)
+	body := string(raw)
+
+	for _, want := range []string{
+		"# TYPE selestd_http_request_duration_seconds histogram",
+		`selestd_http_request_duration_seconds_bucket{route="/v1/estimate",le="+Inf"} 2`,
+		`selestd_http_request_duration_seconds_count{route="/v1/estimate"} 2`,
+		"# TYPE selestd_cache_hit_ratio gauge",
+		"selestd_cache_hit_ratio 0.5",
+		`selestd_model_generation{model="m"} 1`,
+		`selestd_batcher_batch_size_count{model="m"}`,
+		`selestd_ingest_queue_depth{model="m"} 2`,
+		`selestd_ingest_retrained_total{model="m"} 1`,
+		"selestd_http_requests_total",
+	} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("metrics missing %q in:\n%s", want, body)
+		}
+	}
+	// HELP/TYPE headers must not repeat per label set.
+	if n := strings.Count(body, "# TYPE selestd_http_request_duration_seconds histogram"); n != 1 {
+		t.Fatalf("duration TYPE header appears %d times", n)
+	}
+}
+
+func TestUpdateRouteStatuses(t *testing.T) {
+	s, ts := newTestServer(t, Config{NoBatch: true})
+	if _, err := s.Registry().Publish("m", tinyNet(2, 3), "mem"); err != nil {
+		t.Fatal(err)
+	}
+
+	// No updater attached: 409.
+	resp, _ := postJSON(t, ts.URL+"/v1/models/m/update", map[string]any{"insert": [][]float64{{1, 2, 3}}})
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("no updater: status %d", resp.StatusCode)
+	}
+
+	fu := &fakeUpdater{ack: UpdateAck{Seq: 7, QueueDepth: 1}}
+	s.SetUpdater(fu)
+
+	// Unknown model: 404 (before the updater is consulted).
+	resp, _ = postJSON(t, ts.URL+"/v1/models/nope/update", map[string]any{"insert": [][]float64{{1, 2, 3}}})
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown model: status %d", resp.StatusCode)
+	}
+
+	// Malformed batch (the updater validates against its database and
+	// wraps ErrInvalidUpdate): 400.
+	fu.err = ErrInvalidUpdate
+	resp, _ = postJSON(t, ts.URL+"/v1/models/m/update", map[string]any{"insert": [][]float64{{1, 2}}})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad dim: status %d", resp.StatusCode)
+	}
+	fu.err = nil
+
+	// Empty update: 400.
+	resp, _ = postJSON(t, ts.URL+"/v1/models/m/update", map[string]any{})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("empty: status %d", resp.StatusCode)
+	}
+
+	// Accepted: 202 with the ack echoed.
+	var ack updateModelResponse
+	resp, body := postJSON(t, ts.URL+"/v1/models/m/update", map[string]any{
+		"insert": [][]float64{{1, 2, 3}}, "delete": [][]float64{{4, 5, 6}}})
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("accepted: status %d body %s", resp.StatusCode, body)
+	}
+	if err := json.Unmarshal(body, &ack); err != nil {
+		t.Fatalf("unmarshal ack: %v", err)
+	}
+	if ack.Seq != 7 || ack.QueueDepth != 1 || ack.Model != "m" {
+		t.Fatalf("ack %+v", ack)
+	}
+
+	// Backpressure: 429.
+	fu.err = ErrUpdateQueueFull
+	resp, _ = postJSON(t, ts.URL+"/v1/models/m/update", map[string]any{"insert": [][]float64{{1, 2, 3}}})
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("queue full: status %d", resp.StatusCode)
+	}
+
+	// Not attached for updates: 409.
+	fu.err = ErrNotUpdatable
+	resp, _ = postJSON(t, ts.URL+"/v1/models/m/update", map[string]any{"insert": [][]float64{{1, 2, 3}}})
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("not updatable: status %d", resp.StatusCode)
+	}
+}

@@ -65,6 +65,7 @@ type Registry struct {
 	mu         sync.Mutex // serializes writers
 	generation map[string]uint64
 	newBatcher func(Estimator) *Batcher
+	onSwap     func(name string, old, next *Model)
 }
 
 // NewRegistry returns an empty registry. newBatcher, if non-nil, is
@@ -79,6 +80,12 @@ func NewRegistry(newBatcher func(Estimator) *Batcher) *Registry {
 	r.table.Store(&empty)
 	return r
 }
+
+// SetSwapHook registers fn to be called after every Publish or Remove
+// with the displaced entry (nil on first publish) and its replacement
+// (nil on Remove). Install it before the registry sees traffic; the hook
+// runs on the writer's goroutine, outside the registry lock.
+func (r *Registry) SetSwapHook(fn func(name string, old, next *Model)) { r.onSwap = fn }
 
 // Get returns the model published under name, or false. The returned
 // *Model and its estimator remain valid even if the name is swapped or
@@ -110,11 +117,26 @@ func (r *Registry) Len() int { return len(*r.table.Load()) }
 // that name (hot-swap). The previous model's batcher, if any, is closed
 // in the background after draining. It returns the new entry.
 func (r *Registry) Publish(name string, est Estimator, source string) (*Model, error) {
+	m, _, err := r.publish(name, est, source, false, nil)
+	return m, err
+}
+
+// PublishIf installs est under name only while the currently published
+// estimator is still expected (interface identity; expected nil means
+// "name is absent"). It returns swapped=false, with no side effects,
+// when something else was published in the meantime — the compare-and-
+// swap the ingest pipeline uses so a shadow retrain that raced a manual
+// model load never clobbers the operator's model.
+func (r *Registry) PublishIf(name string, est Estimator, source string, expected Estimator) (*Model, bool, error) {
+	return r.publish(name, est, source, true, expected)
+}
+
+func (r *Registry) publish(name string, est Estimator, source string, conditional bool, expected Estimator) (*Model, bool, error) {
 	if name == "" {
-		return nil, fmt.Errorf("serve: empty model name")
+		return nil, false, fmt.Errorf("serve: empty model name")
 	}
 	if est == nil {
-		return nil, fmt.Errorf("serve: nil estimator for %q", name)
+		return nil, false, fmt.Errorf("serve: nil estimator for %q", name)
 	}
 	m := &Model{
 		Name:     name,
@@ -122,11 +144,23 @@ func (r *Registry) Publish(name string, est Estimator, source string) (*Model, e
 		Source:   source,
 		LoadedAt: time.Now(),
 	}
-	if r.newBatcher != nil {
-		m.batcher = r.newBatcher(est)
-	}
 
 	r.mu.Lock()
+	if conditional {
+		var curEst Estimator
+		if cur := (*r.table.Load())[name]; cur != nil {
+			curEst = cur.Est
+		}
+		if curEst != expected {
+			r.mu.Unlock()
+			return nil, false, nil
+		}
+	}
+	if r.newBatcher != nil {
+		// Built under the writer lock so a failed conditional publish
+		// never spawns (and then has to reap) a worker pool.
+		m.batcher = r.newBatcher(est)
+	}
 	r.generation[name]++
 	m.Generation = r.generation[name]
 	old := r.swapLocked(name, m)
@@ -137,7 +171,10 @@ func (r *Registry) Publish(name string, est Estimator, source string) (*Model, e
 		// Publish never waits on the old model's queue.
 		go old.batcher.Close()
 	}
-	return m, nil
+	if r.onSwap != nil {
+		r.onSwap(name, old, m)
+	}
+	return m, true, nil
 }
 
 // Remove unpublishes name, returning whether it was present. Like a
@@ -151,6 +188,9 @@ func (r *Registry) Remove(name string) bool {
 	}
 	if old.batcher != nil {
 		go old.batcher.Close()
+	}
+	if r.onSwap != nil {
+		r.onSwap(name, old, nil)
 	}
 	return true
 }

@@ -101,3 +101,41 @@ func TestRegistryConcurrentSwapAndGet(t *testing.T) {
 		t.Fatalf("generation = %d, want 201", m.Generation)
 	}
 }
+
+func TestRegistryPublishIf(t *testing.T) {
+	r := NewRegistry(nil)
+	var swaps int
+	r.SetSwapHook(func(name string, old, next *Model) { swaps++ })
+
+	// Absent name + nil expectation: installs.
+	e1 := newFakeEst(2)
+	m1, swapped, err := r.PublishIf("m", e1, "first", nil)
+	if err != nil || !swapped || m1.Generation != 1 {
+		t.Fatalf("initial PublishIf: %v %v %+v", swapped, err, m1)
+	}
+	// Absent expectation no longer holds: no-op, no side effects.
+	if _, swapped, _ := r.PublishIf("m", newFakeEst(2), "x", nil); swapped {
+		t.Fatal("stale nil expectation swapped")
+	}
+	// Matching expectation: swaps and bumps generation.
+	e2 := newFakeEst(2)
+	m2, swapped, err := r.PublishIf("m", e2, "second", e1)
+	if err != nil || !swapped || m2.Generation != 2 {
+		t.Fatalf("matching PublishIf: %v %v %+v", swapped, err, m2)
+	}
+	// Stale expectation (an operator swapped e3 in between): abandoned.
+	e3 := newFakeEst(2)
+	if _, err := r.Publish("m", e3, "manual"); err != nil {
+		t.Fatal(err)
+	}
+	if _, swapped, _ := r.PublishIf("m", newFakeEst(2), "shadow", e2); swapped {
+		t.Fatal("stale expectation clobbered the manual publish")
+	}
+	cur, _ := r.Get("m")
+	if cur.Est != Estimator(e3) || cur.Generation != 3 {
+		t.Fatalf("current entry %+v, want the manual publish at gen 3", cur)
+	}
+	if swaps != 3 {
+		t.Fatalf("swap hook fired %d times, want 3 (no-ops must not fire it)", swaps)
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"sort"
 	"sync/atomic"
 	"time"
 
@@ -30,10 +31,13 @@ type Server struct {
 	cfg      Config
 	registry *Registry
 	cache    *Cache
+	updater  Updater
 	started  time.Time
 
 	requests atomic.Uint64 // HTTP requests accepted
 	errors   atomic.Uint64 // requests answered 4xx/5xx
+	swaps    atomic.Uint64 // registry hot-swaps (replacing publishes)
+	latency  map[string]*Histogram
 }
 
 // NewServer builds a server with an empty registry.
@@ -44,7 +48,13 @@ func NewServer(cfg Config) *Server {
 		nb = func(est Estimator) *Batcher { return NewBatcher(est, cfg.Batcher) }
 	}
 	s.registry = NewRegistry(nb)
+	s.registry.SetSwapHook(func(name string, old, next *Model) {
+		if old != nil && next != nil {
+			s.swaps.Add(1)
+		}
+	})
 	s.cache = NewCache(cfg.Cache)
+	s.latency = make(map[string]*Histogram)
 	return s
 }
 
@@ -52,27 +62,48 @@ func NewServer(cfg Config) *Server {
 // through it).
 func (s *Server) Registry() *Registry { return s.registry }
 
+// SetUpdater attaches the update pipeline behind
+// POST /v1/models/{name}/update. Call before Handler sees traffic;
+// without one, update requests are answered 409.
+func (s *Server) SetUpdater(u Updater) { s.updater = u }
+
 // Close drains every model's in-flight batches and releases the worker
 // pools. Call after the HTTP listener has stopped accepting requests.
 func (s *Server) Close() { s.registry.Close() }
 
 // Handler returns the route table:
 //
-//	GET  /healthz              liveness probe
-//	GET  /stats                server, cache, and per-model counters
-//	GET  /v1/models            list published models
-//	POST /v1/models/{name}     load/hot-swap a .gob model: {"path": "..."}
-//	POST /v1/estimate          {"model","query","t"} -> one estimate
-//	POST /v1/estimate/batch    {"model","queries",["ts"|"t"]} -> estimates
+//	GET  /healthz                     liveness probe
+//	GET  /stats                       server, cache, ingest, per-model counters
+//	GET  /metrics                     Prometheus text exposition
+//	GET  /v1/models                   list published models
+//	POST /v1/models/{name}            load/hot-swap a .gob model: {"path": "..."}
+//	POST /v1/models/{name}/update     journal an insert/delete batch
+//	POST /v1/estimate                 {"model","query","t"} -> one estimate
+//	POST /v1/estimate/batch           {"model","queries",["ts"|"t"]} -> estimates
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("GET /healthz", s.handleHealthz)
-	mux.HandleFunc("GET /stats", s.handleStats)
-	mux.HandleFunc("GET /v1/models", s.handleListModels)
-	mux.HandleFunc("POST /v1/models/{name}", s.handleLoadModel)
-	mux.HandleFunc("POST /v1/estimate", s.handleEstimate)
-	mux.HandleFunc("POST /v1/estimate/batch", s.handleEstimateBatch)
+	mux.HandleFunc("GET /healthz", s.timed("/healthz", s.handleHealthz))
+	mux.HandleFunc("GET /stats", s.timed("/stats", s.handleStats))
+	mux.HandleFunc("GET /metrics", s.timed("/metrics", s.handleMetrics))
+	mux.HandleFunc("GET /v1/models", s.timed("/v1/models", s.handleListModels))
+	mux.HandleFunc("POST /v1/models/{name}", s.timed("/v1/models/{name}", s.handleLoadModel))
+	mux.HandleFunc("POST /v1/models/{name}/update", s.timed("/v1/models/{name}/update", s.handleUpdateModel))
+	mux.HandleFunc("POST /v1/estimate", s.timed("/v1/estimate", s.handleEstimate))
+	mux.HandleFunc("POST /v1/estimate/batch", s.timed("/v1/estimate/batch", s.handleEstimateBatch))
 	return s.count(mux)
+}
+
+// timed wraps a handler with the route's latency histogram. Handler
+// registration happens before traffic, so the map needs no lock.
+func (s *Server) timed(route string, h http.HandlerFunc) http.HandlerFunc {
+	hist := NewHistogram(LatencyBuckets()...)
+	s.latency[route] = hist
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		h(w, r)
+		hist.Observe(time.Since(start).Seconds())
+	}
 }
 
 // count wraps the mux with the request/error counters.
@@ -131,6 +162,21 @@ type loadModelRequest struct {
 	Path string `json:"path"`
 }
 
+type updateModelRequest struct {
+	// Insert holds vectors to add; Delete holds vectors to remove,
+	// matched by value (absent vectors are ignored).
+	Insert [][]float64 `json:"insert,omitempty"`
+	Delete [][]float64 `json:"delete,omitempty"`
+}
+
+type updateModelResponse struct {
+	Model string `json:"model"`
+	// Seq is the journal sequence assigned to this batch; compare against
+	// the model's applied_seq in /stats to see when it has taken effect.
+	Seq        uint64 `json:"seq"`
+	QueueDepth int    `json:"queue_depth"`
+}
+
 type modelInfo struct {
 	Name       string        `json:"name"`
 	Kind       string        `json:"kind"`
@@ -143,11 +189,13 @@ type modelInfo struct {
 }
 
 type statsResponse struct {
-	UptimeSeconds float64     `json:"uptime_seconds"`
-	Requests      uint64      `json:"requests"`
-	Errors        uint64      `json:"errors"`
-	Cache         CacheStats  `json:"cache"`
-	Models        []modelInfo `json:"models"`
+	UptimeSeconds float64                 `json:"uptime_seconds"`
+	Requests      uint64                  `json:"requests"`
+	Errors        uint64                  `json:"errors"`
+	Swaps         uint64                  `json:"swaps"`
+	Cache         CacheStats              `json:"cache"`
+	Models        []modelInfo             `json:"models"`
+	Ingest        map[string]UpdaterStats `json:"ingest,omitempty"`
 }
 
 type errorResponse struct {
@@ -166,8 +214,12 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		UptimeSeconds: time.Since(s.started).Seconds(),
 		Requests:      s.requests.Load(),
 		Errors:        s.errors.Load(),
+		Swaps:         s.swaps.Load(),
 		Cache:         s.cache.Stats(),
 		Models:        s.modelInfos(true),
+	}
+	if s.updater != nil {
+		resp.Ingest = s.updater.UpdaterStats()
 	}
 	writeJSON(w, http.StatusOK, resp)
 }
@@ -313,6 +365,135 @@ func (s *Server) handleEstimateBatch(w http.ResponseWriter, r *http.Request) {
 	// Already a batch: run the tensor pass directly, bypassing the
 	// coalescer (which exists to fuse separate requests).
 	writeJSON(w, http.StatusOK, estimateBatchResponse{Model: m.Name, Estimates: m.Est.EstimateBatch(x, ts)})
+}
+
+func (s *Server) handleUpdateModel(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	var req updateModelRequest
+	if err := decodeJSON(r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if len(req.Insert)+len(req.Delete) == 0 {
+		writeError(w, http.StatusBadRequest, errors.New("empty update: provide \"insert\" and/or \"delete\""))
+		return
+	}
+	if _, ok := s.registry.Get(name); !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("unknown model %q", name))
+		return
+	}
+	if s.updater == nil {
+		writeError(w, http.StatusConflict, ErrNotUpdatable)
+		return
+	}
+	// Vector validation happens in the updater against its attached
+	// database — the authoritative dimensionality — not the registry
+	// model, which an operator may have hot-swapped independently.
+	ack, err := s.updater.Enqueue(name, req.Insert, req.Delete)
+	switch {
+	case errors.Is(err, ErrInvalidUpdate):
+		writeError(w, http.StatusBadRequest, err)
+		return
+	case errors.Is(err, ErrUpdateQueueFull):
+		writeError(w, http.StatusTooManyRequests, err)
+		return
+	case errors.Is(err, ErrNotUpdatable):
+		writeError(w, http.StatusConflict, err)
+		return
+	case errors.Is(err, ErrUpdaterClosed):
+		writeError(w, http.StatusServiceUnavailable, err)
+		return
+	case err != nil:
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, updateModelResponse{Model: name, Seq: ack.Seq, QueueDepth: ack.QueueDepth})
+}
+
+// handleMetrics renders the Prometheus text exposition: request counters,
+// per-route latency histograms, cache effectiveness, per-model coalescer
+// histograms, and (when an updater is attached) ingest queue gauges.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	p := newPromWriter(w)
+	p.value("selestd_uptime_seconds", "Seconds since the server started.", "gauge",
+		time.Since(s.started).Seconds())
+	p.value("selestd_http_requests_total", "HTTP requests accepted.", "counter",
+		float64(s.requests.Load()))
+	p.value("selestd_http_errors_total", "HTTP requests answered 4xx/5xx.", "counter",
+		float64(s.errors.Load()))
+	p.value("selestd_registry_swaps_total", "Model hot-swaps (replacing publishes).", "counter",
+		float64(s.swaps.Load()))
+
+	routes := make([]string, 0, len(s.latency))
+	for route := range s.latency {
+		routes = append(routes, route)
+	}
+	sort.Strings(routes)
+	for _, route := range routes {
+		p.histogram("selestd_http_request_duration_seconds", "Request latency by route.",
+			s.latency[route].Snapshot(), "route", route)
+	}
+
+	cs := s.cache.Stats()
+	p.value("selestd_cache_hits_total", "Estimate cache hits.", "counter", float64(cs.Hits))
+	p.value("selestd_cache_misses_total", "Estimate cache misses.", "counter", float64(cs.Misses))
+	p.value("selestd_cache_evictions_total", "Estimate cache evictions.", "counter", float64(cs.Evictions))
+	p.value("selestd_cache_size", "Cached estimates.", "gauge", float64(cs.Size))
+	p.value("selestd_cache_capacity", "Estimate cache capacity.", "gauge", float64(cs.Capacity))
+	ratio := 0.0
+	if total := cs.Hits + cs.Misses; total > 0 {
+		ratio = float64(cs.Hits) / float64(total)
+	}
+	p.value("selestd_cache_hit_ratio", "Cache hits / lookups since start.", "gauge", ratio)
+
+	for _, m := range s.registry.List() {
+		p.value("selestd_model_generation", "Registry generation of the published model.", "gauge",
+			float64(m.Generation), "model", m.Name)
+		if b := m.Batcher(); b != nil {
+			bs := b.Stats()
+			p.value("selestd_batcher_requests_total", "Single estimates submitted to the coalescer.",
+				"counter", float64(bs.Requests), "model", m.Name)
+			p.value("selestd_batcher_batches_total", "Fused EstimateBatch calls.", "counter",
+				float64(bs.Batches), "model", m.Name)
+			p.value("selestd_batcher_timeouts_total", "Batches flushed by the interval timer.",
+				"counter", float64(bs.Timeouts), "model", m.Name)
+			p.histogram("selestd_batcher_batch_size", "Requests fused per inference batch.",
+				b.SizeHistogram(), "model", m.Name)
+		}
+	}
+
+	if s.updater != nil {
+		stats := s.updater.UpdaterStats()
+		names := make([]string, 0, len(stats))
+		for name := range stats {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			us := stats[name]
+			p.value("selestd_ingest_queue_depth", "Pending update batches.", "gauge",
+				float64(us.QueueDepth), "model", name)
+			p.value("selestd_ingest_queue_capacity", "Update queue capacity.", "gauge",
+				float64(us.QueueCapacity), "model", name)
+			p.value("selestd_ingest_lag", "Journal sequences not yet applied.", "gauge",
+				float64(us.Lag), "model", name)
+			p.value("selestd_ingest_batches_applied_total", "Update batches applied to the database.",
+				"counter", float64(us.BatchesApplied), "model", name)
+			p.value("selestd_ingest_inserted_vecs_total", "Vectors inserted.", "counter",
+				float64(us.InsertedVecs), "model", name)
+			p.value("selestd_ingest_deleted_vecs_total", "Vectors deleted.", "counter",
+				float64(us.DeletedVecs), "model", name)
+			p.value("selestd_ingest_skipped_total", "Retrain cycles absorbed by the delta_U check.",
+				"counter", float64(us.Skipped), "model", name)
+			p.value("selestd_ingest_retrained_total", "Retrain cycles that hot-swapped a shadow model.",
+				"counter", float64(us.Retrained), "model", name)
+			p.value("selestd_ingest_last_mae_before", "Validation MAE before the last cycle.", "gauge",
+				us.LastMAEBefore, "model", name)
+			p.value("selestd_ingest_last_mae_after", "Validation MAE after the last cycle.", "gauge",
+				us.LastMAEAfter, "model", name)
+		}
+	}
 }
 
 // lookup resolves the model and validates the query shape, returning an
