@@ -9,6 +9,7 @@ package selnet_bench
 import (
 	"context"
 	"math/rand"
+	"path/filepath"
 	"runtime"
 	"testing"
 	"time"
@@ -355,6 +356,79 @@ func BenchmarkIngestRetrainSwap(b *testing.B) {
 	}
 	st := pipe.UpdaterStats()["bench"]
 	b.ReportMetric(float64(st.Retrained), "swaps")
+}
+
+// WAL benchmarks: the durability tax of the update path. Append is one
+// encoded record plus a (group-committed) fsync — the latency a client
+// pays between POST and 202 with -journal-dir set; Replay is the boot-
+// time scan that recovers entries after a crash.
+
+func walBenchEntry(seq uint64) ingest.Entry {
+	ins := make([][]float64, 5)
+	for i := range ins {
+		v := make([]float64, 16)
+		for j := range v {
+			v[j] = float64(seq) + float64(i*16+j)/100
+		}
+		ins[i] = v
+	}
+	return ingest.Entry{Seq: seq, At: time.Unix(0, int64(seq)), Insert: ins}
+}
+
+func BenchmarkWALAppend(b *testing.B) {
+	w, _, err := ingest.OpenWAL(filepath.Join(b.TempDir(), "bench.wal"), "bench")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer w.Close()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := w.Append(walBenchEntry(uint64(i + 1))); err != nil {
+			b.Fatal(err)
+		}
+		if err := w.Sync(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	st := w.Stats()
+	b.SetBytes(st.Size / int64(b.N))
+	b.ReportMetric(float64(st.Size)/float64(b.N), "bytes/record")
+}
+
+func BenchmarkWALReplay(b *testing.B) {
+	const records = 1000
+	path := filepath.Join(b.TempDir(), "bench.wal")
+	w, _, err := ingest.OpenWAL(path, "bench")
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < records; i++ {
+		if err := w.Append(walBenchEntry(uint64(i + 1))); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := w.Sync(); err != nil {
+		b.Fatal(err)
+	}
+	size := w.Stats().Size
+	if err := w.Close(); err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(size)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w, rec, err := ingest.OpenWAL(path, "bench")
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rec.Entries) != records {
+			b.Fatalf("recovered %d records, want %d", len(rec.Entries), records)
+		}
+		w.Close()
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(records)*float64(b.N)/b.Elapsed().Seconds(), "records/s")
 }
 
 func benchEstimate(b *testing.B, model string) {

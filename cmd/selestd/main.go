@@ -23,6 +23,18 @@
 // δ_U accuracy check on a shadow clone, and hot-swaps the retrained
 // shadow in — serving traffic never blocks on retraining.
 //
+// With -journal-dir set, the update journal is crash-durable: every
+// accepted batch is fsynced to a per-model write-ahead log before the
+// 202, a background snapshotter persists each model's database and
+// weights so the log stays bounded, and on boot the daemon recovers —
+// snapshot load, corrupt-tail truncation, replay of the surviving
+// records through the δ_U pipeline — so a SIGKILL loses nothing that
+// was acknowledged.
+//
+// Models may be single (.gob from 'selest train') or partitioned; the
+// loader detects the kind, and both serve estimates and attach for
+// streaming updates.
+//
 // SIGINT/SIGTERM trigger a graceful shutdown: the listener stops, open
 // requests finish, the ingest journals drain (every accepted batch is
 // applied), and in-flight inference batches drain.
@@ -59,7 +71,7 @@ func (m *repeatedFlags) Set(v string) error {
 	return nil
 }
 
-// ingestOptions carries the -update-* and retrain flag values.
+// ingestOptions carries the -update-*, retrain, and journal flag values.
 type ingestOptions struct {
 	queueDepth     int
 	coalesceMax    int
@@ -69,6 +81,9 @@ type ingestOptions struct {
 	maxEpochs      int
 	queries        int
 	dist           distance.Func
+	journalDir     string
+	snapshotEvery  int
+	compactBytes   int64
 }
 
 func main() {
@@ -88,6 +103,9 @@ func main() {
 	maxEpochs := flag.Int("retrain-epochs", 30, "max incremental epochs per retrain cycle")
 	updateQueries := flag.Int("update-queries", 32, "query vectors in the generated delta_U validation workload")
 	distName := flag.String("dist", "l2", "distance function for -data CSV databases: l2 or cosine")
+	journalDir := flag.String("journal-dir", "", "directory for the durable update journal (empty keeps it in memory)")
+	snapshotEvery := flag.Int("snapshot-every", 64, "applied update batches between durable snapshots (with -journal-dir)")
+	compactBytes := flag.Int64("journal-compact-bytes", 4<<20, "WAL size forcing a snapshot+compaction (with -journal-dir)")
 	flag.Var(&models, "model", "model to serve as name=path (repeatable); bare path serves as \"default\"")
 	flag.Var(&data, "data", "CSV vector database attached to a -model for streaming updates, as name=path.csv (repeatable)")
 	flag.Parse()
@@ -106,6 +124,9 @@ func main() {
 		maxEpochs:      *maxEpochs,
 		queries:        *updateQueries,
 		dist:           dist,
+		journalDir:     *journalDir,
+		snapshotEvery:  *snapshotEvery,
+		compactBytes:   *compactBytes,
 	}
 	if err := run(*addr, models, data, serve.Config{
 		Batcher: serve.BatcherConfig{MaxBatch: *maxBatch, FlushInterval: *flush, Workers: *workers},
@@ -128,21 +149,21 @@ func run(addr string, models, data []string, cfg serve.Config, opts ingestOption
 		}
 	}()
 
-	loaded := map[string]*selnet.Net{}
+	loaded := map[string]selnet.Model{}
 	for _, spec := range models {
 		name, path, ok := strings.Cut(spec, "=")
 		if !ok {
 			name, path = "default", spec
 		}
-		net, err := selnet.LoadNetFile(path)
+		m, err := selnet.LoadModelFile(path)
 		if err != nil {
 			return fmt.Errorf("load -model %s: %w", spec, err)
 		}
-		if _, err := srv.Registry().Publish(name, net, path); err != nil {
+		if _, err := srv.Registry().Publish(name, m, path); err != nil {
 			return err
 		}
-		loaded[name] = net
-		log.Printf("loaded model %q from %s (dim %d, t_max %.4f)", name, path, net.Dim(), net.TMax())
+		loaded[name] = m
+		log.Printf("loaded %T model %q from %s (dim %d, t_max %.4f)", m, name, path, m.Dim(), m.TMax())
 	}
 	if len(models) == 0 {
 		log.Printf("no -model given; load one with POST /v1/models/{name}")
@@ -207,9 +228,15 @@ func run(addr string, models, data []string, cfg serve.Config, opts ingestOption
 
 // attachIngest builds the update pipeline for every -data spec, pairing
 // each CSV database with its already-loaded model and generating a
-// labelled validation workload for the δ_U trigger.
-func attachIngest(srv *serve.Server, loaded map[string]*selnet.Net, data []string, opts ingestOptions) (*ingest.Pipeline, error) {
+// labelled validation workload for the δ_U trigger. With -journal-dir,
+// each Attach recovers the model's durable state first (snapshot +
+// write-ahead-log replay) and the directory is scanned for journals
+// whose models are not configured, which would otherwise never replay.
+func attachIngest(srv *serve.Server, loaded map[string]selnet.Model, data []string, opts ingestOptions) (*ingest.Pipeline, error) {
 	if len(data) == 0 {
+		if opts.journalDir != "" {
+			warnOrphanJournals(opts.journalDir, nil)
+		}
 		return nil, nil
 	}
 	tc := selnet.DefaultTrainConfig()
@@ -221,6 +248,15 @@ func attachIngest(srv *serve.Server, loaded map[string]*selnet.Net, data []strin
 		RetrainWorkers: opts.retrainWorkers,
 		Train:          tc,
 		Update:         selnet.UpdateConfig{DeltaU: opts.deltaU, Patience: opts.patience, MaxEpochs: opts.maxEpochs},
+		Journal: ingest.JournalConfig{
+			Dir:           opts.journalDir,
+			SnapshotEvery: opts.snapshotEvery,
+			CompactBytes:  opts.compactBytes,
+			OnRecover: func(model string, r ingest.Recovery) {
+				log.Printf("journal %q: recovered snapshot seq %d (model restored=%v), replaying %d entries (%d corrupt tail bytes discarded)",
+					model, r.SnapshotSeq, r.RestoredModel, r.Replayed, r.DiscardedBytes)
+			},
+		},
 		OnCycle: func(model string, c ingest.Cycle) {
 			if c.Err != nil {
 				log.Printf("ingest %q: seq %d-%d failed: %v", model, c.FirstSeq, c.LastSeq, c.Err)
@@ -232,12 +268,13 @@ func attachIngest(srv *serve.Server, loaded map[string]*selnet.Net, data []strin
 				c.Generation, c.Duration.Round(time.Millisecond))
 		},
 	})
+	attached := map[string]bool{}
 	for _, spec := range data {
 		name, path, ok := strings.Cut(spec, "=")
 		if !ok {
 			name, path = "default", spec
 		}
-		net, okM := loaded[name]
+		m, okM := loaded[name]
 		if !okM {
 			pipe.Close()
 			return nil, fmt.Errorf("-data %s: no -model loaded under %q", spec, name)
@@ -247,22 +284,44 @@ func attachIngest(srv *serve.Server, loaded map[string]*selnet.Net, data []strin
 			pipe.Close()
 			return nil, fmt.Errorf("load -data %s: %w", spec, err)
 		}
-		if db.Dim != net.Dim() {
+		if db.Dim != m.Dim() {
 			pipe.Close()
-			return nil, fmt.Errorf("-data %s: database dim %d but model %q has dim %d", spec, db.Dim, name, net.Dim())
+			return nil, fmt.Errorf("-data %s: database dim %d but model %q has dim %d", spec, db.Dim, name, m.Dim())
 		}
 		// The δ_U trigger needs labelled queries whose labels track the
-		// evolving database; generate them from the data itself.
+		// evolving database; generate them from the data itself. (With a
+		// journal, Attach relabels them against the recovered database.)
 		rng := rand.New(rand.NewSource(1))
 		wl := vecdata.GeometricWorkload(rng, db, opts.queries, 4)
 		cut := len(wl.Queries) * 3 / 4
-		if err := pipe.Attach(name, net, db, wl.Queries[:cut], wl.Queries[cut:]); err != nil {
+		if err := pipe.Attach(name, m, db, wl.Queries[:cut], wl.Queries[cut:]); err != nil {
 			pipe.Close()
 			return nil, err
 		}
-		log.Printf("attached %q for streaming updates (%d vectors, %d delta_U queries, queue %d)",
-			name, db.Size(), len(wl.Queries), opts.queueDepth)
+		attached[name] = true
+		log.Printf("attached %q for streaming updates (%d vectors, %d delta_U queries, queue %d, durable=%v)",
+			name, db.Size(), len(wl.Queries), opts.queueDepth, opts.journalDir != "")
+	}
+	if opts.journalDir != "" {
+		warnOrphanJournals(opts.journalDir, attached)
 	}
 	srv.SetUpdater(pipe)
 	return pipe, nil
+}
+
+// warnOrphanJournals logs journals present on disk whose models are not
+// attached this boot: their acknowledged batches exist durably but will
+// not replay until the model is configured again.
+func warnOrphanJournals(dir string, attached map[string]bool) {
+	infos, err := ingest.ScanJournalDir(dir)
+	if err != nil {
+		log.Printf("journal scan %s: %v", dir, err)
+		return
+	}
+	for _, info := range infos {
+		if !attached[info.Model] {
+			log.Printf("journal %s holds %d entries for model %q, which is not attached (-model/-data missing?); they will not replay",
+				info.Path, info.Entries, info.Model)
+		}
+	}
 }

@@ -1,0 +1,244 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"math/rand"
+	"net"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"syscall"
+	"testing"
+	"time"
+
+	"selnet/internal/selnet"
+	"selnet/internal/vecdata"
+)
+
+// TestKillRestartRecovery is the durability acceptance test for the
+// journaled daemon, run against the real binary: selestd is built,
+// started with -journal-dir, fed acknowledged update batches, SIGKILLed
+// mid-ingest, and restarted over the same journal directory. Every
+// batch that was answered 202 before the kill must be reflected in the
+// /stats applied counters after restart and replay — zero
+// acknowledged-batch loss. The CI `recovery` job runs exactly this.
+func TestKillRestartRecovery(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and drives the real daemon")
+	}
+	dir := t.TempDir()
+	bin := filepath.Join(dir, "selestd")
+	build := exec.Command("go", "build", "-o", bin, ".")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+
+	// A small trained model plus its CSV database, as an operator would
+	// produce with 'selest train'.
+	rng := rand.New(rand.NewSource(70))
+	db := vecdata.SyntheticFace(rng, 300, 4)
+	wl := vecdata.GeometricWorkload(rng, db, 10, 4)
+	cfg := selnet.Config{
+		L: 4, EmbedDim: 4,
+		AEHidden: []int{8}, AELatent: 4,
+		TauHidden: []int{8}, MHidden: []int{8},
+		TMax: wl.TMax, Lambda: 0.1, QueryDependentTau: true, NormEps: 1e-6,
+	}
+	m := selnet.NewNet(rng, db.Dim, cfg)
+	tc := selnet.TrainConfig{Epochs: 1, Batch: 32, LR: 5e-3, HuberDelta: 1.345, LogEps: 1e-3, Seed: 1}
+	cut := len(wl.Queries) * 3 / 4
+	m.Fit(tc, db, wl.Queries[:cut], wl.Queries[cut:])
+	modelPath := filepath.Join(dir, "model.gob")
+	if err := m.SaveFile(modelPath); err != nil {
+		t.Fatal(err)
+	}
+	csvPath := filepath.Join(dir, "data.csv")
+	f, err := os.Create(csvPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := vecdata.WriteCSV(f, db); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	jdir := filepath.Join(dir, "journal")
+	addr := freeAddr(t)
+	base := "http://" + addr
+	args := []string{
+		"-addr", addr,
+		"-model", "m=" + modelPath,
+		"-data", "m=" + csvPath,
+		"-journal-dir", jdir,
+		// Absorb every update (huge delta_U) with one cheap epoch cap so
+		// cycles are fast; snapshots are pushed out of the way so replay
+		// covers every batch deterministically.
+		"-delta-u", "1e18",
+		"-retrain-epochs", "1",
+		"-update-queries", "8",
+		"-snapshot-every", "100000",
+	}
+
+	daemon := startDaemon(t, bin, args, base)
+
+	// Stream acknowledged batches. Each 202 is a durability promise.
+	var lastSeq uint64
+	client := &http.Client{Timeout: 5 * time.Second}
+	for i := 0; i < 25; i++ {
+		ins := [][]float64{
+			{float64(i), 0.1, 0.2, 0.3},
+			{float64(i), 1.1, 1.2, 1.3},
+			{float64(i), 2.1, 2.2, 2.3},
+		}
+		seq, ok := postUpdate(t, client, base, ins)
+		if !ok {
+			i-- // 429 backpressure: retry the same batch
+			time.Sleep(20 * time.Millisecond)
+			continue
+		}
+		lastSeq = seq
+	}
+	if lastSeq == 0 {
+		t.Fatal("no batch was acknowledged")
+	}
+	st := getStats(t, client, base)
+	if !st.Durable {
+		t.Fatalf("daemon is not journaling: %+v", st)
+	}
+
+	// SIGKILL mid-ingest: no drain, no fsync beyond what each 202
+	// already guaranteed.
+	if err := daemon.Process.Kill(); err != nil {
+		t.Fatal(err)
+	}
+	daemon.Wait()
+
+	// Restart over the same journal directory and wait for replay.
+	daemon2 := startDaemon(t, bin, args, base)
+	defer func() {
+		daemon2.Process.Signal(syscall.SIGTERM)
+		daemon2.Wait()
+	}()
+	deadline := time.Now().Add(60 * time.Second)
+	var after daemonIngestStats
+	for {
+		after = getStats(t, client, base)
+		if after.AppliedSeq >= lastSeq {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("replay incomplete: applied_seq %d < acked %d (%+v)", after.AppliedSeq, lastSeq, after)
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+	if !after.Durable || after.ReplayedBatches != lastSeq {
+		t.Fatalf("restart replayed %d batches, want %d (%+v)", after.ReplayedBatches, lastSeq, after)
+	}
+
+	// The recovered daemon keeps working: estimates answer and new
+	// batches continue the acknowledged sequence.
+	body, _ := json.Marshal(map[string]any{"model": "m", "query": db.Vecs[0], "t": wl.TMax / 2})
+	resp, err := client.Post(base+"/v1/estimate", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("estimate after recovery: status %d", resp.StatusCode)
+	}
+	seq, ok := postUpdate(t, client, base, [][]float64{{9, 9, 9, 9}})
+	if !ok || seq != lastSeq+1 {
+		t.Fatalf("post-recovery update got seq %d (ok=%v), want %d", seq, ok, lastSeq+1)
+	}
+}
+
+// daemonIngestStats is the slice of /stats the test asserts on.
+type daemonIngestStats struct {
+	AppliedSeq      uint64 `json:"applied_seq"`
+	NextSeq         uint64 `json:"next_seq"`
+	Durable         bool   `json:"durable"`
+	ReplayedBatches uint64 `json:"replayed_batches"`
+}
+
+func startDaemon(t *testing.T, bin string, args []string, base string) *exec.Cmd {
+	t.Helper()
+	var out bytes.Buffer
+	cmd := exec.Command(bin, args...)
+	cmd.Stdout = &out
+	cmd.Stderr = &out
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	client := &http.Client{Timeout: time.Second}
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		resp, err := client.Get(base + "/healthz")
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return cmd
+			}
+		}
+		if cmd.ProcessState != nil || time.Now().After(deadline) {
+			cmd.Process.Kill()
+			cmd.Wait()
+			t.Fatalf("daemon did not come up: %v\n%s", err, out.String())
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+}
+
+func postUpdate(t *testing.T, client *http.Client, base string, ins [][]float64) (uint64, bool) {
+	t.Helper()
+	body, _ := json.Marshal(map[string]any{"insert": ins})
+	resp, err := client.Post(base+"/v1/models/m/update", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	switch resp.StatusCode {
+	case http.StatusAccepted:
+	case http.StatusTooManyRequests:
+		return 0, false
+	default:
+		t.Fatalf("update status %d", resp.StatusCode)
+	}
+	var ack struct {
+		Seq uint64 `json:"seq"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&ack); err != nil {
+		t.Fatal(err)
+	}
+	return ack.Seq, true
+}
+
+func getStats(t *testing.T, client *http.Client, base string) daemonIngestStats {
+	t.Helper()
+	resp, err := client.Get(base + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st struct {
+		Ingest map[string]daemonIngestStats `json:"ingest"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	return st.Ingest["m"]
+}
+
+func freeAddr(t *testing.T) string {
+	t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := l.Addr().String()
+	l.Close()
+	return addr
+}

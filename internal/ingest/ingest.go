@@ -15,13 +15,22 @@
 // (serve.ErrUpdateQueueFull -> HTTP 429), and Close drains every journal
 // before returning, so acknowledged batches are never dropped on
 // shutdown.
+//
+// With JournalConfig.Dir set, the journal is also crash-durable: every
+// batch is appended to a per-model write-ahead log (wal.go) and fsynced
+// before it is acknowledged, a background snapshotter persists the
+// database and model so the log stays bounded (snapshot.go), and Attach
+// replays the surviving tail on boot — acknowledged batches survive a
+// SIGKILL, not just a graceful drain.
 package ingest
 
 import (
 	"encoding/binary"
 	"fmt"
 	"math"
+	"os"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"selnet/internal/selnet"
@@ -75,6 +84,57 @@ type Config struct {
 	// δ_U check. Tests use it to freeze the pipeline at the point where
 	// serving must still be answering from the old model.
 	BeforeRetrain func(model string)
+	// Journal configures the durable write-ahead log; the zero value
+	// keeps the journal in memory only (the pre-WAL behavior).
+	Journal JournalConfig
+}
+
+// JournalConfig enables crash-durable journaling when Dir is non-empty:
+// each model's accepted batches are appended to <dir>/<name>.wal and
+// fsynced (group-committed across concurrent producers) before Enqueue
+// acknowledges, so a batch answered 202 survives a SIGKILL. Attach then
+// recovers on boot — snapshot load, tail replay through the normal
+// apply+retrain pipeline — and a background snapshotter persists the
+// model's private database and weights so the log's applied prefix can
+// be compacted away.
+type JournalConfig struct {
+	// Dir is the journal directory; empty disables durability.
+	Dir string
+	// SnapshotEvery is the number of applied batches between snapshots
+	// (default 64). Each snapshot persists the database and current model
+	// and lets the WAL drop everything it covers.
+	SnapshotEvery int
+	// CompactBytes forces a snapshot+compaction once a model's WAL
+	// exceeds this size regardless of batch count (default 4 MiB).
+	CompactBytes int64
+	// OnRecover, if set, observes each model's boot-time recovery.
+	OnRecover func(model string, r Recovery)
+}
+
+func (c JournalConfig) withDefaults() JournalConfig {
+	if c.SnapshotEvery <= 0 {
+		c.SnapshotEvery = 64
+	}
+	if c.CompactBytes <= 0 {
+		c.CompactBytes = 4 << 20
+	}
+	return c
+}
+
+// Recovery reports what Attach restored from the journal directory.
+type Recovery struct {
+	// SnapshotSeq is the applied sequence of the snapshot the database
+	// was restored from (0 when no snapshot existed and the database is
+	// the operator-supplied one).
+	SnapshotSeq uint64
+	// RestoredModel reports that the snapshot also carried model weights,
+	// which were published to the registry in place of the caller's model.
+	RestoredModel bool
+	// Replayed is the number of surviving log entries queued for replay
+	// through the apply+retrain pipeline.
+	Replayed int
+	// DiscardedBytes counts truncated/corrupt WAL tail bytes dropped.
+	DiscardedBytes int64
 }
 
 func (c Config) withDefaults() Config {
@@ -87,6 +147,7 @@ func (c Config) withDefaults() Config {
 	if c.RetrainWorkers <= 0 {
 		c.RetrainWorkers = 1
 	}
+	c.Journal = c.Journal.withDefaults()
 	return c
 }
 
@@ -120,10 +181,25 @@ type Pipeline struct {
 	cfg Config
 	sem chan struct{} // retrain permits
 
+	// snapCh feeds the background snapshotter; snapWG tracks it. Both are
+	// nil without a journal directory. snapBusy is set while a snapshot
+	// is queued or being written so workers skip the (O(|D|)) clone they
+	// would otherwise throw away.
+	snapCh   chan snapshotRequest
+	snapWG   sync.WaitGroup
+	snapBusy atomic.Bool
+
 	mu     sync.Mutex
 	models map[string]*modelPipeline
 	closed bool
 	wg     sync.WaitGroup
+}
+
+// snapshotRequest carries one model's cloned recovery base to the
+// snapshotter goroutine.
+type snapshotRequest struct {
+	mp   *modelPipeline
+	snap modelSnapshot
 }
 
 // modelPipeline is one model's ingest state. Everything below the
@@ -145,6 +221,11 @@ type modelPipeline struct {
 	// MAE recorded when the model was last (re)trained, so drift
 	// accumulates across skipped updates (Sec. 5.4).
 	baseline float64
+	// wal is the model's durable log (nil without a journal directory);
+	// sinceSnap counts applied batches since the last snapshot request
+	// and is worker-owned.
+	wal       *WAL
+	sinceSnap int
 
 	statsMu sync.Mutex
 	stats   serve.UpdaterStats
@@ -156,11 +237,19 @@ func New(cfg Config) *Pipeline {
 		panic("ingest: Config.Registry must be set")
 	}
 	cfg = cfg.withDefaults()
-	return &Pipeline{
+	p := &Pipeline{
 		cfg:    cfg,
 		sem:    make(chan struct{}, cfg.RetrainWorkers),
 		models: make(map[string]*modelPipeline),
 	}
+	if cfg.Journal.Dir != "" {
+		// Capacity 1 with drop-if-busy send: a snapshot in progress never
+		// blocks a worker, it just defers compaction to a later cycle.
+		p.snapCh = make(chan snapshotRequest, 1)
+		p.snapWG.Add(1)
+		go p.snapshotter()
+	}
+	return p
 }
 
 // Attach registers a model for streaming updates. db is the model's
@@ -172,6 +261,15 @@ func New(cfg Config) *Pipeline {
 // pipeline's last publish, so with no registry entry (or after a manual
 // Remove) they are deliberately not published. Attach starts the
 // model's worker goroutine.
+//
+// With a journal directory configured, Attach first recovers: the
+// caller's db is replaced by the latest durable snapshot when one
+// exists (and the snapshot's model weights, if present, are published
+// to the registry, superseding the caller's model), the WAL's corrupt
+// tail is discarded, and every surviving record past the snapshot's
+// applied sequence is queued for replay through the normal
+// apply+retrain pipeline — so the δ_U loop resumes exactly where the
+// previous process left off and every acknowledged batch takes effect.
 func (p *Pipeline) Attach(name string, m Updatable, db *vecdata.Database, train, valid []vecdata.Query) error {
 	if name == "" {
 		return fmt.Errorf("ingest: empty model name")
@@ -188,29 +286,133 @@ func (p *Pipeline) Attach(name string, m Updatable, db *vecdata.Database, train,
 	if len(valid) == 0 {
 		return fmt.Errorf("ingest: model %q needs validation queries for the delta_U check", name)
 	}
-	mp := &modelPipeline{
-		name:      name,
-		j:         newJournal(p.cfg.QueueDepth),
-		db:        db,
-		train:     train,
-		valid:     valid,
-		cur:       m,
-		published: m,
-		baseline:  m.MAE(valid),
+
+	// Fail the cheap structural checks before recovery: recover publishes
+	// the snapshot model to the live registry, which must not happen for
+	// an Attach that is going to be rejected. (A concurrent duplicate
+	// Attach is still caught by the authoritative re-check below.)
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return serve.ErrUpdaterClosed
 	}
+	if _, dup := p.models[name]; dup {
+		p.mu.Unlock()
+		return fmt.Errorf("ingest: model %q already attached", name)
+	}
+	p.mu.Unlock()
+
+	mp := &modelPipeline{
+		name:  name,
+		db:    db,
+		train: train,
+		valid: valid,
+		cur:   m,
+	}
+	if p.cfg.Journal.Dir != "" {
+		if err := p.recover(mp); err != nil {
+			return err
+		}
+	} else {
+		mp.j = newJournal(p.cfg.QueueDepth, memStore{})
+	}
+	mp.published = mp.cur
+	mp.baseline = mp.cur.MAE(mp.valid)
 	mp.stats.QueueCapacity = p.cfg.QueueDepth
 
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	if p.closed {
+		if mp.wal != nil {
+			mp.wal.Close()
+		}
 		return serve.ErrUpdaterClosed
 	}
 	if _, dup := p.models[name]; dup {
+		if mp.wal != nil {
+			mp.wal.Close()
+		}
 		return fmt.Errorf("ingest: model %q already attached", name)
 	}
 	p.models[name] = mp
 	p.wg.Add(1)
 	go p.worker(mp)
+	return nil
+}
+
+// recover restores mp's durable state from the journal directory: the
+// snapshot becomes the database (and, when it carries weights, the
+// model — published to the registry so serving resumes from the exact
+// pre-crash state), and the WAL's surviving entries are seeded into the
+// journal for replay. Labels are recomputed against the recovered
+// database so the δ_U baseline is sound.
+func (p *Pipeline) recover(mp *modelPipeline) error {
+	cfg := p.cfg.Journal
+	if err := os.MkdirAll(cfg.Dir, 0o755); err != nil {
+		return fmt.Errorf("ingest: journal dir: %w", err)
+	}
+
+	var rec Recovery
+	snap, haveSnap, err := loadSnapshot(snapshotPath(cfg.Dir, mp.name), mp.name)
+	if err != nil {
+		return err
+	}
+	if haveSnap {
+		if snap.db.Dim != mp.db.Dim {
+			return fmt.Errorf("ingest: snapshot for %q has dim %d but database has dim %d",
+				mp.name, snap.db.Dim, mp.db.Dim)
+		}
+		if snap.model != nil && snap.model.Dim() != mp.db.Dim {
+			return fmt.Errorf("ingest: snapshot model for %q has dim %d but database has dim %d",
+				mp.name, snap.model.Dim(), mp.db.Dim)
+		}
+		rec.SnapshotSeq = snap.appliedSeq
+	}
+
+	w, walRec, err := OpenWAL(walPath(cfg.Dir, mp.name), mp.name)
+	if err != nil {
+		return err
+	}
+	if walRec.BaseApplied > rec.SnapshotSeq {
+		// The log was compacted past what any surviving snapshot covers:
+		// the dropped prefix is unrecoverable and silently resuming would
+		// serve a database missing acknowledged batches.
+		w.Close()
+		return fmt.Errorf("ingest: journal for %q compacted to seq %d but no snapshot covers it (snapshot seq %d)",
+			mp.name, walRec.BaseApplied, rec.SnapshotSeq)
+	}
+
+	// Everything that can fail has; adopting the snapshot — including
+	// the registry publish, which mutates live serving state — is safe
+	// now.
+	if haveSnap {
+		snap.db.Name = mp.db.Name
+		mp.db = snap.db
+		if snap.model != nil {
+			mp.cur = snap.model
+			if _, err := p.cfg.Registry.Publish(mp.name, snap.model,
+				fmt.Sprintf("journal: snapshot seq %d", snap.appliedSeq)); err != nil {
+				w.Close()
+				return err
+			}
+			rec.RestoredModel = true
+		}
+		// The caller labelled train/valid against its own database; the
+		// snapshot supersedes it, so recompute.
+		vecdata.Relabel(mp.train, mp.db)
+		vecdata.Relabel(mp.valid, mp.db)
+	}
+	mp.wal = w
+	mp.j = newJournal(p.cfg.QueueDepth, w)
+	rec.Replayed = mp.j.restore(rec.SnapshotSeq, walRec.Entries)
+	rec.DiscardedBytes = walRec.DiscardedBytes
+
+	mp.stats.Durable = true
+	mp.stats.ReplayedBatches = uint64(rec.Replayed)
+	mp.stats.SnapshotSeq = rec.SnapshotSeq
+	if cfg.OnRecover != nil {
+		cfg.OnRecover(mp.name, rec)
+	}
 	return nil
 }
 
@@ -273,6 +475,12 @@ func (p *Pipeline) UpdaterStats() map[string]serve.UpdaterStats {
 		s.AppliedSeq = applied
 		s.Lag = lastSeq - applied
 		s.QueueDepth = depth
+		if mp.wal != nil {
+			ws := mp.wal.Stats()
+			s.JournaledBatches = ws.Appends
+			s.JournalBytes = ws.Size
+			s.Compactions = ws.Compactions
+		}
 		out[mp.name] = s
 	}
 	return out
@@ -280,12 +488,15 @@ func (p *Pipeline) UpdaterStats() map[string]serve.UpdaterStats {
 
 // Close stops accepting batches and drains: every journaled entry is
 // still applied (and retrained if δ_U fires) before Close returns — the
-// drain-on-shutdown guarantee. Idempotent.
+// drain-on-shutdown guarantee. With a journal directory, pending
+// snapshots finish and the WALs are fsynced and closed, so the next
+// boot replays only what the drain could not absorb. Idempotent.
 func (p *Pipeline) Close() {
 	p.mu.Lock()
 	if p.closed {
 		p.mu.Unlock()
 		p.wg.Wait()
+		p.snapWG.Wait()
 		return
 	}
 	p.closed = true
@@ -298,6 +509,15 @@ func (p *Pipeline) Close() {
 		mp.j.close()
 	}
 	p.wg.Wait()
+	if p.snapCh != nil {
+		close(p.snapCh)
+		p.snapWG.Wait()
+	}
+	for _, mp := range models {
+		if mp.wal != nil {
+			mp.wal.Close()
+		}
+	}
 }
 
 func (p *Pipeline) lookup(model string) *modelPipeline {
@@ -317,9 +537,68 @@ func (p *Pipeline) worker(mp *modelPipeline) {
 		}
 		c := p.cycle(mp, entries)
 		mp.j.markApplied(c.LastSeq, c.Batches)
+		p.maybeSnapshot(mp, c)
 		if p.cfg.OnCycle != nil {
 			p.cfg.OnCycle(mp.name, c)
 		}
+	}
+}
+
+// maybeSnapshot hands the snapshotter a cloned recovery base once enough
+// batches (or WAL bytes) have accumulated since the last one. The clone
+// happens here, on the worker goroutine that owns db and cur, so the
+// snapshot is a consistent view at exactly the applied sequence. The
+// snapshot write — the expensive part, O(database + model) — happens off
+// the ingest path; the WAL compaction that follows briefly stalls update
+// acks (they group-commit behind it), bounded by the WAL size cap.
+func (p *Pipeline) maybeSnapshot(mp *modelPipeline, c Cycle) {
+	if mp.wal == nil {
+		return
+	}
+	mp.sinceSnap += c.Batches
+	if mp.sinceSnap < p.cfg.Journal.SnapshotEvery && mp.wal.sizeBytes() < p.cfg.Journal.CompactBytes {
+		return
+	}
+	// Claim the snapshotter before cloning: the clones are O(database),
+	// too expensive to produce on the apply path just to throw away when
+	// a snapshot is already in flight. The counter keeps accumulating so
+	// a later cycle retries.
+	if !p.snapBusy.CompareAndSwap(false, true) {
+		return
+	}
+	model, err := cloneUpdatable(mp.cur)
+	if err != nil {
+		// Attach verified cloneability, so this is unreachable in
+		// practice; skip the snapshot rather than wedge the worker.
+		p.snapBusy.Store(false)
+		return
+	}
+	p.snapCh <- snapshotRequest{
+		mp:   mp,
+		snap: modelSnapshot{appliedSeq: c.LastSeq, db: mp.db.Clone(), model: model},
+	}
+	mp.sinceSnap = 0
+}
+
+// snapshotter serializes snapshot writes and WAL compactions for every
+// model in the pipeline.
+func (p *Pipeline) snapshotter() {
+	defer p.snapWG.Done()
+	dir := p.cfg.Journal.Dir
+	for req := range p.snapCh {
+		mp := req.mp
+		err := writeSnapshot(snapshotPath(dir, mp.name), mp.name, req.snap)
+		if err == nil {
+			err = mp.wal.Compact(req.snap.appliedSeq)
+		}
+		mp.statsMu.Lock()
+		if err != nil {
+			mp.stats.JournalErrors++
+		} else {
+			mp.stats.SnapshotSeq = req.snap.appliedSeq
+		}
+		mp.statsMu.Unlock()
+		p.snapBusy.Store(false)
 	}
 }
 

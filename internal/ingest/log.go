@@ -18,14 +18,35 @@ type Entry struct {
 	Delete [][]float64
 }
 
+// journalStore is the durability seam under a journal. Append is called
+// under the journal lock — the same critical section that assigns the
+// sequence number — so record order on disk always matches sequence
+// order; it must only buffer (no fsync). Sync runs outside the lock and
+// makes every previously appended record durable before the batch is
+// acknowledged; concurrent producers group-commit through it. The
+// in-memory memStore keeps the pre-WAL behavior for tests and for
+// pipelines without a journal directory; *WAL is the durable one.
+type journalStore interface {
+	Append(e Entry) error
+	Sync() error
+}
+
+// memStore is the in-memory journal backing: entries live only in the
+// pending queue and durability is a no-op.
+type memStore struct{}
+
+func (memStore) Append(Entry) error { return nil }
+func (memStore) Sync() error        { return nil }
+
 // journal is one model's append-only update log: the producer side of
 // the pipeline appends batches under queue-depth backpressure, the
 // worker claims pending entries in sequence order (several at a time —
 // coalescing), and appliers acknowledge with markApplied so waiters can
 // block until a given sequence is live.
 type journal struct {
-	mu   sync.Mutex
-	cond *sync.Cond
+	mu    sync.Mutex
+	cond  *sync.Cond
+	store journalStore
 
 	depth    int // max pending entries before backpressure
 	next     uint64
@@ -35,29 +56,75 @@ type journal struct {
 	closed   bool
 }
 
-func newJournal(depth int) *journal {
-	j := &journal{depth: depth, next: 1}
+func newJournal(depth int, store journalStore) *journal {
+	if store == nil {
+		store = memStore{}
+	}
+	j := &journal{depth: depth, next: 1, store: store}
 	j.cond = sync.NewCond(&j.mu)
 	return j
 }
 
-// append journals one batch, returning the entry and the pending depth
-// after it. It fails with serve.ErrUpdateQueueFull under backpressure
-// and serve.ErrUpdaterClosed after close.
-func (j *journal) append(insert, del [][]float64) (Entry, int, error) {
+// restore seeds a freshly built journal with recovered durable state:
+// the applied watermark of the snapshot the database was loaded from,
+// and the surviving log entries awaiting replay. Entries at or below
+// the watermark are dropped — the snapshot already reflects them, so
+// replay stays idempotent even when the log retains an applied prefix.
+// Call before the worker starts claiming.
+func (j *journal) restore(applied uint64, entries []Entry) (replayed int) {
 	j.mu.Lock()
 	defer j.mu.Unlock()
+	j.applied = applied
+	j.next = applied + 1
+	for _, e := range entries {
+		if e.Seq <= applied {
+			continue
+		}
+		j.pending = append(j.pending, e)
+		if e.Seq >= j.next {
+			j.next = e.Seq + 1
+		}
+	}
+	return len(j.pending)
+}
+
+// append journals one batch, returning the entry and the pending depth
+// after it. It fails with serve.ErrUpdateQueueFull under backpressure
+// and serve.ErrUpdaterClosed after close. The store write happens in the
+// same critical section as the sequence assignment (so the log's record
+// order matches sequence order); the fsync is group-committed outside
+// it, and the entry is only acknowledged once durable.
+func (j *journal) append(insert, del [][]float64) (Entry, int, error) {
+	j.mu.Lock()
 	if j.closed {
+		j.mu.Unlock()
 		return Entry{}, 0, serve.ErrUpdaterClosed
 	}
 	if len(j.pending) >= j.depth {
+		j.mu.Unlock()
 		return Entry{}, 0, serve.ErrUpdateQueueFull
 	}
 	e := Entry{Seq: j.next, At: time.Now(), Insert: insert, Delete: del}
+	if err := j.store.Append(e); err != nil {
+		// Nothing reached the log and the sequence was never exposed, so
+		// it can be handed to the next batch.
+		j.mu.Unlock()
+		return Entry{}, 0, err
+	}
 	j.next++
 	j.pending = append(j.pending, e)
+	depth := len(j.pending)
 	j.cond.Broadcast()
-	return e, len(j.pending), nil
+	j.mu.Unlock()
+
+	if err := j.store.Sync(); err != nil {
+		// The record's durability is unknown (it may still replay after a
+		// crash) and it stays queued: the worker will apply it. The caller
+		// reports the failure instead of acknowledging, trading possible
+		// duplicate-on-retry for never losing an acknowledged batch.
+		return Entry{}, 0, err
+	}
+	return e, depth, nil
 }
 
 // claim blocks until at least one entry is pending (or the journal is

@@ -8,7 +8,7 @@ import (
 )
 
 func TestJournalSequencingAndCoalescing(t *testing.T) {
-	j := newJournal(8)
+	j := newJournal(8, nil)
 	for i := 1; i <= 3; i++ {
 		e, depth, err := j.append([][]float64{{float64(i)}}, nil)
 		if err != nil {
@@ -40,7 +40,7 @@ func TestJournalSequencingAndCoalescing(t *testing.T) {
 }
 
 func TestJournalBackpressure(t *testing.T) {
-	j := newJournal(2)
+	j := newJournal(2, nil)
 	for i := 0; i < 2; i++ {
 		if _, _, err := j.append([][]float64{{1}}, nil); err != nil {
 			t.Fatal(err)
@@ -57,7 +57,7 @@ func TestJournalBackpressure(t *testing.T) {
 }
 
 func TestJournalCloseDrains(t *testing.T) {
-	j := newJournal(8)
+	j := newJournal(8, nil)
 	j.append([][]float64{{1}}, nil)
 	j.append(nil, [][]float64{{2}})
 	j.close()

@@ -265,12 +265,14 @@ func (s *Server) handleLoadModel(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, errors.New("missing \"path\""))
 		return
 	}
-	net, err := selnet.LoadNetFile(req.Path)
+	// LoadModelFile handles tagged containers and sniffs legacy .gob
+	// files, so single and partitioned models both hot-swap in.
+	est, err := selnet.LoadModelFile(req.Path)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("load %s: %w", req.Path, err))
 		return
 	}
-	m, err := s.registry.Publish(name, net, req.Path)
+	m, err := s.registry.Publish(name, est, req.Path)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err)
 		return
@@ -492,6 +494,20 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 				us.LastMAEBefore, "model", name)
 			p.value("selestd_ingest_last_mae_after", "Validation MAE after the last cycle.", "gauge",
 				us.LastMAEAfter, "model", name)
+			if us.Durable {
+				p.value("selestd_ingest_journaled_batches_total", "Batches appended to the write-ahead log.",
+					"counter", float64(us.JournaledBatches), "model", name)
+				p.value("selestd_ingest_replayed_batches", "Journal entries replayed at boot.",
+					"gauge", float64(us.ReplayedBatches), "model", name)
+				p.value("selestd_ingest_journal_bytes", "Write-ahead log size.",
+					"gauge", float64(us.JournalBytes), "model", name)
+				p.value("selestd_ingest_snapshot_seq", "Applied sequence of the last durable snapshot.",
+					"gauge", float64(us.SnapshotSeq), "model", name)
+				p.value("selestd_ingest_journal_compactions_total", "WAL compactions after snapshots.",
+					"counter", float64(us.Compactions), "model", name)
+				p.value("selestd_ingest_journal_errors_total", "Failed snapshot/compaction attempts.",
+					"counter", float64(us.JournalErrors), "model", name)
+			}
 		}
 	}
 }

@@ -67,6 +67,22 @@ type UpdaterStats struct {
 	// SwapGeneration is the registry generation of the most recently
 	// published shadow model (0 before the first swap).
 	SwapGeneration uint64 `json:"swap_generation"`
+	// Durable reports that the model's journal is backed by a write-ahead
+	// log (-journal-dir); the fields below are zero otherwise.
+	Durable bool `json:"durable,omitempty"`
+	// JournaledBatches counts batches appended (and fsynced) to the WAL
+	// since boot; ReplayedBatches is the number of recovered entries
+	// queued for replay at boot.
+	JournaledBatches uint64 `json:"journaled_batches,omitempty"`
+	ReplayedBatches  uint64 `json:"replayed_batches,omitempty"`
+	// JournalBytes is the WAL's current size; SnapshotSeq the applied
+	// sequence of the last durable snapshot; Compactions the number of
+	// times the WAL dropped its applied prefix; JournalErrors failed
+	// snapshot/compaction attempts.
+	JournalBytes  int64  `json:"journal_bytes,omitempty"`
+	SnapshotSeq   uint64 `json:"snapshot_seq,omitempty"`
+	Compactions   uint64 `json:"compactions,omitempty"`
+	JournalErrors uint64 `json:"journal_errors,omitempty"`
 }
 
 // Updater accepts insert/delete batches for served models. Implementations
