@@ -218,10 +218,11 @@ func BenchmarkEstimateUMNN(b *testing.B)     { benchEstimate(b, "UMNN") }
 func BenchmarkEstimateDLN(b *testing.B)      { benchEstimate(b, "DLN") }
 
 // Serving-path benchmarks: the selestd coalescer (concurrent requests
-// fused into one EstimateBatch tensor pass) against naive per-request
-// Estimate calls, at >= 8 concurrent clients. Coalescing amortizes the
-// tape setup and matrix passes across the batch, so ns/op should drop
-// well below the naive arm's.
+// fused into batched compiled-plan passes across GOMAXPROCS lanes)
+// against naive per-request Estimate calls, at >= 8 concurrent clients.
+// Coalescing amortizes the per-request overhead across the batch and
+// the lanes remove the single batcher goroutine as a ceiling, so ns/op
+// should drop well below the naive arm's.
 
 func servingNet() *selnet.Net {
 	cfg := selnet.DefaultConfig()
@@ -255,7 +256,7 @@ func setClients(b *testing.B, n int) {
 func BenchmarkServeCoalesced(b *testing.B) {
 	net := servingNet()
 	batcher := serve.NewBatcher(net, serve.BatcherConfig{
-		MaxBatch: 32, FlushInterval: 500 * time.Microsecond, Workers: 1,
+		MaxBatch: 32, FlushInterval: 500 * time.Microsecond, // Lanes: GOMAXPROCS
 	})
 	defer batcher.Close()
 	queries := servingQueries(256, net.Dim())
@@ -440,6 +441,10 @@ func benchEstimate(b *testing.B, model string) {
 		b.Skipf("%s inapplicable", model)
 	}
 	queries := env.Test
+	// Warm up so plan-backed estimators compile outside the measurement;
+	// their steady state is allocation-free (see -benchmem).
+	est.Estimate(queries[0].X, queries[0].T)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		q := queries[i%len(queries)]

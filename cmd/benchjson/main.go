@@ -1,0 +1,152 @@
+// Command benchjson converts `go test -bench -benchmem` output on stdin
+// into a stable JSON document, and optionally enforces an
+// allocation-free hot path: with -fail-zero-allocs, any listed
+// benchmark reporting allocs/op > 0 fails the run. CI uses it to write
+// BENCH_infer.json — the committed perf baseline future PRs diff
+// against — and to guarantee the compiled-plan inference path stays at
+// zero steady-state allocations.
+//
+// Usage:
+//
+//	go test -bench=... -benchmem -run '^$' ./... | benchjson \
+//	    -o BENCH_infer.json \
+//	    -fail-zero-allocs BenchmarkNetEstimatePlan,BenchmarkNetEstimateBatch64Plan
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Result is one parsed benchmark line.
+type Result struct {
+	// Name is the benchmark name with the -GOMAXPROCS suffix stripped.
+	Name string `json:"name"`
+	// Iterations is b.N for the reported run.
+	Iterations int64 `json:"iterations"`
+	// NsPerOp, BytesPerOp and AllocsPerOp mirror the standard -benchmem
+	// columns (Bytes/Allocs are -1 when -benchmem was not in effect).
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	// Metrics holds any custom b.ReportMetric units (e.g. "reqs/batch").
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+}
+
+type document struct {
+	Benchmarks []Result `json:"benchmarks"`
+}
+
+func main() {
+	out := flag.String("o", "", "write JSON here instead of stdout")
+	failZero := flag.String("fail-zero-allocs", "",
+		"comma-separated benchmark names that must report 0 allocs/op")
+	flag.Parse()
+
+	doc := document{Benchmarks: []Result{}}
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		if r, ok := parseLine(sc.Text()); ok {
+			doc.Benchmarks = append(doc.Benchmarks, r)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fatal("read stdin: %v", err)
+	}
+	if len(doc.Benchmarks) == 0 {
+		fatal("no benchmark lines found on stdin")
+	}
+
+	b, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		fatal("marshal: %v", err)
+	}
+	b = append(b, '\n')
+	if *out != "" {
+		if err := os.WriteFile(*out, b, 0o644); err != nil {
+			fatal("write %s: %v", *out, err)
+		}
+	} else {
+		os.Stdout.Write(b)
+	}
+
+	if *failZero != "" {
+		failed := false
+		for _, name := range strings.Split(*failZero, ",") {
+			name = strings.TrimSpace(name)
+			if name == "" {
+				continue
+			}
+			found := false
+			for _, r := range doc.Benchmarks {
+				if r.Name != name {
+					continue
+				}
+				found = true
+				if r.AllocsPerOp != 0 {
+					fmt.Fprintf(os.Stderr, "benchjson: %s reports %v allocs/op, want 0\n", name, r.AllocsPerOp)
+					failed = true
+				}
+			}
+			if !found {
+				fmt.Fprintf(os.Stderr, "benchjson: required benchmark %s missing from input\n", name)
+				failed = true
+			}
+		}
+		if failed {
+			os.Exit(1)
+		}
+	}
+}
+
+// parseLine parses one `BenchmarkX-8  N  v unit  v unit ...` line.
+func parseLine(line string) (Result, bool) {
+	f := strings.Fields(line)
+	if len(f) < 4 || !strings.HasPrefix(f[0], "Benchmark") {
+		return Result{}, false
+	}
+	iters, err := strconv.ParseInt(f[1], 10, 64)
+	if err != nil {
+		return Result{}, false
+	}
+	name := f[0]
+	if i := strings.LastIndexByte(name, '-'); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			name = name[:i]
+		}
+	}
+	r := Result{Name: name, Iterations: iters, BytesPerOp: -1, AllocsPerOp: -1}
+	seen := false
+	for i := 2; i+1 < len(f); i += 2 {
+		v, err := strconv.ParseFloat(f[i], 64)
+		if err != nil {
+			return Result{}, false
+		}
+		switch unit := f[i+1]; unit {
+		case "ns/op":
+			r.NsPerOp = v
+			seen = true
+		case "B/op":
+			r.BytesPerOp = v
+		case "allocs/op":
+			r.AllocsPerOp = v
+		default:
+			if r.Metrics == nil {
+				r.Metrics = make(map[string]float64)
+			}
+			r.Metrics[unit] = v
+		}
+	}
+	return r, seen
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "benchjson: "+format+"\n", args...)
+	os.Exit(1)
+}

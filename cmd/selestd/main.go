@@ -84,6 +84,7 @@ type ingestOptions struct {
 	journalDir     string
 	snapshotEvery  int
 	compactBytes   int64
+	syncInterval   time.Duration
 }
 
 func main() {
@@ -91,7 +92,7 @@ func main() {
 	addr := flag.String("addr", ":8080", "listen address")
 	maxBatch := flag.Int("max-batch", 32, "max requests fused into one inference batch")
 	flush := flag.Duration("flush", 2*time.Millisecond, "max wait for a batch to fill before flushing")
-	workers := flag.Int("workers", 2, "concurrent inference batches per model")
+	lanes := flag.Int("workers", 0, "coalescer lanes per model (independent batching shards; 0 = GOMAXPROCS)")
 	cacheSize := flag.Int("cache", 4096, "LRU estimate cache capacity (0 disables)")
 	quantum := flag.Float64("quantum", 1e-6, "cache key quantization step for query coordinates and thresholds")
 	drain := flag.Duration("drain", 10*time.Second, "graceful shutdown timeout")
@@ -106,6 +107,7 @@ func main() {
 	journalDir := flag.String("journal-dir", "", "directory for the durable update journal (empty keeps it in memory)")
 	snapshotEvery := flag.Int("snapshot-every", 64, "applied update batches between durable snapshots (with -journal-dir)")
 	compactBytes := flag.Int64("journal-compact-bytes", 4<<20, "WAL size forcing a snapshot+compaction (with -journal-dir)")
+	syncInterval := flag.Duration("journal-sync-interval", 0, "tick-based WAL fsync window: batch records per fsync at the cost of up to this much added ack latency (0 = fsync per group commit)")
 	flag.Var(&models, "model", "model to serve as name=path (repeatable); bare path serves as \"default\"")
 	flag.Var(&data, "data", "CSV vector database attached to a -model for streaming updates, as name=path.csv (repeatable)")
 	flag.Parse()
@@ -127,9 +129,10 @@ func main() {
 		journalDir:     *journalDir,
 		snapshotEvery:  *snapshotEvery,
 		compactBytes:   *compactBytes,
+		syncInterval:   *syncInterval,
 	}
 	if err := run(*addr, models, data, serve.Config{
-		Batcher: serve.BatcherConfig{MaxBatch: *maxBatch, FlushInterval: *flush, Workers: *workers},
+		Batcher: serve.BatcherConfig{MaxBatch: *maxBatch, FlushInterval: *flush, Lanes: *lanes},
 		Cache:   serve.CacheConfig{Capacity: *cacheSize, Quantum: *quantum},
 	}, opts, *drain); err != nil {
 		fmt.Fprintf(os.Stderr, "selestd: %v\n", err)
@@ -252,6 +255,7 @@ func attachIngest(srv *serve.Server, loaded map[string]selnet.Model, data []stri
 			Dir:           opts.journalDir,
 			SnapshotEvery: opts.snapshotEvery,
 			CompactBytes:  opts.compactBytes,
+			SyncInterval:  opts.syncInterval,
 			OnRecover: func(model string, r ingest.Recovery) {
 				log.Printf("journal %q: recovered snapshot seq %d (model restored=%v), replaying %d entries (%d corrupt tail bytes discarded)",
 					model, r.SnapshotSeq, r.RestoredModel, r.Replayed, r.DiscardedBytes)

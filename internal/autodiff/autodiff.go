@@ -9,12 +9,20 @@
 // reverse, so no explicit topological sort is necessary. Parameters wrap
 // persistent value/gradient storage owned by the caller (see Leaf), which
 // lets an optimizer read accumulated gradients after each backward pass.
+//
+// Beside the gradient tape there is a forward-recording mode
+// (NewForwardTape): running a model's forward pass on a recording tape
+// emits an infer.Program of forward-only kernels bound to the tape's
+// buffers, which the serving layer replays in place with zero
+// allocations. The gradient tape is untouched by this mode — training
+// uses NewTape exactly as before.
 package autodiff
 
 import (
 	"fmt"
 	"math"
 
+	"selnet/internal/infer"
 	"selnet/internal/tensor"
 )
 
@@ -46,12 +54,41 @@ func (n *Node) Scalar() float64 {
 // Tape records the sequence of operations of one forward pass.
 type Tape struct {
 	nodes []*Node
+
+	// prog, when non-nil, puts the tape in forward-recording mode: each
+	// supported op also emits a forward kernel into prog, op outputs are
+	// allocated from tensor's buffer pool (tracked in bufs), and no
+	// gradient storage exists — Backward panics.
+	prog *infer.Program
+	bufs []*tensor.Dense
 }
 
-// NewTape returns an empty tape.
+// NewTape returns an empty gradient tape.
 func NewTape() *Tape { return &Tape{} }
 
+// NewForwardTape returns a tape in forward-recording mode: running a
+// forward pass on it both computes values (over pooled buffers) and
+// records the equivalent forward kernels into prog. Only the inference
+// op set (MatMul, AddRow, the activations, Scale, ConcatCols,
+// PrefixSumCols, Softmax, Norml2, PWLInterp, BlockLinear) records;
+// training-only ops panic. Replaying prog recomputes every op output
+// in place from the current input and parameter buffer contents.
+func NewForwardTape(prog *infer.Program) *Tape { return &Tape{prog: prog} }
+
+// PooledBuffers returns the pooled op-output buffers a recording tape
+// allocated; the compiled plan takes ownership and recycles them when
+// it is dropped.
+func (t *Tape) PooledBuffers() []*tensor.Dense { return t.bufs }
+
 func (t *Tape) node(name string, v *tensor.Dense) *Node {
+	if t.prog != nil {
+		pv := tensor.NewPooled(v.Rows(), v.Cols())
+		pv.CopyFrom(v)
+		t.bufs = append(t.bufs, pv)
+		n := &Node{Value: pv, tape: t, name: name}
+		t.nodes = append(t.nodes, n)
+		return n
+	}
 	n := &Node{
 		Value: v,
 		Grad:  tensor.New(v.Rows(), v.Cols()),
@@ -62,10 +99,25 @@ func (t *Tape) node(name string, v *tensor.Dense) *Node {
 	return n
 }
 
+// noRecord guards ops that have no forward kernel (training-only ops).
+func (t *Tape) noRecord(op string) {
+	if t.prog != nil {
+		panic("autodiff: op " + op + " is not supported in forward-recording mode")
+	}
+}
+
 // Input introduces a constant (non-trainable) matrix into the graph.
 // Gradients still flow *through* operations on it but the caller never
-// reads them.
-func (t *Tape) Input(v *tensor.Dense) *Node { return t.node("input", v) }
+// reads them. On a recording tape the matrix keeps its identity — it is
+// the buffer the plan's caller fills before each replay.
+func (t *Tape) Input(v *tensor.Dense) *Node {
+	if t.prog != nil {
+		n := &Node{Value: v, tape: t, name: "input"}
+		t.nodes = append(t.nodes, n)
+		return n
+	}
+	return t.node("input", v)
+}
 
 // Leaf introduces a trainable parameter whose value and gradient storage
 // are owned by the caller. The gradient is accumulated (+=) into grad, so
@@ -73,6 +125,9 @@ func (t *Tape) Input(v *tensor.Dense) *Node { return t.node("input", v) }
 func (t *Tape) Leaf(value, grad *tensor.Dense) *Node {
 	if value.Rows() != grad.Rows() || value.Cols() != grad.Cols() {
 		panic("autodiff: Leaf value/grad shape mismatch")
+	}
+	if t.prog != nil {
+		grad = nil // recorded kernels only read values
 	}
 	n := &Node{Value: value, Grad: grad, tape: t, name: "leaf"}
 	t.nodes = append(t.nodes, n)
@@ -82,6 +137,9 @@ func (t *Tape) Leaf(value, grad *tensor.Dense) *Node {
 // Backward seeds d(loss)/d(loss) = 1 on the given 1x1 loss node and
 // propagates gradients to every node recorded before it.
 func (t *Tape) Backward(loss *Node) {
+	if t.prog != nil {
+		panic("autodiff: Backward on a forward-recording tape")
+	}
 	if loss.Value.Size() != 1 {
 		panic("autodiff: Backward requires a scalar (1x1) loss node")
 	}
@@ -108,6 +166,13 @@ func same(t *Tape, ns ...*Node) {
 func (t *Tape) MatMul(a, b *Node) *Node {
 	same(t, a, b)
 	out := t.node("matmul", tensor.MatMul(a.Value, b.Value))
+	if t.prog != nil {
+		// Kernels capture only the Dense buffers, never the Nodes: once
+		// compilation returns, the recording tape and its graph are
+		// garbage and the plan retains just the buffers.
+		ov, av, bv := out.Value, a.Value, b.Value
+		t.prog.Add("matmul", func() { tensor.MatMulInto(ov, av, bv) })
+	}
 	out.backward = func() {
 		// dA += dOut * Bᵀ ; dB += Aᵀ * dOut
 		tensor.AddInPlace(a.Grad, tensor.MatMulTransB(out.Grad, b.Value))
@@ -119,6 +184,7 @@ func (t *Tape) MatMul(a, b *Node) *Node {
 // Add returns a+b (same shape).
 func (t *Tape) Add(a, b *Node) *Node {
 	same(t, a, b)
+	t.noRecord("add")
 	out := t.node("add", tensor.Add(a.Value, b.Value))
 	out.backward = func() {
 		tensor.AddInPlace(a.Grad, out.Grad)
@@ -130,6 +196,7 @@ func (t *Tape) Add(a, b *Node) *Node {
 // Sub returns a-b (same shape).
 func (t *Tape) Sub(a, b *Node) *Node {
 	same(t, a, b)
+	t.noRecord("sub")
 	out := t.node("sub", tensor.Sub(a.Value, b.Value))
 	out.backward = func() {
 		tensor.AddInPlace(a.Grad, out.Grad)
@@ -141,6 +208,7 @@ func (t *Tape) Sub(a, b *Node) *Node {
 // Mul returns the elementwise product a*b.
 func (t *Tape) Mul(a, b *Node) *Node {
 	same(t, a, b)
+	t.noRecord("mul")
 	out := t.node("mul", tensor.Mul(a.Value, b.Value))
 	out.backward = func() {
 		tensor.AddInPlace(a.Grad, tensor.Mul(out.Grad, b.Value))
@@ -153,6 +221,10 @@ func (t *Tape) Mul(a, b *Node) *Node {
 func (t *Tape) Scale(a *Node, s float64) *Node {
 	same(t, a)
 	out := t.node("scale", tensor.Scale(a.Value, s))
+	if t.prog != nil {
+		ov, av := out.Value, a.Value
+		t.prog.Add("scale", func() { tensor.ScaleInto(ov, av, s) })
+	}
 	out.backward = func() {
 		tensor.AxpyInPlace(a.Grad, s, out.Grad)
 	}
@@ -163,6 +235,10 @@ func (t *Tape) Scale(a *Node, s float64) *Node {
 func (t *Tape) AddRow(a, v *Node) *Node {
 	same(t, a, v)
 	out := t.node("addrow", tensor.AddRowVector(a.Value, v.Value))
+	if t.prog != nil {
+		ov, av, vv := out.Value, a.Value, v.Value
+		t.prog.Add("addrow", func() { tensor.AddRowVectorInto(ov, av, vv) })
+	}
 	out.backward = func() {
 		tensor.AddInPlace(a.Grad, out.Grad)
 		tensor.AddInPlace(v.Grad, tensor.SumRows(out.Grad))
@@ -170,15 +246,39 @@ func (t *Tape) AddRow(a, v *Node) *Node {
 	return out
 }
 
+// Elementwise forward functions, shared by the gradient tape's forward
+// pass and the recorded inference kernels.
+func reluFn(v float64) float64 {
+	if v > 0 {
+		return v
+	}
+	return 0
+}
+
+func sigmoidFn(v float64) float64 { return 1 / (1 + math.Exp(-v)) }
+
+func softplusFn(v float64) float64 {
+	// Numerically stable: log1p(exp(-|v|)) + max(v, 0).
+	return math.Log1p(math.Exp(-math.Abs(v))) + math.Max(v, 0)
+}
+
+func eluFn(alpha float64) func(float64) float64 {
+	return func(v float64) float64 {
+		if v >= 0 {
+			return v
+		}
+		return alpha * (math.Exp(v) - 1)
+	}
+}
+
 // ReLU returns max(0, a) elementwise.
 func (t *Tape) ReLU(a *Node) *Node {
 	same(t, a)
-	out := t.node("relu", tensor.Apply(a.Value, func(v float64) float64 {
-		if v > 0 {
-			return v
-		}
-		return 0
-	}))
+	out := t.node("relu", tensor.Apply(a.Value, reluFn))
+	if t.prog != nil {
+		ov, av := out.Value, a.Value
+		t.prog.Add("relu", func() { tensor.ApplyInto(ov, av, reluFn) })
+	}
 	out.backward = func() {
 		av, g, ag := a.Value.Data(), out.Grad.Data(), a.Grad.Data()
 		for i, v := range av {
@@ -194,6 +294,10 @@ func (t *Tape) ReLU(a *Node) *Node {
 func (t *Tape) Tanh(a *Node) *Node {
 	same(t, a)
 	out := t.node("tanh", tensor.Apply(a.Value, math.Tanh))
+	if t.prog != nil {
+		ov, av := out.Value, a.Value
+		t.prog.Add("tanh", func() { tensor.ApplyInto(ov, av, math.Tanh) })
+	}
 	out.backward = func() {
 		ov, g, ag := out.Value.Data(), out.Grad.Data(), a.Grad.Data()
 		for i, v := range ov {
@@ -206,9 +310,11 @@ func (t *Tape) Tanh(a *Node) *Node {
 // Sigmoid returns 1/(1+exp(-a)) elementwise.
 func (t *Tape) Sigmoid(a *Node) *Node {
 	same(t, a)
-	out := t.node("sigmoid", tensor.Apply(a.Value, func(v float64) float64 {
-		return 1 / (1 + math.Exp(-v))
-	}))
+	out := t.node("sigmoid", tensor.Apply(a.Value, sigmoidFn))
+	if t.prog != nil {
+		ov, av := out.Value, a.Value
+		t.prog.Add("sigmoid", func() { tensor.ApplyInto(ov, av, sigmoidFn) })
+	}
 	out.backward = func() {
 		ov, g, ag := out.Value.Data(), out.Grad.Data(), a.Grad.Data()
 		for i, v := range ov {
@@ -222,10 +328,11 @@ func (t *Tape) Sigmoid(a *Node) *Node {
 // used for strictly-positive integrands (UMNN).
 func (t *Tape) Softplus(a *Node) *Node {
 	same(t, a)
-	out := t.node("softplus", tensor.Apply(a.Value, func(v float64) float64 {
-		// Numerically stable: log1p(exp(-|v|)) + max(v, 0).
-		return math.Log1p(math.Exp(-math.Abs(v))) + math.Max(v, 0)
-	}))
+	out := t.node("softplus", tensor.Apply(a.Value, softplusFn))
+	if t.prog != nil {
+		ov, av := out.Value, a.Value
+		t.prog.Add("softplus", func() { tensor.ApplyInto(ov, av, softplusFn) })
+	}
 	out.backward = func() {
 		av, g, ag := a.Value.Data(), out.Grad.Data(), a.Grad.Data()
 		for i, v := range av {
@@ -238,12 +345,12 @@ func (t *Tape) Softplus(a *Node) *Node {
 // ELU returns the exponential linear unit with slope alpha.
 func (t *Tape) ELU(a *Node, alpha float64) *Node {
 	same(t, a)
-	out := t.node("elu", tensor.Apply(a.Value, func(v float64) float64 {
-		if v >= 0 {
-			return v
-		}
-		return alpha * (math.Exp(v) - 1)
-	}))
+	fn := eluFn(alpha)
+	out := t.node("elu", tensor.Apply(a.Value, fn))
+	if t.prog != nil {
+		ov, av := out.Value, a.Value
+		t.prog.Add("elu", func() { tensor.ApplyInto(ov, av, fn) })
+	}
 	out.backward = func() {
 		av, ov, g, ag := a.Value.Data(), out.Value.Data(), out.Grad.Data(), a.Grad.Data()
 		for i, v := range av {
@@ -260,6 +367,7 @@ func (t *Tape) ELU(a *Node, alpha float64) *Node {
 // Square returns a² elementwise.
 func (t *Tape) Square(a *Node) *Node {
 	same(t, a)
+	t.noRecord("square")
 	out := t.node("square", tensor.Apply(a.Value, func(v float64) float64 { return v * v }))
 	out.backward = func() {
 		av, g, ag := a.Value.Data(), out.Grad.Data(), a.Grad.Data()
@@ -273,6 +381,7 @@ func (t *Tape) Square(a *Node) *Node {
 // Exp returns e^a elementwise.
 func (t *Tape) Exp(a *Node) *Node {
 	same(t, a)
+	t.noRecord("exp")
 	out := t.node("exp", tensor.Apply(a.Value, math.Exp))
 	out.backward = func() {
 		ov, g, ag := out.Value.Data(), out.Grad.Data(), a.Grad.Data()
@@ -286,6 +395,7 @@ func (t *Tape) Exp(a *Node) *Node {
 // Log returns ln(a+eps) elementwise; eps guards against log(0).
 func (t *Tape) Log(a *Node, eps float64) *Node {
 	same(t, a)
+	t.noRecord("log")
 	out := t.node("log", tensor.Apply(a.Value, func(v float64) float64 { return math.Log(v + eps) }))
 	out.backward = func() {
 		av, g, ag := a.Value.Data(), out.Grad.Data(), a.Grad.Data()
@@ -300,6 +410,10 @@ func (t *Tape) Log(a *Node, eps float64) *Node {
 func (t *Tape) ConcatCols(a, b *Node) *Node {
 	same(t, a, b)
 	out := t.node("concat", tensor.ConcatCols(a.Value, b.Value))
+	if t.prog != nil {
+		ov, av, bv := out.Value, a.Value, b.Value
+		t.prog.Add("concat", func() { tensor.ConcatColsInto(ov, av, bv) })
+	}
 	out.backward = func() {
 		tensor.AddInPlace(a.Grad, tensor.SliceCols(out.Grad, 0, a.Cols()))
 		tensor.AddInPlace(b.Grad, tensor.SliceCols(out.Grad, a.Cols(), out.Cols()))
@@ -310,6 +424,7 @@ func (t *Tape) ConcatCols(a, b *Node) *Node {
 // SliceCols returns columns [from, to) of a.
 func (t *Tape) SliceCols(a *Node, from, to int) *Node {
 	same(t, a)
+	t.noRecord("slicecols")
 	out := t.node("slicecols", tensor.SliceCols(a.Value, from, to))
 	out.backward = func() {
 		for i := 0; i < out.Rows(); i++ {
@@ -329,6 +444,10 @@ func (t *Tape) SliceCols(a *Node, from, to int) *Node {
 func (t *Tape) PrefixSumCols(a *Node) *Node {
 	same(t, a)
 	out := t.node("prefixsum", tensor.PrefixSumCols(a.Value))
+	if t.prog != nil {
+		ov, av := out.Value, a.Value
+		t.prog.Add("prefixsum", func() { tensor.PrefixSumColsInto(ov, av) })
+	}
 	out.backward = func() {
 		for i := 0; i < a.Rows(); i++ {
 			g := out.Grad.Row(i)
@@ -346,6 +465,7 @@ func (t *Tape) PrefixSumCols(a *Node) *Node {
 // Sum returns the scalar sum of all elements of a.
 func (t *Tape) Sum(a *Node) *Node {
 	same(t, a)
+	t.noRecord("sum")
 	v := tensor.New(1, 1)
 	v.Set(0, 0, tensor.Sum(a.Value))
 	out := t.node("sum", v)
@@ -362,6 +482,7 @@ func (t *Tape) Sum(a *Node) *Node {
 // Mean returns the scalar mean of all elements of a.
 func (t *Tape) Mean(a *Node) *Node {
 	same(t, a)
+	t.noRecord("mean")
 	n := float64(a.Value.Size())
 	v := tensor.New(1, 1)
 	v.Set(0, 0, tensor.Sum(a.Value)/n)
@@ -379,6 +500,7 @@ func (t *Tape) Mean(a *Node) *Node {
 // SumColsKeep returns the row sums of a as a column vector (rows x 1).
 func (t *Tape) SumColsKeep(a *Node) *Node {
 	same(t, a)
+	t.noRecord("sumcolskeep")
 	v := tensor.New(a.Rows(), 1)
 	for i := 0; i < a.Rows(); i++ {
 		var s float64
@@ -404,6 +526,7 @@ func (t *Tape) SumColsKeep(a *Node) *Node {
 // vector c (rows x 1): out[i,j] = a[i,j] * c[i,0].
 func (t *Tape) MulColBroadcast(a, c *Node) *Node {
 	same(t, a, c)
+	t.noRecord("mulcol")
 	if c.Cols() != 1 || c.Rows() != a.Rows() {
 		panic(fmt.Sprintf("autodiff: MulColBroadcast %dx%d * %dx%d", a.Rows(), a.Cols(), c.Rows(), c.Cols()))
 	}
@@ -434,6 +557,7 @@ func (t *Tape) MulColBroadcast(a, c *Node) *Node {
 // RecipCol returns 1/(c+eps) for a column vector c.
 func (t *Tape) RecipCol(c *Node, eps float64) *Node {
 	same(t, c)
+	t.noRecord("recip")
 	if c.Cols() != 1 {
 		panic("autodiff: RecipCol requires a column vector")
 	}
@@ -452,26 +576,12 @@ func (t *Tape) RecipCol(c *Node, eps float64) *Node {
 func (t *Tape) Softmax(a *Node) *Node {
 	same(t, a)
 	v := tensor.New(a.Rows(), a.Cols())
-	for i := 0; i < a.Rows(); i++ {
-		row := a.Value.Row(i)
-		mx := math.Inf(-1)
-		for _, x := range row {
-			if x > mx {
-				mx = x
-			}
-		}
-		var sum float64
-		o := v.Row(i)
-		for j, x := range row {
-			e := math.Exp(x - mx)
-			o[j] = e
-			sum += e
-		}
-		for j := range o {
-			o[j] /= sum
-		}
-	}
+	softmaxInto(v, a.Value)
 	out := t.node("softmax", v)
+	if t.prog != nil {
+		ov, av := out.Value, a.Value
+		t.prog.Add("softmax", func() { softmaxInto(ov, av) })
+	}
 	out.backward = func() {
 		for i := 0; i < a.Rows(); i++ {
 			o, g, ag := out.Value.Row(i), out.Grad.Row(i), a.Grad.Row(i)
@@ -496,32 +606,24 @@ func (t *Tape) Softmax(a *Node) *Node {
 // (scaled by t_max) to produce threshold increments.
 func (t *Tape) Norml2(a *Node, eps float64) *Node {
 	same(t, a)
-	d := float64(a.Cols())
 	v := tensor.New(a.Rows(), a.Cols())
-	sums := make([]float64, a.Rows())
-	for i := 0; i < a.Rows(); i++ {
-		row := a.Value.Row(i)
-		var s float64
-		for _, x := range row {
-			s += x * x
-		}
-		sums[i] = s + eps
-		o := v.Row(i)
-		for j, x := range row {
-			o[j] = (x*x + eps/d) / sums[i]
-		}
-	}
+	norml2Into(v, a.Value, eps)
 	out := t.node("norml2", v)
+	if t.prog != nil {
+		ov, av := out.Value, a.Value
+		t.prog.Add("norml2", func() { norml2Into(ov, av, eps) })
+	}
 	out.backward = func() {
 		for i := 0; i < a.Rows(); i++ {
 			arow, orow := a.Value.Row(i), out.Value.Row(i)
 			g, ag := out.Grad.Row(i), a.Grad.Row(i)
+			sum := rowSquareSum(a.Value, i, eps)
 			var dot float64 // Σ_j g_ij * out_ij
 			for j := range g {
 				dot += g[j] * orow[j]
 			}
 			for k := range arow {
-				ag[k] += (2 * arow[k] / sums[i]) * (g[k] - dot)
+				ag[k] += (2 * arow[k] / sum) * (g[k] - dot)
 			}
 		}
 	}
@@ -542,6 +644,14 @@ func (t *Tape) PWLInterp(tau, p, tq *Node) *Node {
 		panic("autodiff: PWLInterp tq must be a column vector matching tau rows")
 	}
 	rows, L := tau.Rows(), tau.Cols()
+	if t.prog != nil {
+		v := tensor.New(rows, 1)
+		pwlInterpInto(v, tau.Value, p.Value, tq.Value)
+		out := t.node("pwl", v)
+		ov, tv, pv, qv := out.Value, tau.Value, p.Value, tq.Value
+		t.prog.Add("pwl", func() { pwlInterpInto(ov, tv, pv, qv) })
+		return out
+	}
 	v := tensor.New(rows, 1)
 	segs := make([]int, rows) // chosen segment upper index i (interp between i-1 and i)
 	weights := make([]float64, rows)
@@ -625,20 +735,12 @@ func (t *Tape) BlockLinear(a, w, b *Node, nb, bw int) *Node {
 			a.Rows(), a.Cols(), w.Rows(), w.Cols(), b.Rows(), b.Cols(), nb, bw))
 	}
 	v := tensor.New(a.Rows(), nb)
-	for r := 0; r < a.Rows(); r++ {
-		arow := a.Value.Row(r)
-		o := v.Row(r)
-		for l := 0; l < nb; l++ {
-			wrow := w.Value.Row(l)
-			blk := arow[l*bw : (l+1)*bw]
-			s := b.Value.At(0, l)
-			for k, x := range blk {
-				s += x * wrow[k]
-			}
-			o[l] = s
-		}
-	}
+	blockLinearInto(v, a.Value, w.Value, b.Value, nb, bw)
 	out := t.node("blocklinear", v)
+	if t.prog != nil {
+		ov, av, wv, bv := out.Value, a.Value, w.Value, b.Value
+		t.prog.Add("blocklinear", func() { blockLinearInto(ov, av, wv, bv, nb, bw) })
+	}
 	out.backward = func() {
 		for r := 0; r < a.Rows(); r++ {
 			arow, ag := a.Value.Row(r), a.Grad.Row(r)
@@ -668,6 +770,7 @@ func (t *Tape) BlockLinear(a, w, b *Node, nb, bw int) *Node {
 // into yhat.
 func (t *Tape) HuberLogLoss(yhat, y *Node, delta, eps float64) *Node {
 	same(t, yhat, y)
+	t.noRecord("huberlog")
 	if yhat.Cols() != 1 || y.Cols() != 1 || yhat.Rows() != y.Rows() {
 		panic("autodiff: HuberLogLoss requires matching column vectors")
 	}
@@ -712,6 +815,7 @@ func (t *Tape) HuberLogLoss(yhat, y *Node, delta, eps float64) *Node {
 // in log space pair this with pre-computed log targets.
 func (t *Tape) HuberResidualLoss(pred, target *Node, delta float64) *Node {
 	same(t, pred, target)
+	t.noRecord("huberres")
 	if pred.Cols() != 1 || target.Cols() != 1 || pred.Rows() != target.Rows() {
 		panic("autodiff: HuberResidualLoss requires matching column vectors")
 	}
@@ -753,6 +857,7 @@ func (t *Tape) HuberResidualLoss(pred, target *Node, delta float64) *Node {
 // into yhat. Used for autoencoder reconstruction.
 func (t *Tape) MSELoss(yhat, y *Node) *Node {
 	same(t, yhat, y)
+	t.noRecord("mse")
 	if yhat.Rows() != y.Rows() || yhat.Cols() != y.Cols() {
 		panic("autodiff: MSELoss shape mismatch")
 	}
@@ -802,6 +907,7 @@ func (t *Tape) L2LogLoss(yhat, y *Node, eps float64) *Node {
 func (t *Tape) logResidualLoss(yhat, y *Node, eps float64, name string,
 	f, df func(float64) float64) *Node {
 	same(t, yhat, y)
+	t.noRecord(name)
 	if yhat.Cols() != 1 || y.Cols() != 1 || yhat.Rows() != y.Rows() {
 		panic("autodiff: log residual loss requires matching column vectors")
 	}

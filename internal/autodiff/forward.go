@@ -1,0 +1,120 @@
+package autodiff
+
+import (
+	"math"
+
+	"selnet/internal/tensor"
+)
+
+// This file holds the forward-only kernels of the structured ops
+// (softmax, Norml2, PWL interpolation, block-linear). Each computes its
+// op's output into a caller-owned buffer with zero allocations, so one
+// implementation serves both the gradient tape's forward pass and the
+// kernels a recording tape emits into an infer.Program.
+
+// softmaxInto computes the row-wise softmax of a into out. out may
+// alias a.
+func softmaxInto(out, a *tensor.Dense) {
+	for i := 0; i < a.Rows(); i++ {
+		row := a.Row(i)
+		mx := math.Inf(-1)
+		for _, x := range row {
+			if x > mx {
+				mx = x
+			}
+		}
+		var sum float64
+		o := out.Row(i)
+		for j, x := range row {
+			e := math.Exp(x - mx)
+			o[j] = e
+			sum += e
+		}
+		for j := range o {
+			o[j] /= sum
+		}
+	}
+}
+
+// norml2Into computes the paper's normalized-square transform of a into
+// out: out[i,j] = (a[i,j]² + eps/d) / (Σ_k a[i,k]² + eps). out may
+// alias a.
+func norml2Into(out, a *tensor.Dense, eps float64) {
+	d := float64(a.Cols())
+	for i := 0; i < a.Rows(); i++ {
+		row := a.Row(i)
+		var s float64
+		for _, x := range row {
+			s += x * x
+		}
+		s += eps
+		o := out.Row(i)
+		for j, x := range row {
+			o[j] = (x*x + eps/d) / s
+		}
+	}
+}
+
+// rowSquareSum returns Σ_k a[i,k]² + eps for row i — the denominator
+// norml2Into used, recomputed for the gradient.
+func rowSquareSum(a *tensor.Dense, i int, eps float64) float64 {
+	var s float64
+	for _, x := range a.Row(i) {
+		s += x * x
+	}
+	return s + eps
+}
+
+// pwlInterpInto evaluates Eq. (1)'s piece-wise linear interpolation into
+// the column vector out: per row, p linearly interpolated at threshold
+// tq over the non-decreasing knots tau, clamped to [tau_0, tau_last].
+func pwlInterpInto(out, tau, p, tq *tensor.Dense) {
+	rows, L := tau.Rows(), tau.Cols()
+	for r := 0; r < rows; r++ {
+		trow := tau.Row(r)
+		prow := p.Row(r)
+		x := tq.At(r, 0)
+		switch {
+		case x <= trow[0]:
+			out.Set(r, 0, prow[0])
+		case x >= trow[L-1]:
+			out.Set(r, 0, prow[L-1])
+		default:
+			// Binary search for the first tau >= x.
+			lo, hi := 1, L-1
+			for lo < hi {
+				mid := (lo + hi) / 2
+				if trow[mid] >= x {
+					hi = mid
+				} else {
+					lo = mid + 1
+				}
+			}
+			i := lo
+			den := trow[i] - trow[i-1]
+			var w float64
+			if den > 0 {
+				w = (x - trow[i-1]) / den
+			}
+			out.Set(r, 0, prow[i-1]+w*(prow[i]-prow[i-1]))
+		}
+	}
+}
+
+// blockLinearInto applies the per-block linear decoder into out:
+// out[r, l] = Σ_k a[r, l*bw+k] * w[l, k] + b[0, l].
+func blockLinearInto(out, a, w, b *tensor.Dense, nb, bw int) {
+	for r := 0; r < a.Rows(); r++ {
+		arow := a.Row(r)
+		o := out.Row(r)
+		for l := 0; l < nb; l++ {
+			wrow := w.Row(l)
+			blk := arow[l*bw : (l+1)*bw]
+			s := b.At(0, l)
+			for k, x := range blk {
+				s += x * wrow[k]
+			}
+			o[l] = s
+		}
+	}
+}

@@ -107,6 +107,14 @@ type JournalConfig struct {
 	// CompactBytes forces a snapshot+compaction once a model's WAL
 	// exceeds this size regardless of batch count (default 4 MiB).
 	CompactBytes int64
+	// SyncInterval > 0 replaces the immediate per-append group commit
+	// with a tick-based fsync window: the producer that wins the commit
+	// lock sleeps this long before fsyncing, so sustained ingest load
+	// batches many records per fsync at the cost of up to SyncInterval
+	// of added ack latency. 0 (the default) fsyncs as soon as the commit
+	// lock is free — the lowest-latency setting, but one fsync per idle
+	// producer.
+	SyncInterval time.Duration
 	// OnRecover, if set, observes each model's boot-time recovery.
 	OnRecover func(model string, r Recovery)
 }
@@ -373,6 +381,7 @@ func (p *Pipeline) recover(mp *modelPipeline) error {
 	if err != nil {
 		return err
 	}
+	w.SetSyncInterval(cfg.SyncInterval)
 	if walRec.BaseApplied > rec.SnapshotSeq {
 		// The log was compacted past what any surviving snapshot covers:
 		// the dropped prefix is unrecoverable and silently resuming would
@@ -479,6 +488,7 @@ func (p *Pipeline) UpdaterStats() map[string]serve.UpdaterStats {
 			ws := mp.wal.Stats()
 			s.JournaledBatches = ws.Appends
 			s.JournalBytes = ws.Size
+			s.JournalSyncs = ws.Syncs
 			s.Compactions = ws.Compactions
 		}
 		out[mp.name] = s

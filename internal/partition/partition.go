@@ -95,19 +95,35 @@ func Restore(method Method, clusters []Cluster, convert, allActive bool) *Partit
 // true, matching the paper's fallback for non-metric settings.
 func (p *Partitioning) Indicator(x []float64, t float64) []bool {
 	out := make([]bool, len(p.Clusters))
+	p.IndicatorInto(out, make([]float64, len(x)), x, t)
+	return out
+}
+
+// IndicatorInto is the allocation-free Indicator used by the serving hot
+// path: out (len K) receives the per-cluster activations and qbuf
+// (len(x), scratch) holds the normalized query for cosine datasets. out
+// and qbuf are fully overwritten.
+func (p *Partitioning) IndicatorInto(out []bool, qbuf, x []float64, t float64) {
 	if p.allActive {
 		for i := range out {
 			out[i] = true
 		}
-		return out
+		return
 	}
 	qx := x
 	qt := t
 	if p.convert {
-		qx = distance.Normalize(x)
+		copy(qbuf, x)
+		if n := distance.Norm(x); n != 0 {
+			for i := range qbuf {
+				qbuf[i] /= n
+			}
+		}
+		qx = qbuf
 		qt = distance.CosineToL2Threshold(t)
 	}
 	for i, c := range p.Clusters {
+		out[i] = false
 		for _, b := range c.Balls {
 			if distance.L2(qx, b.Center) <= qt+b.Radius {
 				out[i] = true
@@ -115,7 +131,6 @@ func (p *Partitioning) Indicator(x []float64, t float64) []bool {
 			}
 		}
 	}
-	return out
 }
 
 // Build partitions db into k clusters using the given method. ratio is the

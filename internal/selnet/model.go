@@ -122,7 +122,8 @@ type Net struct {
 	mDecW  *nn.Param // (L+2) x EmbedDim per-block decoder weights
 	mDecB  *nn.Param // 1 x (L+2) per-block decoder biases
 
-	name string
+	name  string
+	plans netPlans // compiled inference plans, built lazily (plan.go)
 }
 
 // NewNet builds a SelNet for dim-dimensional queries. cfg.TMax must be
@@ -245,47 +246,55 @@ func (n *Net) forward(tp *autodiff.Tape, x, t *autodiff.Node) (yhat, aeLoss *aut
 // non-decreasing in t.
 //
 // Estimate, EstimateBatch and ControlPoints are safe for concurrent use:
-// each call builds a private tape and only reads the shared parameter
-// tensors (gradients are touched exclusively by Backward during Fit).
-// They must not run concurrently with Fit or Update, which mutate the
-// parameters in place — the serving layer (internal/serve) gets this
-// isolation by hot-swapping whole models instead of retraining live
-// ones.
+// each call checks a compiled plan out of the model's pool (plan.go) and
+// only reads the shared parameter tensors. They must not run
+// concurrently with Fit or Update, which mutate the parameters in place
+// — the serving layer (internal/serve) gets this isolation by
+// hot-swapping whole models instead of retraining live ones. Steady
+// state performs zero heap allocations.
 func (n *Net) Estimate(x []float64, t float64) float64 {
-	return n.EstimateBatch(tensor.RowVector(x), []float64{t})[0]
+	if len(x) != n.dim {
+		panic(fmt.Sprintf("selnet: query has dim %d, model expects %d", len(x), n.dim))
+	}
+	pool := n.planPool()
+	pl := pool.Get(1)
+	copy(pl.X.Row(0), x)
+	pl.T.Set(0, 0, clamp(t, 0, n.cfg.TMax))
+	pl.Run()
+	v := pl.Out.At(0, 0)
+	pool.Put(pl)
+	if v < 0 {
+		v = 0
+	}
+	return v
 }
 
 // EstimateBatch estimates selectivities for several (query, threshold)
-// pairs at once; x is rows x dim and ts has one threshold per row.
+// pairs at once; x is rows x dim and ts has one threshold per row. The
+// allocation-free variant is EstimateBatchInto.
 func (n *Net) EstimateBatch(x *tensor.Dense, ts []float64) []float64 {
 	if x.Rows() != len(ts) {
 		panic(fmt.Sprintf("selnet: %d query rows but %d thresholds", x.Rows(), len(ts)))
 	}
-	tp := autodiff.NewTape()
-	tcol := tensor.New(len(ts), 1)
-	for i, t := range ts {
-		tcol.Set(i, 0, clamp(t, 0, n.cfg.TMax))
-	}
-	tau, p := n.controlPointsInference(tp, tp.Input(x))
-	yhat := tp.PWLInterp(tau, p, tp.Input(tcol))
 	out := make([]float64, len(ts))
-	for i := range out {
-		v := yhat.Value.At(i, 0)
-		if v < 0 {
-			v = 0
-		}
-		out[i] = v
-	}
+	n.EstimateBatchInto(out, x, ts)
 	return out
 }
 
 // ControlPoints returns the learned (τ, p) vectors for one query — the
 // data plotted in the paper's Figure 4.
 func (n *Net) ControlPoints(x []float64) (tau, p []float64) {
-	tp := autodiff.NewTape()
-	tauN, pN := n.controlPointsInference(tp, tp.Input(tensor.RowVector(x)))
-	tau = append([]float64(nil), tauN.Value.Row(0)...)
-	p = append([]float64(nil), pN.Value.Row(0)...)
+	if len(x) != n.dim {
+		panic(fmt.Sprintf("selnet: query has dim %d, model expects %d", len(x), n.dim))
+	}
+	pool := n.planPool()
+	pl := pool.Get(1)
+	copy(pl.X.Row(0), x)
+	pl.T.Set(0, 0, 0)
+	pl.Run()
+	tau = append([]float64(nil), pl.Tau.Row(0)...)
+	p = append([]float64(nil), pl.P.Row(0)...)
+	pool.Put(pl)
 	return tau, p
 }
 

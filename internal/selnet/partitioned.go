@@ -56,6 +56,8 @@ type Partitioned struct {
 	// clusterVecs holds each cluster's member vectors (owned copies), so
 	// local ground truth stays computable across database updates.
 	clusterVecs [][][]float64
+
+	plans partPlanState // compiled inference plans, built lazily (plan.go)
 }
 
 // NewPartitioned builds the partitioned estimator over db's current
@@ -131,6 +133,9 @@ func (p *Partitioned) Fit(tc TrainConfig, db *vecdata.Database, train, valid []v
 	if len(train) == 0 {
 		panic("selnet: no training queries")
 	}
+	// Training mutates parameters; drop compiled plans so post-training
+	// inference recompiles against the settled weights.
+	p.DropPlans()
 	rng := rand.New(rand.NewSource(tc.Seed))
 	p.locals[0].pretrainAE(rng, tc, db)
 
@@ -241,72 +246,57 @@ func (p *Partitioned) indicatorMatrix(queries []vecdata.Query) []*tensor.Dense {
 
 // Estimate returns fˆ*(x, t): the sum of active local estimates. Each
 // local estimate is non-negative and monotone in t, and the active set
-// only grows with t, so the global estimate is consistent.
+// only grows with t, so the global estimate is consistent. Like
+// Net.Estimate it runs on compiled plans (plan.go): one encoder plan
+// computes the shared enhanced input, then each active cluster's head
+// plan produces its local estimate. Zero heap allocations at steady
+// state.
 func (p *Partitioned) Estimate(x []float64, t float64) float64 {
-	ind := p.part.Indicator(x, t)
+	if len(x) != p.dim {
+		panic(fmt.Sprintf("selnet: query has dim %d, model expects %d", len(x), p.dim))
+	}
+	ps := p.planState()
+	sc := ps.scratch.Get().(*partScratch)
+	k := p.K()
+	p.part.IndicatorInto(sc.active[:k], sc.qbuf, x, t)
 	tc := clamp(t, 0, p.pcfg.Model.TMax)
+	encPl := ps.enc.Get(1)
+	copy(encPl.X.Row(0), x)
+	encPl.Run()
 	var sum float64
-	for ci, active := range ind {
-		if !active {
+	for ci := range p.locals {
+		if !sc.active[ci] {
 			continue
 		}
-		sum += p.locals[ci].Estimate(x, tc)
+		hp := ps.heads[ci].Get(1)
+		copy(hp.X.Row(0), encPl.Out.Row(0))
+		hp.T.Set(0, 0, tc)
+		hp.Run()
+		if v := hp.Out.At(0, 0); v > 0 {
+			sum += v
+		}
+		ps.heads[ci].Put(hp)
 	}
+	ps.enc.Put(encPl)
+	ps.scratch.Put(sc)
 	return sum
 }
 
 // EstimateBatch estimates selectivities for several (query, threshold)
-// pairs at once, matching row-by-row Estimate exactly. One tape computes
-// the shared enhanced input [x; z_x] for the whole batch, and each local
-// head whose region is active for at least one row runs a single batched
-// control-point pass; per-row indicator gating then sums the active local
-// estimates. Like Net.EstimateBatch it is read-only on the parameters and
-// safe for concurrent use (but not concurrently with Fit/HandleUpdate).
+// pairs at once, matching row-by-row Estimate exactly. One encoder plan
+// pass computes the shared enhanced input [x; z_x] per chunk, and each
+// local head whose region is active for at least one row runs a single
+// batched head-plan pass (gather, not mask), so per-head cost scales
+// with active pairs rather than cluster count times batch size. Like
+// Net.EstimateBatch it is read-only on the parameters and safe for
+// concurrent use (but not concurrently with Fit/HandleUpdate). The
+// allocation-free variant is EstimateBatchInto.
 func (p *Partitioned) EstimateBatch(x *tensor.Dense, ts []float64) []float64 {
 	if x.Rows() != len(ts) {
 		panic(fmt.Sprintf("selnet: %d query rows but %d thresholds", x.Rows(), len(ts)))
 	}
-	n := x.Rows()
-	out := make([]float64, n)
-	if n == 0 {
-		return out
-	}
-	active := make([][]bool, n)
-	for i := 0; i < n; i++ {
-		active[i] = p.part.Indicator(x.Row(i), ts[i])
-	}
-	// The enhanced input is computed once for the whole batch; each local
-	// head then runs only over the rows its region is active for (gather,
-	// not mask), so per-head cost scales with active pairs rather than
-	// cluster count times batch size.
-	tp := autodiff.NewTape()
-	xn := tp.Input(x)
-	enhanced := tp.ConcatCols(xn, p.ae.Encode(tp, xn)).Value
-	for ci, l := range p.locals {
-		var rows []int
-		for i := 0; i < n; i++ {
-			if active[i][ci] {
-				rows = append(rows, i)
-			}
-		}
-		if len(rows) == 0 {
-			continue
-		}
-		tcol := tensor.New(len(rows), 1)
-		for j, i := range rows {
-			tcol.Set(j, 0, clamp(ts[i], 0, p.pcfg.Model.TMax))
-		}
-		ltp := autodiff.NewTape()
-		tau, pp := l.controlPointsFromEnhanced(ltp, ltp.Input(tensor.GatherRows(enhanced, rows)))
-		yhat := ltp.PWLInterp(tau, pp, ltp.Input(tcol))
-		for j, i := range rows {
-			v := yhat.Value.At(j, 0)
-			if v < 0 {
-				v = 0
-			}
-			out[i] += v
-		}
-	}
+	out := make([]float64, len(ts))
+	p.EstimateBatchInto(out, x, ts)
 	return out
 }
 

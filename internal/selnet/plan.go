@@ -1,0 +1,308 @@
+package selnet
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"selnet/internal/autodiff"
+	"selnet/internal/infer"
+	"selnet/internal/tensor"
+)
+
+// This file puts SelNet inference on the compiled-plan engine
+// (internal/infer). The first estimate against a model records its
+// forward pass once per batch-size class into an infer.Plan — a
+// topologically ordered list of forward kernels bound to preallocated
+// buffers — and every later call checks a plan out of the model's pool,
+// fills its input buffers in place, replays the kernels, and reads the
+// outputs. Steady-state inference performs zero heap allocations and
+// never rebuilds a tape.
+//
+// Plans read parameter values through the same tensor.Dense objects the
+// optimizer updates in place, so they survive incremental training of
+// the same Net. They are invalidated (dropped, recompiled lazily) when
+// training begins — Fit, HandleUpdate — and when the serving layer
+// discards a model generation after a hot-swap (DropPlans). Clones and
+// deserialized models are fresh objects and start with no plans.
+
+// maxPlanBatch is the largest batch one compiled plan covers; larger
+// EstimateBatch calls are chunked. Classes are powers of two, so a pool
+// holds at most log2(maxPlanBatch)+1 resident plans.
+const maxPlanBatch = 64
+
+// netPlans is the lazily built plan pool of a Net.
+type netPlans struct {
+	mu   sync.Mutex
+	pool atomic.Pointer[infer.Pool]
+}
+
+// planPool returns the Net's plan pool, building it on first use.
+func (n *Net) planPool() *infer.Pool {
+	if p := n.plans.pool.Load(); p != nil {
+		return p
+	}
+	n.plans.mu.Lock()
+	defer n.plans.mu.Unlock()
+	if p := n.plans.pool.Load(); p != nil {
+		return p
+	}
+	p := infer.NewPool(maxPlanBatch, n.compilePlan)
+	n.plans.pool.Store(p)
+	return p
+}
+
+// compilePlan records the full inference pass (encode, control points,
+// PWL interpolation) for one batch capacity.
+func (n *Net) compilePlan(batch int) *infer.Plan {
+	prog := infer.NewProgram()
+	tp := autodiff.NewForwardTape(prog)
+	x := tensor.NewPooled(batch, n.dim)
+	tcol := tensor.NewPooled(batch, 1)
+	tau, p := n.controlPointsInference(tp, tp.Input(x))
+	yhat := tp.PWLInterp(tau, p, tp.Input(tcol))
+	bufs := append(tp.PooledBuffers(), x, tcol)
+	return infer.NewPlan(batch, prog, x, tcol, yhat.Value, tau.Value, p.Value, bufs)
+}
+
+// compileHeadPlan records the control-point generators and PWL
+// interpolation from a precomputed enhanced input [x; z_x] — the
+// per-cluster plan of the partitioned estimator, which shares one
+// encoder pass across all local heads.
+func (n *Net) compileHeadPlan(batch int) *infer.Plan {
+	prog := infer.NewProgram()
+	tp := autodiff.NewForwardTape(prog)
+	e := tensor.NewPooled(batch, n.dim+n.cfg.AELatent)
+	tcol := tensor.NewPooled(batch, 1)
+	tau, p := n.controlPointsFromEnhanced(tp, tp.Input(e))
+	yhat := tp.PWLInterp(tau, p, tp.Input(tcol))
+	bufs := append(tp.PooledBuffers(), e, tcol)
+	return infer.NewPlan(batch, prog, e, tcol, yhat.Value, tau.Value, p.Value, bufs)
+}
+
+// DropPlans invalidates every compiled plan, returning their buffers to
+// the tensor pool. Plans recompile lazily on the next estimate; calls
+// holding a checked-out plan are unaffected. The serving layer calls
+// this when a model generation is swapped out; training entry points
+// call it so post-training inference recompiles against settled
+// parameters.
+func (n *Net) DropPlans() {
+	if p := n.plans.pool.Load(); p != nil {
+		p.Drop()
+	}
+}
+
+// PlanStats snapshots the plan pool's counters (zero before first use).
+func (n *Net) PlanStats() infer.PoolStats {
+	if p := n.plans.pool.Load(); p != nil {
+		return p.Stats()
+	}
+	return infer.PoolStats{}
+}
+
+// EstimateBatchInto is the allocation-free EstimateBatch: it writes one
+// estimate per row of x into out (len(out) == x.Rows() == len(ts)).
+// Steady state performs zero heap allocations — the serving hot path
+// calls this with reused buffers.
+func (n *Net) EstimateBatchInto(out []float64, x *tensor.Dense, ts []float64) {
+	if x.Rows() != len(ts) || len(out) != len(ts) {
+		panic("selnet: EstimateBatchInto length mismatch")
+	}
+	if x.Cols() != n.dim {
+		panic("selnet: EstimateBatchInto query dim mismatch")
+	}
+	pool := n.planPool()
+	for start := 0; start < len(ts); {
+		c := len(ts) - start
+		if c > pool.MaxBatch() {
+			c = pool.MaxBatch()
+		}
+		pl := pool.Get(c)
+		for i := 0; i < c; i++ {
+			copy(pl.X.Row(i), x.Row(start+i))
+			pl.T.Set(i, 0, clamp(ts[start+i], 0, n.cfg.TMax))
+		}
+		pl.Run()
+		for i := 0; i < c; i++ {
+			v := pl.Out.At(i, 0)
+			if v < 0 {
+				v = 0
+			}
+			out[start+i] = v
+		}
+		pool.Put(pl)
+		start += c
+	}
+}
+
+// estimateBatchTape is the pre-plan reference implementation: one fresh
+// tape per call. Kept for equivalence tests and the tape-vs-plan
+// benchmark; production inference goes through the plan path.
+func (n *Net) estimateBatchTape(x *tensor.Dense, ts []float64) []float64 {
+	tp := autodiff.NewTape()
+	tcol := tensor.New(len(ts), 1)
+	for i, t := range ts {
+		tcol.Set(i, 0, clamp(t, 0, n.cfg.TMax))
+	}
+	tau, p := n.controlPointsInference(tp, tp.Input(x))
+	yhat := tp.PWLInterp(tau, p, tp.Input(tcol))
+	out := make([]float64, len(ts))
+	for i := range out {
+		v := yhat.Value.At(i, 0)
+		if v < 0 {
+			v = 0
+		}
+		out[i] = v
+	}
+	return out
+}
+
+// ----------------------------------------------------------------------------
+// Partitioned plans
+
+// partPlans is the lazily built plan state of a Partitioned model: one
+// encoder pool (x -> [x; z_x]), one head pool per cluster (enhanced ->
+// estimate), and a scratch pool for the per-request indicator and
+// gather bookkeeping.
+type partPlans struct {
+	enc     *infer.Pool
+	heads   []*infer.Pool
+	scratch sync.Pool // *partScratch
+}
+
+// partScratch holds one request's allocation-free bookkeeping.
+type partScratch struct {
+	active []bool    // row-major [maxPlanBatch x K] indicator matrix
+	rows   []int     // gathered row indices for one head
+	qbuf   []float64 // normalized-query scratch for cosine indicators
+}
+
+type partPlanState struct {
+	mu    sync.Mutex
+	state atomic.Pointer[partPlans]
+}
+
+// planState returns the model's plan pools, building them on first use.
+func (p *Partitioned) planState() *partPlans {
+	if ps := p.plans.state.Load(); ps != nil {
+		return ps
+	}
+	p.plans.mu.Lock()
+	defer p.plans.mu.Unlock()
+	if ps := p.plans.state.Load(); ps != nil {
+		return ps
+	}
+	ps := &partPlans{enc: infer.NewPool(maxPlanBatch, p.compileEncPlan)}
+	for _, l := range p.locals {
+		ps.heads = append(ps.heads, infer.NewPool(maxPlanBatch, l.compileHeadPlan))
+	}
+	k, dim := p.K(), p.dim
+	ps.scratch.New = func() any {
+		return &partScratch{
+			active: make([]bool, maxPlanBatch*k),
+			rows:   make([]int, 0, maxPlanBatch),
+			qbuf:   make([]float64, dim),
+		}
+	}
+	p.plans.state.Store(ps)
+	return ps
+}
+
+// compileEncPlan records the shared encoder pass: X in, the enhanced
+// representation [x; z_x] out (no threshold, no control points).
+func (p *Partitioned) compileEncPlan(batch int) *infer.Plan {
+	prog := infer.NewProgram()
+	tp := autodiff.NewForwardTape(prog)
+	x := tensor.NewPooled(batch, p.dim)
+	xn := tp.Input(x)
+	enh := tp.ConcatCols(xn, p.ae.Encode(tp, xn))
+	bufs := append(tp.PooledBuffers(), x)
+	return infer.NewPlan(batch, prog, x, nil, enh.Value, nil, nil, bufs)
+}
+
+// DropPlans invalidates the encoder and every head pool (and any pools
+// the local nets built for direct use).
+func (p *Partitioned) DropPlans() {
+	if ps := p.plans.state.Load(); ps != nil {
+		ps.enc.Drop()
+		for _, h := range ps.heads {
+			h.Drop()
+		}
+	}
+	for _, l := range p.locals {
+		l.DropPlans()
+	}
+}
+
+// PlanStats merges the encoder and per-cluster head pool counters into
+// one figure.
+func (p *Partitioned) PlanStats() infer.PoolStats {
+	var s infer.PoolStats
+	if ps := p.plans.state.Load(); ps != nil {
+		s = ps.enc.Stats()
+		for _, h := range ps.heads {
+			s = s.Merge(h.Stats())
+		}
+	}
+	for _, l := range p.locals {
+		s = s.Merge(l.PlanStats())
+	}
+	return s
+}
+
+// EstimateBatchInto is the allocation-free partitioned batch estimate:
+// one encoder plan pass per chunk, then one head plan pass per cluster
+// over the rows whose region is active, summed per row into out.
+func (p *Partitioned) EstimateBatchInto(out []float64, x *tensor.Dense, ts []float64) {
+	if x.Rows() != len(ts) || len(out) != len(ts) {
+		panic("selnet: EstimateBatchInto length mismatch")
+	}
+	if x.Cols() != p.dim {
+		panic("selnet: EstimateBatchInto query dim mismatch")
+	}
+	n := x.Rows()
+	if n == 0 {
+		return
+	}
+	ps := p.planState()
+	k := p.K()
+	sc := ps.scratch.Get().(*partScratch)
+	for start := 0; start < n; {
+		c := n - start
+		if c > ps.enc.MaxBatch() {
+			c = ps.enc.MaxBatch()
+		}
+		encPl := ps.enc.Get(c)
+		for i := 0; i < c; i++ {
+			copy(encPl.X.Row(i), x.Row(start+i))
+			p.part.IndicatorInto(sc.active[i*k:(i+1)*k], sc.qbuf, x.Row(start+i), ts[start+i])
+			out[start+i] = 0
+		}
+		encPl.Run()
+		for ci := range p.locals {
+			rows := sc.rows[:0]
+			for i := 0; i < c; i++ {
+				if sc.active[i*k+ci] {
+					rows = append(rows, i)
+				}
+			}
+			if len(rows) == 0 {
+				continue
+			}
+			hp := ps.heads[ci].Get(len(rows))
+			for j, i := range rows {
+				copy(hp.X.Row(j), encPl.Out.Row(i))
+				hp.T.Set(j, 0, clamp(ts[start+i], 0, p.pcfg.Model.TMax))
+			}
+			hp.Run()
+			for j, i := range rows {
+				if v := hp.Out.At(j, 0); v > 0 {
+					out[start+i] += v
+				}
+			}
+			ps.heads[ci].Put(hp)
+		}
+		ps.enc.Put(encPl)
+		start += c
+	}
+	ps.scratch.Put(sc)
+}

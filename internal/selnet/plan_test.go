@@ -1,0 +1,317 @@
+package selnet
+
+import (
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"selnet/internal/autodiff"
+	"selnet/internal/tensor"
+)
+
+// planTestNet returns an untrained net with random weights: estimation
+// correctness and cost do not depend on training.
+func planTestNet(seed int64, dim int) *Net {
+	return NewNet(rand.New(rand.NewSource(seed)), dim, tinyConfig(1))
+}
+
+func randQueries(seed int64, n, dim int) (*tensor.Dense, []float64) {
+	rng := rand.New(rand.NewSource(seed))
+	x := tensor.New(n, dim)
+	for i := range x.Data() {
+		x.Data()[i] = rng.Float64()
+	}
+	ts := make([]float64, n)
+	for i := range ts {
+		// Cover in-range, clamped-low, and clamped-high thresholds.
+		ts[i] = rng.Float64()*1.6 - 0.3
+	}
+	return x, ts
+}
+
+// The plan path must reproduce the tape path bit for bit: same kernels,
+// same order, same buffers semantics.
+func TestPlanMatchesTapePath(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		mod  func(*Config)
+	}{
+		{"default", func(*Config) {}},
+		{"softmax-tau", func(c *Config) { c.SoftmaxTau = true }},
+		{"query-independent-tau", func(c *Config) { c.QueryDependentTau = false }},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := tinyConfig(1)
+			tc.mod(&cfg)
+			n := NewNet(rand.New(rand.NewSource(7)), 5, cfg)
+			for _, rows := range []int{1, 2, 3, 64, 65, 200} {
+				x, ts := randQueries(int64(rows), rows, 5)
+				got := n.EstimateBatch(x, ts)
+				want := n.estimateBatchTape(x, ts)
+				for i := range want {
+					if got[i] != want[i] {
+						t.Fatalf("rows=%d row %d: plan %v, tape %v", rows, i, got[i], want[i])
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestEstimateMatchesBatch(t *testing.T) {
+	n := planTestNet(1, 6)
+	x, ts := randQueries(2, 32, 6)
+	batch := n.EstimateBatch(x, ts)
+	for i := range ts {
+		if got := n.Estimate(x.Row(i), ts[i]); got != batch[i] {
+			t.Fatalf("row %d: Estimate %v, EstimateBatch %v", i, got, batch[i])
+		}
+	}
+}
+
+func TestControlPointsOnPlanPath(t *testing.T) {
+	n := planTestNet(3, 4)
+	q := []float64{0.1, 0.7, 0.3, 0.9}
+	tau, p := n.ControlPoints(q)
+	if len(tau) != n.cfg.L+2 || len(p) != n.cfg.L+2 {
+		t.Fatalf("lengths %d/%d, want %d", len(tau), len(p), n.cfg.L+2)
+	}
+	// Reference: the tape path's control points.
+	tp := autodiff.NewTape()
+	tauN, pN := n.controlPointsInference(tp, tp.Input(tensor.RowVector(q)))
+	for i := range tau {
+		if tau[i] != tauN.Value.At(0, i) || p[i] != pN.Value.At(0, i) {
+			t.Fatalf("control point %d differs from tape path", i)
+		}
+	}
+	// Monotone, τ ends at TMax — the Lemma 1 structure.
+	for i := 1; i < len(tau); i++ {
+		if tau[i] < tau[i-1] || p[i] < p[i-1] {
+			t.Fatalf("control points not monotone at %d", i)
+		}
+	}
+	if math.Abs(tau[len(tau)-1]-n.cfg.TMax) > 1e-9 {
+		t.Fatalf("tau end %v, want TMax %v", tau[len(tau)-1], n.cfg.TMax)
+	}
+}
+
+func TestPlanSurvivesRepeatedUse(t *testing.T) {
+	n := planTestNet(4, 5)
+	x, ts := randQueries(5, 8, 5)
+	want := n.EstimateBatch(x, ts)
+	for i := 0; i < 50; i++ {
+		got := n.EstimateBatch(x, ts)
+		for j := range want {
+			if got[j] != want[j] {
+				t.Fatalf("call %d row %d drifted: %v != %v", i, j, got[j], want[j])
+			}
+		}
+	}
+	st := n.PlanStats()
+	if st.Checkouts != 51 {
+		t.Fatalf("checkouts = %d, want 51", st.Checkouts)
+	}
+	if st.Compiles != 1 {
+		t.Fatalf("compiles = %d, want 1 (plans must be reused)", st.Compiles)
+	}
+}
+
+func TestDropPlansRecompilesConsistently(t *testing.T) {
+	n := planTestNet(6, 5)
+	x, ts := randQueries(7, 4, 5)
+	want := n.EstimateBatch(x, ts)
+	n.DropPlans()
+	got := n.EstimateBatch(x, ts)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("row %d after DropPlans: %v != %v", i, got[i], want[i])
+		}
+	}
+	if st := n.PlanStats(); st.Drops != 1 || st.Compiles != 2 {
+		t.Fatalf("stats %+v, want 1 drop, 2 compiles", st)
+	}
+}
+
+// Zero steady-state allocations on the plan path — the point of the
+// whole engine. Warm-up happens inside AllocsPerRun's untimed first run
+// (which compiles the plans).
+func TestEstimateBatchZeroAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race detector instruments allocations")
+	}
+	n := planTestNet(8, 16)
+	for _, rows := range []int{1, 64} {
+		x, ts := randQueries(int64(rows), rows, 16)
+		out := make([]float64, rows)
+		n.EstimateBatchInto(out, x, ts) // compile outside the measurement
+		if got := testing.AllocsPerRun(100, func() {
+			n.EstimateBatchInto(out, x, ts)
+		}); got != 0 {
+			t.Fatalf("batch-%d EstimateBatchInto allocates %v per run, want 0", rows, got)
+		}
+	}
+	q := make([]float64, 16)
+	if got := testing.AllocsPerRun(100, func() {
+		n.Estimate(q, 0.5)
+	}); got != 0 {
+		t.Fatalf("Estimate allocates %v per run, want 0", got)
+	}
+}
+
+func TestPartitionedEstimateBatchZeroAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race detector instruments allocations")
+	}
+	db, wl := testWorkload(31, 300, 8, 8, 4)
+	p := NewPartitioned(rand.New(rand.NewSource(32)), db, tinyPartitionedConfig(wl.TMax))
+	for _, rows := range []int{1, 64} {
+		x, ts := randQueries(int64(rows), rows, 8)
+		for i := range ts {
+			ts[i] *= wl.TMax
+		}
+		out := make([]float64, rows)
+		p.EstimateBatchInto(out, x, ts)
+		if got := testing.AllocsPerRun(100, func() {
+			p.EstimateBatchInto(out, x, ts)
+		}); got != 0 {
+			t.Fatalf("batch-%d partitioned EstimateBatchInto allocates %v per run, want 0", rows, got)
+		}
+	}
+	q := make([]float64, 8)
+	p.Estimate(q, wl.TMax/2)
+	if got := testing.AllocsPerRun(100, func() {
+		p.Estimate(q, wl.TMax/2)
+	}); got != 0 {
+		t.Fatalf("partitioned Estimate allocates %v per run, want 0", got)
+	}
+}
+
+// The partitioned plan path must match the definition: the indicator-
+// gated sum of the local (tape-path) estimates.
+func TestPartitionedPlanMatchesLocalTapes(t *testing.T) {
+	db, wl := testWorkload(33, 250, 6, 8, 4)
+	p := NewPartitioned(rand.New(rand.NewSource(34)), db, tinyPartitionedConfig(wl.TMax))
+	x, ts := randQueries(35, 40, 6)
+	for i := range ts {
+		ts[i] *= wl.TMax
+	}
+	got := p.EstimateBatch(x, ts)
+	for i := range ts {
+		ind := p.part.Indicator(x.Row(i), ts[i])
+		tc := clamp(ts[i], 0, p.pcfg.Model.TMax)
+		var want float64
+		for ci, active := range ind {
+			if !active {
+				continue
+			}
+			want += p.locals[ci].estimateBatchTape(tensor.RowVector(x.Row(i)), []float64{tc})[0]
+		}
+		if math.Abs(got[i]-want) > 1e-12 {
+			t.Fatalf("row %d: plan %v, local tapes %v", i, got[i], want)
+		}
+		if e := p.Estimate(x.Row(i), ts[i]); e != got[i] {
+			t.Fatalf("row %d: Estimate %v != EstimateBatch %v", i, e, got[i])
+		}
+	}
+}
+
+// Concurrent estimates racing DropPlans (the hot-swap invalidation)
+// must stay correct: parameters never change here, so every result must
+// equal the reference regardless of which compiled generation served
+// it. Run with -race in CI.
+func TestConcurrentEstimateDuringDropPlans(t *testing.T) {
+	n := planTestNet(9, 8)
+	x, ts := randQueries(10, 16, 8)
+	want := n.estimateBatchTape(x, ts)
+	stop := make(chan struct{})
+	var dropper sync.WaitGroup
+	dropper.Add(1)
+	go func() {
+		defer dropper.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				n.DropPlans()
+			}
+		}
+	}()
+	var estimators sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		estimators.Add(1)
+		go func(seed int) {
+			defer estimators.Done()
+			out := make([]float64, len(ts))
+			for i := 0; i < 200; i++ {
+				n.EstimateBatchInto(out, x, ts)
+				for j := range want {
+					if out[j] != want[j] {
+						t.Errorf("goroutine %d call %d row %d: %v != %v", seed, i, j, out[j], want[j])
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	estimators.Wait()
+	close(stop)
+	dropper.Wait()
+}
+
+// ----------------------------------------------------------------------------
+// Tape-vs-plan benchmarks: the acceptance numbers for the plan engine.
+
+func benchPlanNet() *Net {
+	cfg := DefaultConfig()
+	cfg.TMax = 1
+	return NewNet(rand.New(rand.NewSource(1)), 16, cfg)
+}
+
+func BenchmarkNetEstimatePlan(b *testing.B) {
+	n := benchPlanNet()
+	q := make([]float64, 16)
+	for i := range q {
+		q[i] = rand.New(rand.NewSource(2)).Float64()
+	}
+	n.Estimate(q, 0.5) // compile
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n.Estimate(q, 0.5)
+	}
+}
+
+func BenchmarkNetEstimateTape(b *testing.B) {
+	n := benchPlanNet()
+	x, _ := randQueries(2, 1, 16)
+	ts := []float64{0.5}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n.estimateBatchTape(x, ts)
+	}
+}
+
+func BenchmarkNetEstimateBatch64Plan(b *testing.B) {
+	n := benchPlanNet()
+	x, ts := randQueries(3, 64, 16)
+	out := make([]float64, 64)
+	n.EstimateBatchInto(out, x, ts) // compile
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n.EstimateBatchInto(out, x, ts)
+	}
+}
+
+func BenchmarkNetEstimateBatch64Tape(b *testing.B) {
+	n := benchPlanNet()
+	x, ts := randQueries(3, 64, 16)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n.estimateBatchTape(x, ts)
+	}
+}

@@ -1,0 +1,5 @@
+//go:build !race
+
+package selnet
+
+const raceEnabled = false

@@ -43,6 +43,9 @@ func (n *Net) Fit(tc TrainConfig, db *vecdata.Database, train, valid []vecdata.Q
 	if len(train) == 0 {
 		panic("selnet: no training queries")
 	}
+	// Training mutates parameters; drop compiled plans so post-training
+	// inference recompiles against the settled weights.
+	n.DropPlans()
 	rng := rand.New(rand.NewSource(tc.Seed))
 	n.pretrainAE(rng, tc, db)
 

@@ -51,6 +51,7 @@ type UpdateResult struct {
 // parameters until validation MAE stops improving for Patience epochs.
 // train and valid are relabelled in place.
 func (n *Net) HandleUpdate(tc TrainConfig, uc UpdateConfig, db *vecdata.Database, train, valid []vecdata.Query) UpdateResult {
+	n.DropPlans()          // incremental training may mutate parameters
 	oldMAE := n.MAE(valid) // MAE against stale labels
 	vecdata.Relabel(valid, db)
 	newMAE := n.MAE(valid) // MAE against refreshed labels
@@ -74,6 +75,7 @@ func (n *Net) HandleUpdate(tc TrainConfig, uc UpdateConfig, db *vecdata.Database
 // cluster-local labels stay correct) and apply it to db. Incremental
 // training reuses the joint objective from the current parameters.
 func (p *Partitioned) HandleUpdate(tc TrainConfig, uc UpdateConfig, db *vecdata.Database, train, valid []vecdata.Query) UpdateResult {
+	p.DropPlans() // incremental training may mutate parameters
 	oldMAE := p.MAE(valid)
 	vecdata.Relabel(valid, db)
 	newMAE := p.MAE(valid)

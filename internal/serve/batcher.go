@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -14,6 +15,14 @@ import (
 // ErrBatcherClosed is returned by Submit after Close has begun.
 var ErrBatcherClosed = errors.New("serve: batcher closed")
 
+// BatchIntoEstimator is the allocation-free batch surface of the plan
+// path (selnet.Net and selnet.Partitioned implement it). Lanes use it
+// with per-lane reusable buffers, so a fused batch costs zero heap
+// allocations end to end.
+type BatchIntoEstimator interface {
+	EstimateBatchInto(out []float64, x *tensor.Dense, ts []float64)
+}
+
 // BatcherConfig tunes the request coalescer.
 type BatcherConfig struct {
 	// MaxBatch is the largest number of requests fused into one
@@ -23,11 +32,17 @@ type BatcherConfig struct {
 	// before its batch is flushed anyway (default 2ms). Once at least
 	// two requests are fused, a drained queue flushes immediately.
 	FlushInterval time.Duration
-	// Workers is the number of goroutines running batches; each gathers
-	// its own batch, so up to Workers batches are in flight at once
-	// (default 2).
+	// Lanes is the number of independent coalescing lanes. Each lane owns
+	// its own queue, gather goroutine, and reusable inference buffers, so
+	// up to Lanes batches run concurrently with no shared contention
+	// point — the single batcher goroutine stops being a throughput
+	// ceiling on multicore. Default: GOMAXPROCS.
+	Lanes int
+	// Workers is the deprecated name for Lanes, honored when Lanes is 0
+	// so existing configurations keep their meaning.
 	Workers int
-	// QueueDepth is the request channel's buffer (default 4*MaxBatch).
+	// QueueDepth is each lane's request-channel buffer (default
+	// 4*MaxBatch).
 	QueueDepth int
 }
 
@@ -38,8 +53,11 @@ func (c BatcherConfig) withDefaults() BatcherConfig {
 	if c.FlushInterval <= 0 {
 		c.FlushInterval = 2 * time.Millisecond
 	}
-	if c.Workers <= 0 {
-		c.Workers = 2
+	if c.Lanes <= 0 {
+		c.Lanes = c.Workers
+	}
+	if c.Lanes <= 0 {
+		c.Lanes = runtime.GOMAXPROCS(0)
 	}
 	if c.QueueDepth <= 0 {
 		c.QueueDepth = 4 * c.MaxBatch
@@ -47,7 +65,18 @@ func (c BatcherConfig) withDefaults() BatcherConfig {
 	return c
 }
 
-// BatcherStats is a snapshot of coalescing effectiveness counters.
+// LaneStats is one lane's share of the coalescing counters.
+type LaneStats struct {
+	// Batches counts EstimateBatch calls this lane issued.
+	Batches uint64 `json:"batches"`
+	// MaxFused is the largest batch this lane fused.
+	MaxFused uint64 `json:"max_fused"`
+	// Timeouts counts batches flushed by the interval timer.
+	Timeouts uint64 `json:"timeouts"`
+}
+
+// BatcherStats is a snapshot of coalescing effectiveness counters,
+// aggregated over every lane.
 type BatcherStats struct {
 	// Requests counts single-query requests submitted.
 	Requests uint64 `json:"requests"`
@@ -57,31 +86,61 @@ type BatcherStats struct {
 	MaxFused uint64 `json:"max_fused"`
 	// Timeouts counts batches flushed by the interval timer.
 	Timeouts uint64 `json:"timeouts"`
+	// Lanes holds the per-lane breakdown.
+	Lanes []LaneStats `json:"lanes,omitempty"`
 }
 
 // Batcher coalesces concurrent single-query estimate requests for one
 // model into batched EstimateBatch calls — the hot path of serving,
-// since one tape pass over a B-row tensor is far cheaper than B passes
-// over 1-row tensors. A worker greedily gathers every queued request up
-// to MaxBatch and flushes as soon as the queue drains (never stalling
-// fused work); only a lone request waits, up to FlushInterval, for a
-// companion.
+// since one compiled-plan pass over a B-row tensor is far cheaper than
+// B passes over 1-row tensors. The batcher is sharded into lanes:
+// Submit round-robins requests across per-lane queues, and each lane's
+// goroutine greedily gathers every request queued with it (up to
+// MaxBatch) and flushes as soon as its queue drains, never stalling
+// fused work; only a lone request waits, up to FlushInterval, for a
+// companion. Each lane owns reusable input/output buffers sized to
+// MaxBatch, so with a BatchIntoEstimator the fused pass allocates
+// nothing.
 type Batcher struct {
-	est Estimator
-	cfg BatcherConfig
+	est  Estimator
+	into BatchIntoEstimator // non-nil when est supports the in-place path
+	cfg  BatcherConfig
+	dim  int
 
-	reqs chan batchReq
-	wg   sync.WaitGroup // workers
+	lanes []*lane
+	next  atomic.Uint64  // round-robin lane cursor
+	wg    sync.WaitGroup // lane workers
 
 	mu       sync.Mutex // guards closed + inflight Add
 	closed   bool
 	inflight sync.WaitGroup // submitters inside the reqs channel handoff
 
 	requests atomic.Uint64
+}
+
+// lane is one coalescing shard: a queue, a gather goroutine, and the
+// goroutine's private inference buffers.
+type lane struct {
+	reqs chan batchReq
+	// waiting is 1 while the lane's worker lingers on a lone request
+	// hoping for a companion; Submit joins such a lane so lone requests
+	// fuse immediately instead of every client stalling a FlushInterval
+	// in its own lane when clients are fewer than lanes.
+	waiting atomic.Int32
+
 	batches  atomic.Uint64
 	maxFused atomic.Uint64
 	timeouts atomic.Uint64
 	sizes    *Histogram // fused-batch sizes, exported via /metrics
+
+	// Gather/run state owned by the lane goroutine: the reused batch
+	// slice, the MaxBatch x dim input tensor with per-size row views, and
+	// the threshold/output slices.
+	buf   []batchReq
+	x     *tensor.Dense
+	views []*tensor.Dense // views[n] = first n rows of x (1-indexed)
+	ts    []float64
+	out   []float64
 }
 
 type batchReq struct {
@@ -95,18 +154,30 @@ type batchRes struct {
 	err error
 }
 
-// NewBatcher starts the coalescer's worker pool for est.
+// NewBatcher starts the coalescer's lane pool for est.
 func NewBatcher(est Estimator, cfg BatcherConfig) *Batcher {
 	cfg = cfg.withDefaults()
-	b := &Batcher{
-		est:   est,
-		cfg:   cfg,
-		reqs:  make(chan batchReq, cfg.QueueDepth),
-		sizes: NewHistogram(BatchSizeBuckets()...),
+	b := &Batcher{est: est, cfg: cfg, dim: est.Dim()}
+	b.into, _ = est.(BatchIntoEstimator)
+	dim := b.dim
+	for i := 0; i < cfg.Lanes; i++ {
+		l := &lane{
+			reqs:  make(chan batchReq, cfg.QueueDepth),
+			sizes: NewHistogram(BatchSizeBuckets()...),
+			buf:   make([]batchReq, 0, cfg.MaxBatch),
+			x:     tensor.New(cfg.MaxBatch, dim),
+			views: make([]*tensor.Dense, cfg.MaxBatch+1),
+			ts:    make([]float64, cfg.MaxBatch),
+			out:   make([]float64, cfg.MaxBatch),
+		}
+		for n := 1; n <= cfg.MaxBatch; n++ {
+			l.views[n] = l.x.RowsView(n)
+		}
+		b.lanes = append(b.lanes, l)
 	}
-	b.wg.Add(cfg.Workers)
-	for i := 0; i < cfg.Workers; i++ {
-		go b.worker()
+	b.wg.Add(cfg.Lanes)
+	for _, l := range b.lanes {
+		go b.worker(l)
 	}
 	return b
 }
@@ -114,6 +185,12 @@ func NewBatcher(est Estimator, cfg BatcherConfig) *Batcher {
 // Submit queues one (query, threshold) estimate and blocks until its
 // batch runs or ctx is done. It is safe for concurrent use.
 func (b *Batcher) Submit(ctx context.Context, x []float64, t float64) (float64, error) {
+	if len(x) != b.dim {
+		// The lanes copy into fixed dim-wide buffers, so a mismatched
+		// query must be rejected here rather than silently truncated or
+		// padded with a previous batch's values.
+		return 0, fmt.Errorf("serve: query has dim %d, model expects %d", len(x), b.dim)
+	}
 	b.mu.Lock()
 	if b.closed {
 		b.mu.Unlock()
@@ -124,13 +201,14 @@ func (b *Batcher) Submit(ctx context.Context, x []float64, t float64) (float64, 
 	defer b.inflight.Done()
 
 	b.requests.Add(1)
+	l := b.pickLane()
 	r := batchReq{x: x, t: t, out: make(chan batchRes, 1)}
 	select {
-	case b.reqs <- r:
+	case l.reqs <- r:
 	case <-ctx.Done():
 		return 0, ctx.Err()
 	}
-	// The batch worker always answers (even on panic), so waiting only on
+	// The lane worker always answers (even on panic), so waiting only on
 	// ctx alongside the reply never leaks the request.
 	select {
 	case res := <-r.out:
@@ -140,8 +218,22 @@ func (b *Batcher) Submit(ctx context.Context, x []float64, t float64) (float64, 
 	}
 }
 
+// pickLane chooses where to queue a request: a lane whose worker is
+// lingering on a lone request gets joined (the pair flushes as soon as
+// it fuses — under light load this keeps latency at fuse time, not
+// FlushInterval, no matter how many lanes exist); otherwise requests
+// round-robin so heavy load spreads across every lane.
+func (b *Batcher) pickLane() *lane {
+	for _, l := range b.lanes {
+		if l.waiting.Load() != 0 {
+			return l
+		}
+	}
+	return b.lanes[b.next.Add(1)%uint64(len(b.lanes))]
+}
+
 // Close stops accepting submissions, waits for queued requests to be
-// answered, and stops the workers. It is idempotent.
+// answered, and stops the lane workers. It is idempotent.
 func (b *Batcher) Close() {
 	b.mu.Lock()
 	if b.closed {
@@ -152,39 +244,74 @@ func (b *Batcher) Close() {
 	b.closed = true
 	b.mu.Unlock()
 	b.inflight.Wait() // no submitter is mid-handoff once this returns
-	close(b.reqs)     // workers drain the buffer, then exit
+	for _, l := range b.lanes {
+		close(l.reqs) // workers drain their buffers, then exit
+	}
 	b.wg.Wait()
 }
 
-// SizeHistogram snapshots the distribution of fused batch sizes.
-func (b *Batcher) SizeHistogram() HistogramSnapshot { return b.sizes.Snapshot() }
+// SizeHistogram snapshots the distribution of fused batch sizes,
+// merged across lanes.
+func (b *Batcher) SizeHistogram() HistogramSnapshot {
+	s := b.lanes[0].sizes.Snapshot()
+	for _, l := range b.lanes[1:] {
+		ls := l.sizes.Snapshot()
+		for i := range s.Counts {
+			s.Counts[i] += ls.Counts[i]
+		}
+		s.Sum += ls.Sum
+		s.Count += ls.Count
+	}
+	return s
+}
+
+// LaneSizeHistograms snapshots each lane's fused-batch-size histogram.
+func (b *Batcher) LaneSizeHistograms() []HistogramSnapshot {
+	out := make([]HistogramSnapshot, len(b.lanes))
+	for i, l := range b.lanes {
+		out[i] = l.sizes.Snapshot()
+	}
+	return out
+}
 
 // Stats returns a snapshot of the coalescing counters.
 func (b *Batcher) Stats() BatcherStats {
-	return BatcherStats{
+	s := BatcherStats{
 		Requests: b.requests.Load(),
-		Batches:  b.batches.Load(),
-		MaxFused: b.maxFused.Load(),
-		Timeouts: b.timeouts.Load(),
+		Lanes:    make([]LaneStats, len(b.lanes)),
 	}
+	for i, l := range b.lanes {
+		ls := LaneStats{
+			Batches:  l.batches.Load(),
+			MaxFused: l.maxFused.Load(),
+			Timeouts: l.timeouts.Load(),
+		}
+		s.Lanes[i] = ls
+		s.Batches += ls.Batches
+		s.Timeouts += ls.Timeouts
+		if ls.MaxFused > s.MaxFused {
+			s.MaxFused = ls.MaxFused
+		}
+	}
+	return s
 }
 
-// worker gathers and runs batches until the request channel closes.
-func (b *Batcher) worker() {
+// worker gathers and runs one lane's batches until its channel closes.
+func (b *Batcher) worker(l *lane) {
 	defer b.wg.Done()
 	timer := time.NewTimer(0)
 	if !timer.Stop() {
 		<-timer.C
 	}
-	for first := range b.reqs {
-		batch := append(make([]batchReq, 0, b.cfg.MaxBatch), first)
+	for first := range l.reqs {
+		batch := append(l.buf[:0], first)
 		timer.Reset(b.cfg.FlushInterval)
 	gather:
 		for len(batch) < b.cfg.MaxBatch {
 			// Greedy drain: take whatever is already queued without
 			// blocking.
 			select {
-			case r, ok := <-b.reqs:
+			case r, ok := <-l.reqs:
 				if !ok {
 					break gather
 				}
@@ -199,14 +326,17 @@ func (b *Batcher) worker() {
 			if len(batch) > 1 {
 				break gather
 			}
+			l.waiting.Store(1)
 			select {
-			case r, ok := <-b.reqs:
+			case r, ok := <-l.reqs:
+				l.waiting.Store(0)
 				if !ok {
 					break gather
 				}
 				batch = append(batch, r)
 			case <-timer.C:
-				b.timeouts.Add(1)
+				l.waiting.Store(0)
+				l.timeouts.Add(1)
 				break gather
 			}
 		}
@@ -216,12 +346,13 @@ func (b *Batcher) worker() {
 			default:
 			}
 		}
-		b.run(batch)
+		b.run(l, batch)
 	}
 }
 
-// run executes one fused EstimateBatch call and distributes results.
-func (b *Batcher) run(batch []batchReq) {
+// run executes one fused EstimateBatch call over the lane's buffers and
+// distributes results.
+func (b *Batcher) run(l *lane, batch []batchReq) {
 	defer func() {
 		if p := recover(); p != nil {
 			err := fmt.Errorf("serve: batched inference panicked: %v", p)
@@ -232,21 +363,24 @@ func (b *Batcher) run(batch []batchReq) {
 			}
 		}
 	}()
-	b.batches.Add(1)
-	b.sizes.Observe(float64(len(batch)))
-	for {
-		cur := b.maxFused.Load()
-		if uint64(len(batch)) <= cur || b.maxFused.CompareAndSwap(cur, uint64(len(batch))) {
-			break
-		}
+	n := len(batch)
+	l.batches.Add(1)
+	l.sizes.Observe(float64(n))
+	if cur := l.maxFused.Load(); uint64(n) > cur {
+		l.maxFused.CompareAndSwap(cur, uint64(n)) // single writer per lane
 	}
-	x := tensor.New(len(batch), len(batch[0].x))
-	ts := make([]float64, len(batch))
+	x := l.views[n]
+	ts := l.ts[:n]
 	for i, r := range batch {
 		copy(x.Row(i), r.x)
 		ts[i] = r.t
 	}
-	out := b.est.EstimateBatch(x, ts)
+	out := l.out[:n]
+	if b.into != nil {
+		b.into.EstimateBatchInto(out, x, ts)
+	} else {
+		out = b.est.EstimateBatch(x, ts)
+	}
 	for i, r := range batch {
 		r.out <- batchRes{v: out[i]}
 	}

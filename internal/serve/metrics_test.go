@@ -102,7 +102,8 @@ func TestMetricsEndpoint(t *testing.T) {
 		"# TYPE selestd_cache_hit_ratio gauge",
 		"selestd_cache_hit_ratio 0.5",
 		`selestd_model_generation{model="m"} 1`,
-		`selestd_batcher_batch_size_count{model="m"}`,
+		`selestd_batcher_batch_size_count{model="m",lane="0"}`,
+		`selestd_batcher_lane_batches_total{model="m",lane="0"}`,
 		`selestd_ingest_queue_depth{model="m"} 2`,
 		`selestd_ingest_retrained_total{model="m"} 1`,
 		"selestd_http_requests_total",

@@ -17,6 +17,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"selnet/internal/infer"
 	"selnet/internal/tensor"
 )
 
@@ -29,6 +30,20 @@ type Estimator interface {
 	Dim() int
 	TMax() float64
 	Name() string
+}
+
+// PlanDropper is implemented by estimators whose inference runs on
+// compiled plan pools (selnet.Net, selnet.Partitioned). The registry
+// calls DropPlans on a displaced model after its batcher drains, so a
+// hot-swap releases the old generation's plan buffers instead of
+// leaving them pinned behind an unreachable estimator.
+type PlanDropper interface {
+	DropPlans()
+}
+
+// PlanStatser exposes plan-pool counters for /stats and /metrics.
+type PlanStatser interface {
+	PlanStats() infer.PoolStats
 }
 
 // Model is one registry entry: an estimator plus its serving apparatus
@@ -166,15 +181,29 @@ func (r *Registry) publish(name string, est Estimator, source string, conditiona
 	old := r.swapLocked(name, m)
 	r.mu.Unlock()
 
-	if old != nil && old.batcher != nil {
-		// Close drains in-flight work; do it off the writer's goroutine so
-		// Publish never waits on the old model's queue.
-		go old.batcher.Close()
+	if old != nil {
+		// Drain in-flight work, then release the displaced generation's
+		// compiled plans; off the writer's goroutine so Publish never
+		// waits on the old model's queue.
+		go retireModel(old)
 	}
 	if r.onSwap != nil {
 		r.onSwap(name, old, m)
 	}
 	return m, true, nil
+}
+
+// retireModel drains a displaced model's batcher and drops its compiled
+// plans. Requests still holding the old *Model keep working — a dropped
+// pool recompiles lazily — but the common case frees the old
+// generation's buffers as soon as the queue empties.
+func retireModel(old *Model) {
+	if old.batcher != nil {
+		old.batcher.Close()
+	}
+	if d, ok := old.Est.(PlanDropper); ok {
+		d.DropPlans()
+	}
 }
 
 // Remove unpublishes name, returning whether it was present. Like a
@@ -186,9 +215,7 @@ func (r *Registry) Remove(name string) bool {
 	if old == nil {
 		return false
 	}
-	if old.batcher != nil {
-		go old.batcher.Close()
-	}
+	go retireModel(old)
 	if r.onSwap != nil {
 		r.onSwap(name, old, nil)
 	}
@@ -225,6 +252,9 @@ func (r *Registry) Close() {
 	for _, m := range cur {
 		if m.batcher != nil {
 			m.batcher.Close()
+		}
+		if d, ok := m.Est.(PlanDropper); ok {
+			d.DropPlans()
 		}
 	}
 }

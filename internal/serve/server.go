@@ -6,9 +6,11 @@ import (
 	"fmt"
 	"net/http"
 	"sort"
+	"strconv"
 	"sync/atomic"
 	"time"
 
+	"selnet/internal/infer"
 	"selnet/internal/selnet"
 	"selnet/internal/tensor"
 )
@@ -186,6 +188,10 @@ type modelInfo struct {
 	Generation uint64        `json:"generation"`
 	LoadedAt   time.Time     `json:"loaded_at"`
 	Batcher    *BatcherStats `json:"batcher,omitempty"`
+	// Plans reports the model's compiled-plan pool counters (checkouts,
+	// pool misses, compiles, drops) when the estimator runs on the plan
+	// engine.
+	Plans *infer.PoolStats `json:"plans,omitempty"`
 }
 
 type statsResponse struct {
@@ -248,6 +254,12 @@ func (s *Server) modelInfos(withBatcher bool) []modelInfo {
 		if withBatcher && m.Batcher() != nil {
 			st := m.Batcher().Stats()
 			mi.Batcher = &st
+		}
+		if withBatcher {
+			if ps, ok := m.Est.(PlanStatser); ok {
+				st := ps.PlanStats()
+				mi.Plans = &st
+			}
 		}
 		out = append(out, mi)
 	}
@@ -460,8 +472,27 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 				float64(bs.Batches), "model", m.Name)
 			p.value("selestd_batcher_timeouts_total", "Batches flushed by the interval timer.",
 				"counter", float64(bs.Timeouts), "model", m.Name)
-			p.histogram("selestd_batcher_batch_size", "Requests fused per inference batch.",
-				b.SizeHistogram(), "model", m.Name)
+			p.value("selestd_batcher_lanes", "Coalescer lanes (independent shards).", "gauge",
+				float64(len(bs.Lanes)), "model", m.Name)
+			for lane, hist := range b.LaneSizeHistograms() {
+				p.histogram("selestd_batcher_batch_size", "Requests fused per inference batch, by lane.",
+					hist, "model", m.Name, "lane", strconv.Itoa(lane))
+			}
+			for lane, ls := range bs.Lanes {
+				p.value("selestd_batcher_lane_batches_total", "Fused EstimateBatch calls by lane.",
+					"counter", float64(ls.Batches), "model", m.Name, "lane", strconv.Itoa(lane))
+			}
+		}
+		if ps, ok := m.Est.(PlanStatser); ok {
+			st := ps.PlanStats()
+			p.value("selestd_plan_checkouts_total", "Compiled-plan checkouts from the model's pools.",
+				"counter", float64(st.Checkouts), "model", m.Name)
+			p.value("selestd_plan_pool_misses_total", "Plan checkouts that missed the resident fast path.",
+				"counter", float64(st.Misses), "model", m.Name)
+			p.value("selestd_plan_compiles_total", "Forward-pass compilations (lazy, per batch-size class).",
+				"counter", float64(st.Compiles), "model", m.Name)
+			p.value("selestd_plan_drops_total", "Plan-pool invalidations (training, hot-swap).",
+				"counter", float64(st.Drops), "model", m.Name)
 		}
 	}
 
@@ -497,6 +528,8 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 			if us.Durable {
 				p.value("selestd_ingest_journaled_batches_total", "Batches appended to the write-ahead log.",
 					"counter", float64(us.JournaledBatches), "model", name)
+				p.value("selestd_ingest_journal_syncs_total", "Fsyncs the write-ahead log performed.",
+					"counter", float64(us.JournalSyncs), "model", name)
 				p.value("selestd_ingest_replayed_batches", "Journal entries replayed at boot.",
 					"gauge", float64(us.ReplayedBatches), "model", name)
 				p.value("selestd_ingest_journal_bytes", "Write-ahead log size.",

@@ -1,0 +1,67 @@
+package tensor
+
+import (
+	"math/bits"
+	"sync"
+)
+
+// This file implements a size-bucketed buffer pool for Dense backing
+// arrays. Inference plans (internal/infer) allocate their intermediate
+// buffers here at compile time and recycle them when a plan is dropped
+// (model hot-swap, plan invalidation), so repeated compile/drop cycles
+// reuse the same large float64 arrays instead of churning the GC.
+//
+// Buckets are powers of two: a request for n elements draws from the
+// bucket holding arrays of capacity 2^ceil(log2(n)) and slices the
+// array down to exactly n. Arrays above maxPoolBucket elements are not
+// pooled — they are rare (huge one-off batches) and would pin too much
+// memory.
+
+// maxPoolBucket is the largest pooled backing-array size (elements).
+const maxPoolBucket = 1 << 22 // 32 MiB of float64s
+
+var bufPools [23]sync.Pool // bucket i holds []float64 of cap 1<<i
+
+// bucketFor returns the pool index whose arrays fit n elements, or -1
+// when n is zero or too large to pool.
+func bucketFor(n int) int {
+	if n <= 0 || n > maxPoolBucket {
+		return -1
+	}
+	return bits.Len(uint(n - 1))
+}
+
+// NewPooled returns a zeroed rows x cols matrix whose backing array is
+// drawn from the size-bucketed pool (or freshly allocated when the pool
+// is empty or the size is unpoolable). Recycle returns it.
+func NewPooled(rows, cols int) *Dense {
+	n := rows * cols
+	b := bucketFor(n)
+	if b < 0 {
+		return New(rows, cols)
+	}
+	if v := bufPools[b].Get(); v != nil {
+		data := v.([]float64)[:n]
+		for i := range data {
+			data[i] = 0
+		}
+		return &Dense{rows: rows, cols: cols, data: data}
+	}
+	return &Dense{rows: rows, cols: cols, data: make([]float64, n, 1<<b)}
+}
+
+// Recycle returns m's backing array to the pool. The caller must not
+// use m (or any view sharing its storage) afterwards. Matrices whose
+// arrays did not come from NewPooled are accepted too as long as their
+// capacity is an exact bucket size; others are left for the GC.
+func Recycle(m *Dense) {
+	if m == nil {
+		return
+	}
+	c := cap(m.data)
+	if b := bucketFor(c); b >= 0 && c == 1<<b {
+		bufPools[b].Put(m.data[:0:c])
+	}
+	m.data = nil
+	m.rows, m.cols = 0, 0
+}

@@ -1,0 +1,86 @@
+package tensor
+
+import "testing"
+
+func TestNewPooledZeroed(t *testing.T) {
+	m := NewPooled(3, 5)
+	m.Fill(7)
+	Recycle(m)
+	m2 := NewPooled(3, 5)
+	for i, v := range m2.Data() {
+		if v != 0 {
+			t.Fatalf("recycled buffer not zeroed at %d: %v", i, v)
+		}
+	}
+	if m2.Rows() != 3 || m2.Cols() != 5 {
+		t.Fatalf("shape %dx%d, want 3x5", m2.Rows(), m2.Cols())
+	}
+}
+
+func TestRecycleReusesBackingArray(t *testing.T) {
+	// sync.Pool may drop entries under GC pressure, so assert reuse
+	// opportunistically over several attempts rather than once.
+	reused := false
+	for i := 0; i < 10 && !reused; i++ {
+		m := NewPooled(4, 4)
+		p := &m.Data()[0]
+		Recycle(m)
+		m2 := NewPooled(2, 8) // same bucket (16 elements)
+		reused = p == &m2.Data()[0]
+		Recycle(m2)
+	}
+	if !reused {
+		t.Fatal("pooled backing array never reused")
+	}
+}
+
+func TestRecycleClearsMatrix(t *testing.T) {
+	m := NewPooled(2, 2)
+	Recycle(m)
+	if m.Rows() != 0 || m.Cols() != 0 || m.Data() != nil {
+		t.Fatal("Recycle left the matrix usable")
+	}
+	Recycle(nil) // must not panic
+}
+
+func TestBucketFor(t *testing.T) {
+	for _, tc := range []struct{ n, want int }{
+		{0, -1}, {-1, -1}, {1, 0}, {2, 1}, {3, 2}, {4, 2}, {5, 3},
+		{maxPoolBucket, 22}, {maxPoolBucket + 1, -1},
+	} {
+		if got := bucketFor(tc.n); got != tc.want {
+			t.Fatalf("bucketFor(%d) = %d, want %d", tc.n, got, tc.want)
+		}
+	}
+}
+
+func TestNewPooledUnpoolableSize(t *testing.T) {
+	m := NewPooled(1, maxPoolBucket+1)
+	if m.Size() != maxPoolBucket+1 {
+		t.Fatalf("size %d", m.Size())
+	}
+	Recycle(m) // falls through to GC without panicking
+}
+
+func TestRowsView(t *testing.T) {
+	m := New(4, 3)
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 3; j++ {
+			m.Set(i, j, float64(10*i+j))
+		}
+	}
+	v := m.RowsView(2)
+	if v.Rows() != 2 || v.Cols() != 3 {
+		t.Fatalf("view shape %dx%d", v.Rows(), v.Cols())
+	}
+	v.Set(1, 2, -1)
+	if m.At(1, 2) != -1 {
+		t.Fatal("view does not share storage")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("RowsView(5) of 4 rows did not panic")
+		}
+	}()
+	m.RowsView(5)
+}

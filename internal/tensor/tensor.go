@@ -104,6 +104,16 @@ func (m *Dense) Row(i int) []float64 {
 	return m.data[i*m.cols : (i+1)*m.cols]
 }
 
+// RowsView returns the first rows rows of m as a view sharing m's
+// storage; the serving hot path uses it to run a partially filled batch
+// buffer without copying.
+func (m *Dense) RowsView(rows int) *Dense {
+	if rows < 0 || rows > m.rows {
+		panic(fmt.Sprintf("tensor: RowsView %d of %d rows", rows, m.rows))
+	}
+	return &Dense{rows: rows, cols: m.cols, data: m.data[:rows*m.cols]}
+}
+
 // Clone returns a deep copy of m.
 func (m *Dense) Clone() *Dense {
 	c := New(m.rows, m.cols)
@@ -299,6 +309,14 @@ func Scale(a *Dense, s float64) *Dense {
 	return out
 }
 
+// ScaleInto computes out = s*a, overwriting out.
+func ScaleInto(out, a *Dense, s float64) {
+	sameShape("ScaleInto", out, a)
+	for i, v := range a.data {
+		out.data[i] = s * v
+	}
+}
+
 // ScaleInPlace computes a *= s.
 func ScaleInPlace(a *Dense, s float64) {
 	for i := range a.data {
@@ -327,6 +345,22 @@ func AddRowVector(m, v *Dense) *Dense {
 		}
 	}
 	return out
+}
+
+// AddRowVectorInto computes out = m + v broadcast over rows, overwriting
+// out. out may alias m.
+func AddRowVectorInto(out, m, v *Dense) {
+	sameShape("AddRowVectorInto", out, m)
+	if v.rows != 1 || v.cols != m.cols {
+		panic(fmt.Sprintf("tensor: AddRowVectorInto %dx%d + %dx%d", m.rows, m.cols, v.rows, v.cols))
+	}
+	for i := 0; i < m.rows; i++ {
+		src := m.data[i*m.cols : (i+1)*m.cols]
+		dst := out.data[i*out.cols : (i+1)*out.cols]
+		for j, bv := range v.data {
+			dst[j] = src[j] + bv
+		}
+	}
 }
 
 // SumRows returns a 1 x cols row vector holding the column sums of m.
@@ -359,17 +393,36 @@ func Apply(m *Dense, f func(float64) float64) *Dense {
 	return out
 }
 
+// ApplyInto computes out[i] = f(m[i]) elementwise, overwriting out. out
+// may alias m.
+func ApplyInto(out, m *Dense, f func(float64) float64) {
+	sameShape("ApplyInto", out, m)
+	for i, v := range m.data {
+		out.data[i] = f(v)
+	}
+}
+
 // ConcatCols returns [a | b], the column-wise concatenation.
 func ConcatCols(a, b *Dense) *Dense {
 	if a.rows != b.rows {
 		panic(fmt.Sprintf("tensor: ConcatCols %dx%d | %dx%d", a.rows, a.cols, b.rows, b.cols))
 	}
 	out := New(a.rows, a.cols+b.cols)
+	ConcatColsInto(out, a, b)
+	return out
+}
+
+// ConcatColsInto computes out = [a | b], overwriting out. out must not
+// alias a or b.
+func ConcatColsInto(out, a, b *Dense) {
+	if a.rows != b.rows || out.rows != a.rows || out.cols != a.cols+b.cols {
+		panic(fmt.Sprintf("tensor: ConcatColsInto out %dx%d = %dx%d | %dx%d",
+			out.rows, out.cols, a.rows, a.cols, b.rows, b.cols))
+	}
 	for i := 0; i < a.rows; i++ {
 		copy(out.data[i*out.cols:], a.data[i*a.cols:(i+1)*a.cols])
 		copy(out.data[i*out.cols+a.cols:], b.data[i*b.cols:(i+1)*b.cols])
 	}
-	return out
 }
 
 // SliceCols returns a copy of columns [from, to) of m.
@@ -408,6 +461,14 @@ func GatherRows(m *Dense, idx []int) *Dense {
 // directly instead of via a triangular matmul.
 func PrefixSumCols(m *Dense) *Dense {
 	out := New(m.rows, m.cols)
+	PrefixSumColsInto(out, m)
+	return out
+}
+
+// PrefixSumColsInto computes the row-wise cumulative sum into out,
+// overwriting it. out may alias m.
+func PrefixSumColsInto(out, m *Dense) {
+	sameShape("PrefixSumColsInto", out, m)
 	for i := 0; i < m.rows; i++ {
 		var acc float64
 		in := m.data[i*m.cols : (i+1)*m.cols]
@@ -417,7 +478,6 @@ func PrefixSumCols(m *Dense) *Dense {
 			o[j] = acc
 		}
 	}
-	return out
 }
 
 // MaxAbs returns the maximum absolute value in m (0 for empty matrices).
