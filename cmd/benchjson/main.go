@@ -19,6 +19,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 )
@@ -38,8 +39,21 @@ type Result struct {
 	Metrics map[string]float64 `json:"metrics,omitempty"`
 }
 
+// KernelTiming is one per-kernel attribution lifted from a benchmark's
+// custom metrics. The kernel-timing benchmarks report
+// `kernel:<name>:ns/op` and `kernel:<name>:calls/op` via b.ReportMetric;
+// benchjson folds each pair into one entry here instead of leaving the
+// raw metric keys in Result.Metrics.
+type KernelTiming struct {
+	Benchmark  string  `json:"benchmark"`
+	Kernel     string  `json:"kernel"`
+	NsPerOp    float64 `json:"ns_per_op"`
+	CallsPerOp float64 `json:"calls_per_op"`
+}
+
 type document struct {
-	Benchmarks []Result `json:"benchmarks"`
+	Benchmarks    []Result       `json:"benchmarks"`
+	KernelTimings []KernelTiming `json:"kernel_timings,omitempty"`
 }
 
 func main() {
@@ -62,6 +76,7 @@ func main() {
 	if len(doc.Benchmarks) == 0 {
 		fatal("no benchmark lines found on stdin")
 	}
+	doc.KernelTimings = extractKernelTimings(doc.Benchmarks)
 
 	b, err := json.MarshalIndent(doc, "", "  ")
 	if err != nil {
@@ -103,6 +118,53 @@ func main() {
 			os.Exit(1)
 		}
 	}
+}
+
+// extractKernelTimings moves kernel:<name>:{ns,calls}/op metrics out of
+// each result's Metrics map into a flat, sorted kernel-timing table.
+func extractKernelTimings(results []Result) []KernelTiming {
+	var out []KernelTiming
+	for i := range results {
+		r := &results[i]
+		perKernel := make(map[string]*KernelTiming)
+		for unit, v := range r.Metrics {
+			rest, ok := strings.CutPrefix(unit, "kernel:")
+			if !ok {
+				continue
+			}
+			kernel, metric, ok := strings.Cut(rest, ":")
+			if !ok {
+				continue
+			}
+			kt := perKernel[kernel]
+			if kt == nil {
+				kt = &KernelTiming{Benchmark: r.Name, Kernel: kernel}
+				perKernel[kernel] = kt
+			}
+			switch metric {
+			case "ns/op":
+				kt.NsPerOp = v
+			case "calls/op":
+				kt.CallsPerOp = v
+			default:
+				continue
+			}
+			delete(r.Metrics, unit)
+		}
+		if len(r.Metrics) == 0 {
+			r.Metrics = nil
+		}
+		for _, kt := range perKernel {
+			out = append(out, *kt)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Benchmark != out[j].Benchmark {
+			return out[i].Benchmark < out[j].Benchmark
+		}
+		return out[i].Kernel < out[j].Kernel
+	})
+	return out
 }
 
 // parseLine parses one `BenchmarkX-8  N  v unit  v unit ...` line.

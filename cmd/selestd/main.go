@@ -11,6 +11,8 @@
 //	GET  /healthz                   liveness probe
 //	GET  /stats                     server, cache, ingest, per-model counters
 //	GET  /metrics                   Prometheus text exposition
+//	GET  /debug/traces              recent + slowest request spans (see -trace-slow)
+//	GET  /v1/buildinfo              binary version, go version, uptime
 //	GET  /v1/models                 list loaded models
 //	POST /v1/models/{name}          load or hot-swap a model: {"path": "model.gob"}
 //	POST /v1/models/{name}/update   {"insert": [[...]], "delete": [[...]]}
@@ -45,9 +47,10 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"math/rand"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strings"
@@ -55,7 +58,9 @@ import (
 	"time"
 
 	"selnet/internal/distance"
+	"selnet/internal/infer"
 	"selnet/internal/ingest"
+	"selnet/internal/obs"
 	"selnet/internal/selnet"
 	"selnet/internal/serve"
 	"selnet/internal/vecdata"
@@ -85,6 +90,16 @@ type ingestOptions struct {
 	snapshotEvery  int
 	compactBytes   int64
 	syncInterval   time.Duration
+	drift          *obs.DriftMonitor
+}
+
+// obsOptions carries the observability flag values.
+type obsOptions struct {
+	debugAddr    string
+	traceSlow    time.Duration
+	driftQError  float64
+	kernelTiming bool
+	accessLog    bool
 }
 
 func main() {
@@ -108,9 +123,21 @@ func main() {
 	snapshotEvery := flag.Int("snapshot-every", 64, "applied update batches between durable snapshots (with -journal-dir)")
 	compactBytes := flag.Int64("journal-compact-bytes", 4<<20, "WAL size forcing a snapshot+compaction (with -journal-dir)")
 	syncInterval := flag.Duration("journal-sync-interval", 0, "tick-based WAL fsync window: batch records per fsync at the cost of up to this much added ack latency (0 = fsync per group commit)")
+	debugAddr := flag.String("debug-addr", "", "secondary listen address serving net/http/pprof under /debug/pprof/ (empty disables)")
+	traceSlow := flag.Duration("trace-slow", 100*time.Millisecond, "requests at least this slow are retained in the /debug/traces slowest-N list")
+	driftQError := flag.Float64("drift-qerror", 0, "rolling p95 q-error above which an ingest cycle counts as drift_exceeded (0 disables the alarm counter)")
+	kernelTiming := flag.Bool("kernel-timing", true, "accumulate per-kernel plan-execution timings (surfaced in /stats and /metrics)")
+	accessLog := flag.Bool("access-log", false, "log every HTTP request via slog with its trace id")
+	logJSON := flag.Bool("log-json", false, "emit logs as JSON instead of text")
 	flag.Var(&models, "model", "model to serve as name=path (repeatable); bare path serves as \"default\"")
 	flag.Var(&data, "data", "CSV vector database attached to a -model for streaming updates, as name=path.csv (repeatable)")
 	flag.Parse()
+
+	var handler slog.Handler = slog.NewTextHandler(os.Stderr, nil)
+	if *logJSON {
+		handler = slog.NewJSONHandler(os.Stderr, nil)
+	}
+	slog.SetDefault(slog.New(handler))
 
 	dist, err := distance.Parse(*distName)
 	if err != nil {
@@ -131,17 +158,31 @@ func main() {
 		compactBytes:   *compactBytes,
 		syncInterval:   *syncInterval,
 	}
+	oo := obsOptions{
+		debugAddr:    *debugAddr,
+		traceSlow:    *traceSlow,
+		driftQError:  *driftQError,
+		kernelTiming: *kernelTiming,
+		accessLog:    *accessLog,
+	}
 	if err := run(*addr, models, data, serve.Config{
 		Batcher: serve.BatcherConfig{MaxBatch: *maxBatch, FlushInterval: *flush, Lanes: *lanes},
 		Cache:   serve.CacheConfig{Capacity: *cacheSize, Quantum: *quantum},
-	}, opts, *drain); err != nil {
+	}, opts, oo, *drain); err != nil {
 		fmt.Fprintf(os.Stderr, "selestd: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr string, models, data []string, cfg serve.Config, opts ingestOptions, drain time.Duration) error {
+func run(addr string, models, data []string, cfg serve.Config, opts ingestOptions, oo obsOptions, drain time.Duration) error {
 	srv := serve.NewServer(cfg)
+	srv.SetTracer(obs.NewTracer(obs.TracerConfig{SlowThreshold: oo.traceSlow}))
+	opts.drift = obs.NewDriftMonitor(obs.DriftConfig{Threshold: oo.driftQError})
+	srv.SetDrift(opts.drift)
+	infer.SetKernelTiming(oo.kernelTiming)
+	if oo.accessLog {
+		srv.SetAccessLog(slog.Default())
+	}
 	// srv.Close() waits for in-flight batches, which is unbounded if a
 	// handler is stuck; the drain-timeout path below skips it so -drain
 	// really bounds shutdown.
@@ -166,10 +207,11 @@ func run(addr string, models, data []string, cfg serve.Config, opts ingestOption
 			return err
 		}
 		loaded[name] = m
-		log.Printf("loaded %T model %q from %s (dim %d, t_max %.4f)", m, name, path, m.Dim(), m.TMax())
+		slog.Info("model loaded", "name", name, "path", path,
+			"kind", fmt.Sprintf("%T", m), "dim", m.Dim(), "t_max", m.TMax())
 	}
 	if len(models) == 0 {
-		log.Printf("no -model given; load one with POST /v1/models/{name}")
+		slog.Info("no -model given; load one with POST /v1/models/{name}")
 	}
 
 	// Like srv.Close, draining the update journals (shadow retrains
@@ -188,10 +230,30 @@ func run(addr string, models, data []string, cfg serve.Config, opts ingestOption
 		}()
 	}
 
+	// The pprof surface lives on its own listener so profiling never
+	// shares a port (or an operator firewall rule) with the public API.
+	var ds *http.Server
+	if oo.debugAddr != "" {
+		dm := http.NewServeMux()
+		dm.HandleFunc("/debug/pprof/", pprof.Index)
+		dm.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		dm.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		dm.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		dm.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		ds = &http.Server{Addr: oo.debugAddr, Handler: dm}
+		go func() {
+			slog.Info("debug listener (pprof) up", "addr", oo.debugAddr)
+			if err := ds.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				slog.Warn("debug listener failed", "addr", oo.debugAddr, "err", err)
+			}
+		}()
+		defer ds.Close()
+	}
+
 	hs := &http.Server{Addr: addr, Handler: srv.Handler()}
 	errc := make(chan error, 1)
 	go func() {
-		log.Printf("selestd listening on %s", addr)
+		slog.Info("selestd listening", "addr", addr)
 		errc <- hs.ListenAndServe()
 	}()
 
@@ -201,7 +263,7 @@ func run(addr string, models, data []string, cfg serve.Config, opts ingestOption
 	case err := <-errc:
 		return err
 	case sig := <-stop:
-		log.Printf("received %v, draining (timeout %v)...", sig, drain)
+		slog.Info("draining", "signal", sig.String(), "timeout", drain)
 	}
 
 	ctx, cancel := context.WithTimeout(context.Background(), drain)
@@ -213,7 +275,7 @@ func run(addr string, models, data []string, cfg serve.Config, opts ingestOption
 			// would block past the deadline the operator asked for.
 			closeServer = false
 			drainPipeline = false
-			log.Printf("drain timeout exceeded, exiting with requests in flight")
+			slog.Warn("drain timeout exceeded, exiting with requests in flight")
 			return nil
 		}
 		return err
@@ -225,7 +287,7 @@ func run(addr string, models, data []string, cfg serve.Config, opts ingestOption
 	if pipe != nil {
 		pipe.Close()
 	}
-	log.Printf("bye")
+	slog.Info("bye")
 	return nil
 }
 
@@ -251,25 +313,29 @@ func attachIngest(srv *serve.Server, loaded map[string]selnet.Model, data []stri
 		RetrainWorkers: opts.retrainWorkers,
 		Train:          tc,
 		Update:         selnet.UpdateConfig{DeltaU: opts.deltaU, Patience: opts.patience, MaxEpochs: opts.maxEpochs},
+		Drift:          opts.drift,
 		Journal: ingest.JournalConfig{
 			Dir:           opts.journalDir,
 			SnapshotEvery: opts.snapshotEvery,
 			CompactBytes:  opts.compactBytes,
 			SyncInterval:  opts.syncInterval,
 			OnRecover: func(model string, r ingest.Recovery) {
-				log.Printf("journal %q: recovered snapshot seq %d (model restored=%v), replaying %d entries (%d corrupt tail bytes discarded)",
-					model, r.SnapshotSeq, r.RestoredModel, r.Replayed, r.DiscardedBytes)
+				slog.Info("journal recovered", "model", model, "snapshot_seq", r.SnapshotSeq,
+					"model_restored", r.RestoredModel, "replayed", r.Replayed, "discarded_bytes", r.DiscardedBytes)
 			},
 		},
 		OnCycle: func(model string, c ingest.Cycle) {
 			if c.Err != nil {
-				log.Printf("ingest %q: seq %d-%d failed: %v", model, c.FirstSeq, c.LastSeq, c.Err)
+				slog.Warn("ingest cycle failed", "model", model,
+					"first_seq", c.FirstSeq, "last_seq", c.LastSeq, "err", c.Err)
 				return
 			}
-			log.Printf("ingest %q: seq %d-%d (+%d/-%d vecs) retrained=%v epochs=%d mae %.3f->%.3f gen=%d (%v)",
-				model, c.FirstSeq, c.LastSeq, c.Inserted, c.Deleted,
-				c.Result.Retrained, c.Result.EpochsRun, c.Result.MAEBefore, c.Result.MAEAfter,
-				c.Generation, c.Duration.Round(time.Millisecond))
+			slog.Info("ingest cycle", "model", model,
+				"first_seq", c.FirstSeq, "last_seq", c.LastSeq,
+				"inserted", c.Inserted, "deleted", c.Deleted,
+				"retrained", c.Result.Retrained, "epochs", c.Result.EpochsRun,
+				"mae_before", c.Result.MAEBefore, "mae_after", c.Result.MAEAfter,
+				"generation", c.Generation, "duration", c.Duration.Round(time.Millisecond))
 		},
 	})
 	attached := map[string]bool{}
@@ -303,8 +369,8 @@ func attachIngest(srv *serve.Server, loaded map[string]selnet.Model, data []stri
 			return nil, err
 		}
 		attached[name] = true
-		log.Printf("attached %q for streaming updates (%d vectors, %d delta_U queries, queue %d, durable=%v)",
-			name, db.Size(), len(wl.Queries), opts.queueDepth, opts.journalDir != "")
+		slog.Info("attached for streaming updates", "model", name, "vectors", db.Size(),
+			"delta_u_queries", len(wl.Queries), "queue", opts.queueDepth, "durable", opts.journalDir != "")
 	}
 	if opts.journalDir != "" {
 		warnOrphanJournals(opts.journalDir, attached)
@@ -319,13 +385,13 @@ func attachIngest(srv *serve.Server, loaded map[string]selnet.Model, data []stri
 func warnOrphanJournals(dir string, attached map[string]bool) {
 	infos, err := ingest.ScanJournalDir(dir)
 	if err != nil {
-		log.Printf("journal scan %s: %v", dir, err)
+		slog.Warn("journal scan failed", "dir", dir, "err", err)
 		return
 	}
 	for _, info := range infos {
 		if !attached[info.Model] {
-			log.Printf("journal %s holds %d entries for model %q, which is not attached (-model/-data missing?); they will not replay",
-				info.Path, info.Entries, info.Model)
+			slog.Warn("orphan journal will not replay (-model/-data missing?)",
+				"path", info.Path, "entries", info.Entries, "model", info.Model)
 		}
 	}
 }

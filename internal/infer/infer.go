@@ -25,6 +25,10 @@ import (
 type Step struct {
 	Name string
 	Run  func()
+
+	// kid is the interned kernel-timing slot for Name (-1 when the
+	// kernel table overflowed); assigned by Program.Add.
+	kid int
 }
 
 // Program is a replayable forward pass: the ordered kernels of one
@@ -38,16 +42,25 @@ type Program struct {
 // NewProgram returns an empty program for a recording tape to fill.
 func NewProgram() *Program { return &Program{} }
 
-// Add appends one kernel.
+// Add appends one kernel. The name is interned into the kernel-timing
+// table at record time so the execute path never touches the intern
+// map.
 func (p *Program) Add(name string, run func()) {
-	p.steps = append(p.steps, Step{Name: name, Run: run})
+	p.steps = append(p.steps, Step{Name: name, Run: run, kid: internKernel(name)})
 }
 
 // Len returns the number of recorded kernels.
 func (p *Program) Len() int { return len(p.steps) }
 
-// Run replays every kernel in record order.
+// Run replays every kernel in record order. When kernel timing is
+// enabled the replay also attributes wall time to each kernel's global
+// counters; disabled (the default), the only overhead versus a plain
+// loop is one atomic load per Run.
 func (p *Program) Run() {
+	if timingOn.Load() {
+		p.runTimed()
+		return
+	}
 	for i := range p.steps {
 		p.steps[i].Run()
 	}

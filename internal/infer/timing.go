@@ -1,0 +1,111 @@
+package infer
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Per-kernel timing: every recorded kernel name is interned into a
+// fixed table of atomic call/nanosecond counters at Program.Add time,
+// so the execute path does array-indexed atomic adds only — no map
+// lookups, no allocation, nothing the race detector or a profiler
+// would flag on the hot path. Timing is process-global and off by
+// default; the serving daemon enables it with -kernel-timing and the
+// kernel benchmark enables it explicitly. With timing off, Program.Run
+// pays a single atomic load.
+
+// maxKernels bounds the intern table. The forward op vocabulary is
+// ~18 names; overflow kernels run untimed (kid -1) rather than grow
+// the fixed atomic arrays.
+const maxKernels = 64
+
+var (
+	timingOn atomic.Bool
+
+	kernelMu    sync.Mutex
+	kernelIDs   = make(map[string]int)
+	kernelNames []string
+
+	kernelCalls [maxKernels]atomic.Uint64
+	kernelNanos [maxKernels]atomic.Uint64
+)
+
+// SetKernelTiming toggles per-kernel timing for all plan execution in
+// the process.
+func SetKernelTiming(on bool) { timingOn.Store(on) }
+
+// KernelTimingEnabled reports whether plan execution is being timed.
+func KernelTimingEnabled() bool { return timingOn.Load() }
+
+// internKernel maps a kernel name to its counter slot, assigning one on
+// first sight. Called at record (compile) time only.
+func internKernel(name string) int {
+	kernelMu.Lock()
+	defer kernelMu.Unlock()
+	if id, ok := kernelIDs[name]; ok {
+		return id
+	}
+	if len(kernelNames) >= maxKernels {
+		return -1
+	}
+	id := len(kernelNames)
+	kernelIDs[name] = id
+	kernelNames = append(kernelNames, name)
+	return id
+}
+
+// runTimed is Run's timed twin: one clock read per step, with the gap
+// attributed to the step's kernel slot.
+func (p *Program) runTimed() {
+	prev := time.Now()
+	for i := range p.steps {
+		st := &p.steps[i]
+		st.Run()
+		now := time.Now()
+		if st.kid >= 0 {
+			kernelNanos[st.kid].Add(uint64(now.Sub(prev)))
+			kernelCalls[st.kid].Add(1)
+		}
+		prev = now
+	}
+}
+
+// KernelStat is one kernel's accumulated execution totals.
+type KernelStat struct {
+	Kernel string `json:"kernel"`
+	Calls  uint64 `json:"calls"`
+	Nanos  uint64 `json:"nanos"`
+}
+
+// KernelStats snapshots the per-kernel counters, sorted by kernel
+// name. Kernels that have been interned but never timed (timing off,
+// or not yet executed) report zero calls.
+func KernelStats() []KernelStat {
+	kernelMu.Lock()
+	names := append([]string(nil), kernelNames...)
+	kernelMu.Unlock()
+	out := make([]KernelStat, len(names))
+	for id, name := range names {
+		out[id] = KernelStat{
+			Kernel: name,
+			Calls:  kernelCalls[id].Load(),
+			Nanos:  kernelNanos[id].Load(),
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Kernel < out[j].Kernel })
+	return out
+}
+
+// ResetKernelStats zeroes the counters (names stay interned). Intended
+// for benchmarks that attribute a measured loop.
+func ResetKernelStats() {
+	kernelMu.Lock()
+	n := len(kernelNames)
+	kernelMu.Unlock()
+	for i := 0; i < n; i++ {
+		kernelCalls[i].Store(0)
+		kernelNanos[i].Store(0)
+	}
+}

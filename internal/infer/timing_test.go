@@ -1,0 +1,75 @@
+package infer
+
+import (
+	"testing"
+	"time"
+)
+
+func TestKernelTimingAccumulates(t *testing.T) {
+	prog := NewProgram()
+	var ran int
+	prog.Add("ttest_spin", func() {
+		ran++
+		for start := time.Now(); time.Since(start) < 50*time.Microsecond; {
+		}
+	})
+	prog.Add("ttest_noop", func() { ran++ })
+
+	// Timing off: counters stay untouched.
+	SetKernelTiming(false)
+	ResetKernelStats()
+	prog.Run()
+	if ran != 2 {
+		t.Fatalf("ran %d steps, want 2", ran)
+	}
+	if c := statFor(t, "ttest_spin").Calls; c != 0 {
+		t.Fatalf("calls %d with timing off, want 0", c)
+	}
+
+	// Timing on: both kernels are counted, and the spin kernel carries
+	// the bulk of the attributed time.
+	SetKernelTiming(true)
+	defer SetKernelTiming(false)
+	for i := 0; i < 3; i++ {
+		prog.Run()
+	}
+	spin, noop := statFor(t, "ttest_spin"), statFor(t, "ttest_noop")
+	if spin.Calls != 3 || noop.Calls != 3 {
+		t.Fatalf("calls spin=%d noop=%d, want 3 each", spin.Calls, noop.Calls)
+	}
+	if spin.Nanos < uint64(3*40*time.Microsecond) {
+		t.Fatalf("spin nanos %d, want at least ~120µs", spin.Nanos)
+	}
+	if noop.Nanos >= spin.Nanos {
+		t.Fatalf("noop nanos %d not below spin nanos %d", noop.Nanos, spin.Nanos)
+	}
+
+	ResetKernelStats()
+	if s := statFor(t, "ttest_spin"); s.Calls != 0 || s.Nanos != 0 {
+		t.Fatalf("stats after reset: %+v", s)
+	}
+}
+
+func TestKernelTimingInternsOnce(t *testing.T) {
+	a := internKernel("ttest_shared")
+	b := internKernel("ttest_shared")
+	if a != b {
+		t.Fatalf("interned ids differ: %d vs %d", a, b)
+	}
+	if a < 0 {
+		t.Fatalf("unexpected overflow id %d", a)
+	}
+}
+
+// statFor finds one kernel's snapshot by name; the counter table is
+// process-global, so tests use ttest_-prefixed names.
+func statFor(t *testing.T, name string) KernelStat {
+	t.Helper()
+	for _, s := range KernelStats() {
+		if s.Kernel == name {
+			return s
+		}
+	}
+	t.Fatalf("kernel %q not interned", name)
+	return KernelStat{}
+}

@@ -33,6 +33,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"selnet/internal/obs"
 	"selnet/internal/selnet"
 	"selnet/internal/serve"
 	"selnet/internal/vecdata"
@@ -84,6 +85,15 @@ type Config struct {
 	// δ_U check. Tests use it to freeze the pipeline at the point where
 	// serving must still be answering from the old model.
 	BeforeRetrain func(model string)
+	// Drift, if set, receives an online accuracy audit after every
+	// cycle: a holdout of the model's freshly relabelled validation
+	// queries is scored against the *serving* estimator — the answers
+	// clients are getting right now versus current ground truth — and
+	// fed into the monitor's rolling q-error window. Runs on the
+	// model's worker goroutine, off the serving path.
+	Drift *obs.DriftMonitor
+	// DriftSample caps the holdout queries scored per cycle (default 32).
+	DriftSample int
 	// Journal configures the durable write-ahead log; the zero value
 	// keeps the journal in memory only (the pre-WAL behavior).
 	Journal JournalConfig
@@ -154,6 +164,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.RetrainWorkers <= 0 {
 		c.RetrainWorkers = 1
+	}
+	if c.DriftSample <= 0 {
+		c.DriftSample = 32
 	}
 	c.Journal = c.Journal.withDefaults()
 	return c
@@ -234,6 +247,9 @@ type modelPipeline struct {
 	// and is worker-owned.
 	wal       *WAL
 	sinceSnap int
+	// driftOff rotates the drift holdout through the validation set so
+	// consecutive cycles score different queries (worker-owned).
+	driftOff int
 
 	statsMu sync.Mutex
 	stats   serve.UpdaterStats
@@ -548,6 +564,7 @@ func (p *Pipeline) worker(mp *modelPipeline) {
 		c := p.cycle(mp, entries)
 		mp.j.markApplied(c.LastSeq, c.Batches)
 		p.maybeSnapshot(mp, c)
+		p.scoreDrift(mp, c)
 		if p.cfg.OnCycle != nil {
 			p.cfg.OnCycle(mp.name, c)
 		}
@@ -588,6 +605,35 @@ func (p *Pipeline) maybeSnapshot(mp *modelPipeline, c Cycle) {
 		snap: modelSnapshot{appliedSeq: c.LastSeq, db: mp.db.Clone(), model: model},
 	}
 	mp.sinceSnap = 0
+}
+
+// scoreDrift audits the serving model after a cycle: it estimates a
+// rotating holdout of mp.valid — whose labels the cycle's HandleUpdate
+// just recomputed against the updated database — with the estimator the
+// registry is actually serving (not the fresh shadow), and feeds the
+// q-errors to the drift monitor. A cycle whose retrain was skipped by
+// δ_U but whose data moved shows up here as a rising quantile.
+func (p *Pipeline) scoreDrift(mp *modelPipeline, c Cycle) {
+	if p.cfg.Drift == nil || c.Err != nil || len(mp.valid) == 0 {
+		return
+	}
+	est := serve.Estimator(mp.cur)
+	if m, ok := p.cfg.Registry.Get(mp.name); ok {
+		est = m.Est
+	}
+	n := p.cfg.DriftSample
+	if n > len(mp.valid) {
+		n = len(mp.valid)
+	}
+	pred := make([]float64, n)
+	label := make([]float64, n)
+	for i := 0; i < n; i++ {
+		q := mp.valid[(mp.driftOff+i)%len(mp.valid)]
+		pred[i] = est.Estimate(q.X, q.T)
+		label[i] = q.Y
+	}
+	mp.driftOff = (mp.driftOff + n) % len(mp.valid)
+	p.cfg.Drift.Observe(mp.name, pred, label)
 }
 
 // snapshotter serializes snapshot writes and WAL compactions for every

@@ -1,0 +1,70 @@
+package metrics
+
+import (
+	"math"
+	"sort"
+)
+
+// QError returns the q-error of one estimate: max(pred/label,
+// label/pred) after flooring both sides at eps. The floor is the
+// paper's convention for selectivity/cardinality error — it keeps the
+// ratio finite for empty results and stops near-zero labels from
+// exploding the metric. A perfect estimate scores 1; eps <= 0 is
+// treated as the conventional floor of 1.
+func QError(pred, label, eps float64) float64 {
+	if eps <= 0 {
+		eps = 1
+	}
+	p := math.Max(pred, eps)
+	l := math.Max(label, eps)
+	return math.Max(p/l, l/p)
+}
+
+// QErrors maps QError over parallel prediction and label slices
+// (panics if the lengths differ, like the other slice metrics here).
+func QErrors(pred, label []float64, eps float64) []float64 {
+	if len(pred) != len(label) {
+		panic("metrics: QErrors length mismatch")
+	}
+	out := make([]float64, len(pred))
+	for i := range pred {
+		out[i] = QError(pred[i], label[i], eps)
+	}
+	return out
+}
+
+// Quantile returns the q-quantile (0 <= q <= 1) of an ascending-sorted
+// slice, linearly interpolating between ranks. Returns NaN for an
+// empty slice.
+func Quantile(sorted []float64, q float64) float64 {
+	n := len(sorted)
+	if n == 0 {
+		return math.NaN()
+	}
+	if q <= 0 {
+		return sorted[0]
+	}
+	if q >= 1 {
+		return sorted[n-1]
+	}
+	pos := q * float64(n-1)
+	lo := int(pos)
+	frac := pos - float64(lo)
+	if lo+1 >= n {
+		return sorted[n-1]
+	}
+	return sorted[lo] + frac*(sorted[lo+1]-sorted[lo])
+}
+
+// Quantiles sorts a copy of xs and returns the requested quantiles in
+// order. One sort serves all requested quantiles.
+func Quantiles(xs []float64, qs ...float64) []float64 {
+	sorted := make([]float64, len(xs))
+	copy(sorted, xs)
+	sort.Float64s(sorted)
+	out := make([]float64, len(qs))
+	for i, q := range qs {
+		out[i] = Quantile(sorted, q)
+	}
+	return out
+}

@@ -1,0 +1,70 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+)
+
+func TestQError(t *testing.T) {
+	cases := []struct {
+		pred, label, eps, want float64
+	}{
+		{10, 10, 1, 1},      // perfect
+		{20, 10, 1, 2},      // overestimate
+		{10, 20, 1, 2},      // underestimate (symmetric)
+		{0, 10, 1, 10},      // zero prediction floored to eps
+		{10, 0, 1, 10},      // empty result floored to eps
+		{0, 0, 1, 1},        // both floored: perfect
+		{0.5, 0.1, 0.01, 5}, // sub-one selectivities with a smaller floor
+		{-3, 10, 1, 10},     // negative prediction floored
+		{5, 5, 0, 1},        // eps <= 0 falls back to the conventional floor of 1
+		{0.5, 0.25, 0, 1},   // ...so sub-one values both floor to 1
+	}
+	for _, c := range cases {
+		if got := QError(c.pred, c.label, c.eps); math.Abs(got-c.want) > 1e-12 {
+			t.Fatalf("QError(%v, %v, %v) = %v, want %v", c.pred, c.label, c.eps, got, c.want)
+		}
+	}
+}
+
+func TestQErrors(t *testing.T) {
+	got := QErrors([]float64{10, 5}, []float64{5, 10}, 1)
+	if len(got) != 2 || got[0] != 2 || got[1] != 2 {
+		t.Fatalf("QErrors = %v", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on length mismatch")
+		}
+	}()
+	QErrors([]float64{1}, []float64{1, 2}, 1)
+}
+
+func TestQuantile(t *testing.T) {
+	sorted := []float64{1, 2, 3, 4, 5}
+	cases := []struct{ q, want float64 }{
+		{0, 1}, {1, 5}, {0.5, 3}, {0.25, 2}, {0.95, 4.8}, {-1, 1}, {2, 5},
+	}
+	for _, c := range cases {
+		if got := Quantile(sorted, c.q); math.Abs(got-c.want) > 1e-12 {
+			t.Fatalf("Quantile(%v) = %v, want %v", c.q, got, c.want)
+		}
+	}
+	if got := Quantile([]float64{7}, 0.5); got != 7 {
+		t.Fatalf("single element: %v", got)
+	}
+	if got := Quantile(nil, 0.5); !math.IsNaN(got) {
+		t.Fatalf("empty: %v, want NaN", got)
+	}
+}
+
+func TestQuantilesSortsACopy(t *testing.T) {
+	xs := []float64{5, 1, 3}
+	got := Quantiles(xs, 0, 0.5, 1)
+	if got[0] != 1 || got[1] != 3 || got[2] != 5 {
+		t.Fatalf("Quantiles = %v", got)
+	}
+	if xs[0] != 5 || xs[1] != 1 || xs[2] != 3 {
+		t.Fatalf("input mutated: %v", xs)
+	}
+}

@@ -1,0 +1,51 @@
+package obs
+
+import (
+	"runtime"
+	"runtime/debug"
+	"time"
+)
+
+// BuildInfo is the payload of GET /v1/buildinfo and the "build" section
+// of /stats: enough to tell which binary is serving and for how long.
+type BuildInfo struct {
+	Version       string  `json:"version"`
+	GoVersion     string  `json:"go_version"`
+	VCSRevision   string  `json:"vcs_revision,omitempty"`
+	VCSTime       string  `json:"vcs_time,omitempty"`
+	VCSModified   bool    `json:"vcs_modified,omitempty"`
+	GOMAXPROCS    int     `json:"gomaxprocs"`
+	UptimeSeconds float64 `json:"uptime_seconds"`
+}
+
+// ReadBuildInfo assembles build metadata from the binary's embedded
+// module info; started anchors the uptime.
+func ReadBuildInfo(started time.Time) BuildInfo {
+	b := BuildInfo{
+		Version:       "(devel)",
+		GoVersion:     runtime.Version(),
+		GOMAXPROCS:    runtime.GOMAXPROCS(0),
+		UptimeSeconds: time.Since(started).Seconds(),
+	}
+	info, ok := debug.ReadBuildInfo()
+	if !ok {
+		return b
+	}
+	if v := info.Main.Version; v != "" {
+		b.Version = v
+	}
+	if info.GoVersion != "" {
+		b.GoVersion = info.GoVersion
+	}
+	for _, s := range info.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			b.VCSRevision = s.Value
+		case "vcs.time":
+			b.VCSTime = s.Value
+		case "vcs.modified":
+			b.VCSModified = s.Value == "true"
+		}
+	}
+	return b
+}

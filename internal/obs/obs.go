@@ -1,0 +1,52 @@
+// Package obs is the observability layer of the serving stack: request
+// tracing with per-stage latency attribution, a lock-free recent/slowest
+// span store behind GET /debug/traces, rolling q-error drift monitoring
+// for streaming updates, Prometheus exposition building blocks (the
+// Histogram and PromWriter used by internal/serve), and build
+// information for GET /v1/buildinfo.
+//
+// The package sits below internal/serve and internal/ingest: both wire
+// obs types through their hot paths, and the HTTP server renders the
+// collected state as /debug/traces, /metrics, and /stats sections. obs
+// itself depends only on the stdlib and internal/metrics (for the
+// paper's q-error), so every subsystem can use it without cycles.
+//
+// Everything here is built for hot paths: span records are plain value
+// structs kept in a fixed ring of seqlock-guarded slots (writers and
+// readers claim a slot with one CAS and never block each other — a
+// contended sample is dropped, not waited for), histograms are arrays
+// of atomic counters, and the drift monitor does its sorting on the
+// ingest worker's goroutine, never on the serving path.
+package obs
+
+import (
+	"context"
+	"fmt"
+	"sync/atomic"
+)
+
+// traceIDs hands out process-unique span identifiers; 0 is reserved as
+// "no trace" so an empty ring slot is distinguishable from a recorded
+// span.
+var traceIDs atomic.Uint64
+
+// NextTraceID returns a new nonzero trace identifier.
+func NextTraceID() uint64 { return traceIDs.Add(1) }
+
+// FormatTraceID renders an identifier the way it appears in the
+// X-Trace-Id response header, /debug/traces, and request logs.
+func FormatTraceID(id uint64) string { return fmt.Sprintf("%016x", id) }
+
+type traceIDKey struct{}
+
+// WithTraceID attaches a trace identifier to ctx (the serving
+// middleware does this once per request, before the handler runs).
+func WithTraceID(ctx context.Context, id uint64) context.Context {
+	return context.WithValue(ctx, traceIDKey{}, id)
+}
+
+// TraceIDFrom returns the trace identifier attached to ctx, if any.
+func TraceIDFrom(ctx context.Context) (uint64, bool) {
+	id, ok := ctx.Value(traceIDKey{}).(uint64)
+	return id, ok
+}

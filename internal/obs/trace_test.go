@@ -1,0 +1,177 @@
+package obs
+
+import (
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func span(id uint64, total time.Duration) Span {
+	sp := Span{TraceID: id, Route: "/v1/estimate", Model: "m", Start: time.Now(), Total: total, Status: 200}
+	for i := Stage(0); i < NumStages; i++ {
+		sp.Stages[i] = time.Duration(i+1) * time.Microsecond
+	}
+	return sp
+}
+
+func TestTracerRecordAndRecent(t *testing.T) {
+	tr := NewTracer(TracerConfig{Capacity: 8, SlowThreshold: time.Hour})
+	for i := uint64(1); i <= 20; i++ {
+		tr.Record(span(i, time.Duration(i)*time.Millisecond))
+	}
+	st := tr.Stats()
+	if st.Recorded != 20 || st.Dropped != 0 {
+		t.Fatalf("stats %+v", st)
+	}
+	recent := tr.Recent(0)
+	if len(recent) != 8 {
+		t.Fatalf("recent returned %d spans, want 8 (ring capacity)", len(recent))
+	}
+	// Newest first: the ring holds 13..20.
+	if recent[0].TraceID != 20 || recent[len(recent)-1].TraceID != 13 {
+		t.Fatalf("recent order: first %d last %d", recent[0].TraceID, recent[len(recent)-1].TraceID)
+	}
+	if got := tr.Recent(3); len(got) != 3 || got[0].TraceID != 20 {
+		t.Fatalf("limited recent: %+v", got)
+	}
+}
+
+func TestTracerSlowList(t *testing.T) {
+	tr := NewTracer(TracerConfig{Capacity: 4, SlowThreshold: 10 * time.Millisecond, SlowCapacity: 2})
+	tr.Record(span(1, time.Millisecond))    // below threshold
+	tr.Record(span(2, 20*time.Millisecond)) // retained
+	tr.Record(span(3, 50*time.Millisecond)) // retained
+	tr.Record(span(4, 30*time.Millisecond)) // evicts the 20ms span
+	tr.Record(span(5, 10*time.Millisecond)) // at threshold but slower spans win
+	slow := tr.Slow()
+	if len(slow) != 2 {
+		t.Fatalf("slow retained %d, want 2", len(slow))
+	}
+	if slow[0].TraceID != 3 || slow[1].TraceID != 4 {
+		t.Fatalf("slow order: %d, %d", slow[0].TraceID, slow[1].TraceID)
+	}
+	if st := tr.Stats(); st.SlowRetained != 2 || st.SlowThresholdSeconds != 0.01 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+func TestTracerStageHistograms(t *testing.T) {
+	tr := NewTracer(TracerConfig{Capacity: 4})
+	sp := Span{TraceID: 1, Total: time.Millisecond}
+	sp.Stages[StageExecute] = 20 * time.Microsecond
+	// Other stages zero: they must not be observed.
+	tr.Record(sp)
+	if s := tr.StageSnapshot(StageExecute); s.Count != 1 {
+		t.Fatalf("execute histogram count %d, want 1", s.Count)
+	}
+	if s := tr.StageSnapshot(StageQueue); s.Count != 0 {
+		t.Fatalf("queue histogram count %d, want 0 (zero stages skipped)", s.Count)
+	}
+}
+
+// TestTracerConcurrent exercises the seqlock ring from concurrent
+// writers and readers; run under -race in CI.
+func TestTracerConcurrent(t *testing.T) {
+	tr := NewTracer(TracerConfig{Capacity: 16, SlowThreshold: time.Hour})
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(base uint64) {
+			defer wg.Done()
+			for i := uint64(1); i <= 500; i++ {
+				tr.Record(span(base*1000+i, time.Millisecond))
+			}
+		}(uint64(g + 1))
+	}
+	for g := 0; g < 2; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+					for _, sp := range tr.Recent(16) {
+						if sp.TraceID == 0 {
+							t.Error("torn read: zero trace id")
+							return
+						}
+					}
+				}
+			}
+		}()
+	}
+	// Writers finish first, then readers are stopped.
+	done := make(chan struct{})
+	go func() {
+		wg.Wait()
+		close(done)
+	}()
+	time.Sleep(20 * time.Millisecond)
+	close(stop)
+	<-done
+	st := tr.Stats()
+	if st.Recorded+st.Dropped != 2000 {
+		t.Fatalf("recorded %d + dropped %d != 2000", st.Recorded, st.Dropped)
+	}
+}
+
+func TestSpanJSONCarriesAllStages(t *testing.T) {
+	raw, err := json.Marshal(span(7, time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m map[string]any
+	if err := json.Unmarshal(raw, &m); err != nil {
+		t.Fatal(err)
+	}
+	if m["trace_id"] != FormatTraceID(7) {
+		t.Fatalf("trace_id %v", m["trace_id"])
+	}
+	stages, ok := m["stages_ns"].(map[string]any)
+	if !ok {
+		t.Fatalf("stages_ns missing: %s", raw)
+	}
+	for _, name := range []string{"decode", "cache", "queue", "fuse", "execute", "encode"} {
+		if _, ok := stages[name]; !ok {
+			t.Fatalf("stage %q missing in %s", name, raw)
+		}
+	}
+}
+
+func TestTracerWriteMetrics(t *testing.T) {
+	tr := NewTracer(TracerConfig{Capacity: 4})
+	tr.Record(span(1, time.Millisecond))
+	var b strings.Builder
+	tr.WriteMetrics(NewPromWriter(&b))
+	out := b.String()
+	for _, want := range []string{
+		"selestd_trace_spans_total 1",
+		`selestd_stage_duration_seconds_bucket{stage="execute"`,
+		`selestd_stage_duration_seconds_count{stage="encode"} 1`,
+		"selestd_request_duration_seconds_count 1",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("metrics missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestTraceIDContext(t *testing.T) {
+	id := NextTraceID()
+	if id == 0 {
+		t.Fatal("zero trace id")
+	}
+	ctx := WithTraceID(t.Context(), id)
+	got, ok := TraceIDFrom(ctx)
+	if !ok || got != id {
+		t.Fatalf("got %d ok=%v, want %d", got, ok, id)
+	}
+	if _, ok := TraceIDFrom(t.Context()); ok {
+		t.Fatal("unexpected trace id on fresh context")
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"testing"
 
 	"selnet/internal/autodiff"
+	"selnet/internal/infer"
 	"selnet/internal/tensor"
 )
 
@@ -280,6 +281,37 @@ func BenchmarkNetEstimatePlan(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		n.Estimate(q, 0.5)
+	}
+}
+
+// BenchmarkNetEstimatePlanKernels runs the single-query plan path with
+// per-kernel timing enabled and reports each kernel's attributed time
+// and call count as custom metrics (kernel:<name>:ns/op,
+// kernel:<name>:calls/op) that benchjson folds into the kernel_timings
+// section of BENCH_infer.json. Also guards that the timed path itself
+// stays allocation-free.
+func BenchmarkNetEstimatePlanKernels(b *testing.B) {
+	n := benchPlanNet()
+	q := make([]float64, 16)
+	for i := range q {
+		q[i] = rand.New(rand.NewSource(2)).Float64()
+	}
+	n.Estimate(q, 0.5) // compile
+	infer.SetKernelTiming(true)
+	defer infer.SetKernelTiming(false)
+	infer.ResetKernelStats() // per-trial: the fn is re-invoked for each b.N
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n.Estimate(q, 0.5)
+	}
+	b.StopTimer()
+	for _, k := range infer.KernelStats() {
+		if k.Calls == 0 {
+			continue
+		}
+		b.ReportMetric(float64(k.Nanos)/float64(b.N), "kernel:"+k.Kernel+":ns/op")
+		b.ReportMetric(float64(k.Calls)/float64(b.N), "kernel:"+k.Kernel+":calls/op")
 	}
 }
 

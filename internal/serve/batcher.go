@@ -146,12 +146,31 @@ type lane struct {
 type batchReq struct {
 	x   []float64
 	t   float64
+	enq time.Time // Submit handoff time
+	deq time.Time // lane worker pickup time
 	out chan batchRes
 }
 
 type batchRes struct {
-	v   float64
-	err error
+	v      float64
+	err    error
+	timing BatchTiming
+}
+
+// BatchTiming attributes one submitted request's time inside the
+// coalescer, measured by the lane worker itself so the serving layer
+// can trace a request without instrumenting lane internals.
+type BatchTiming struct {
+	// Queue is the wait between Submit's channel handoff and the lane
+	// worker dequeuing the request.
+	Queue time.Duration
+	// Fuse is the gather time: from this request's dequeue until the
+	// fused batch launches (lane-mates arriving, rows copied in).
+	Fuse time.Duration
+	// Execute is the fused inference call (shared by the whole batch).
+	Execute time.Duration
+	// BatchSize is how many requests shared the fused batch.
+	BatchSize int
 }
 
 // NewBatcher starts the coalescer's lane pool for est.
@@ -185,16 +204,23 @@ func NewBatcher(est Estimator, cfg BatcherConfig) *Batcher {
 // Submit queues one (query, threshold) estimate and blocks until its
 // batch runs or ctx is done. It is safe for concurrent use.
 func (b *Batcher) Submit(ctx context.Context, x []float64, t float64) (float64, error) {
+	v, _, err := b.SubmitTimed(ctx, x, t)
+	return v, err
+}
+
+// SubmitTimed is Submit plus the request's coalescer timing breakdown
+// (zero on error paths that never reached a lane worker).
+func (b *Batcher) SubmitTimed(ctx context.Context, x []float64, t float64) (float64, BatchTiming, error) {
 	if len(x) != b.dim {
 		// The lanes copy into fixed dim-wide buffers, so a mismatched
 		// query must be rejected here rather than silently truncated or
 		// padded with a previous batch's values.
-		return 0, fmt.Errorf("serve: query has dim %d, model expects %d", len(x), b.dim)
+		return 0, BatchTiming{}, fmt.Errorf("serve: query has dim %d, model expects %d", len(x), b.dim)
 	}
 	b.mu.Lock()
 	if b.closed {
 		b.mu.Unlock()
-		return 0, ErrBatcherClosed
+		return 0, BatchTiming{}, ErrBatcherClosed
 	}
 	b.inflight.Add(1)
 	b.mu.Unlock()
@@ -202,19 +228,19 @@ func (b *Batcher) Submit(ctx context.Context, x []float64, t float64) (float64, 
 
 	b.requests.Add(1)
 	l := b.pickLane()
-	r := batchReq{x: x, t: t, out: make(chan batchRes, 1)}
+	r := batchReq{x: x, t: t, enq: time.Now(), out: make(chan batchRes, 1)}
 	select {
 	case l.reqs <- r:
 	case <-ctx.Done():
-		return 0, ctx.Err()
+		return 0, BatchTiming{}, ctx.Err()
 	}
 	// The lane worker always answers (even on panic), so waiting only on
 	// ctx alongside the reply never leaks the request.
 	select {
 	case res := <-r.out:
-		return res.v, res.err
+		return res.v, res.timing, res.err
 	case <-ctx.Done():
-		return 0, ctx.Err()
+		return 0, BatchTiming{}, ctx.Err()
 	}
 }
 
@@ -304,6 +330,7 @@ func (b *Batcher) worker(l *lane) {
 		<-timer.C
 	}
 	for first := range l.reqs {
+		first.deq = time.Now()
 		batch := append(l.buf[:0], first)
 		timer.Reset(b.cfg.FlushInterval)
 	gather:
@@ -315,6 +342,7 @@ func (b *Batcher) worker(l *lane) {
 				if !ok {
 					break gather
 				}
+				r.deq = time.Now()
 				batch = append(batch, r)
 				continue
 			default:
@@ -333,6 +361,7 @@ func (b *Batcher) worker(l *lane) {
 				if !ok {
 					break gather
 				}
+				r.deq = time.Now()
 				batch = append(batch, r)
 			case <-timer.C:
 				l.waiting.Store(0)
@@ -376,12 +405,19 @@ func (b *Batcher) run(l *lane, batch []batchReq) {
 		ts[i] = r.t
 	}
 	out := l.out[:n]
+	execStart := time.Now()
 	if b.into != nil {
 		b.into.EstimateBatchInto(out, x, ts)
 	} else {
 		out = b.est.EstimateBatch(x, ts)
 	}
+	exec := time.Since(execStart)
 	for i, r := range batch {
-		r.out <- batchRes{v: out[i]}
+		r.out <- batchRes{v: out[i], timing: BatchTiming{
+			Queue:     r.deq.Sub(r.enq),
+			Fuse:      execStart.Sub(r.deq),
+			Execute:   exec,
+			BatchSize: n,
+		}}
 	}
 }

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"sort"
 	"strconv"
@@ -11,6 +12,7 @@ import (
 	"time"
 
 	"selnet/internal/infer"
+	"selnet/internal/obs"
 	"selnet/internal/selnet"
 	"selnet/internal/tensor"
 )
@@ -35,6 +37,9 @@ type Server struct {
 	cache    *Cache
 	updater  Updater
 	started  time.Time
+	tracer   *obs.Tracer
+	drift    *obs.DriftMonitor
+	logger   *slog.Logger
 
 	requests atomic.Uint64 // HTTP requests accepted
 	errors   atomic.Uint64 // requests answered 4xx/5xx
@@ -69,6 +74,26 @@ func (s *Server) Registry() *Registry { return s.registry }
 // without one, update requests are answered 409.
 func (s *Server) SetUpdater(u Updater) { s.updater = u }
 
+// SetTracer attaches the request tracer: spans are captured through
+// the estimate path, served at GET /debug/traces, and exported as
+// per-stage histograms in /metrics. Call before Handler sees traffic;
+// without one, tracing is compiled out of the request path (a single
+// nil check per handler).
+func (s *Server) SetTracer(t *obs.Tracer) { s.tracer = t }
+
+// Tracer returns the attached tracer (nil when tracing is off).
+func (s *Server) Tracer() *obs.Tracer { return s.tracer }
+
+// SetDrift attaches the accuracy drift monitor so /stats and /metrics
+// surface rolling q-error quantiles (the ingest pipeline feeds it).
+// Call before Handler sees traffic.
+func (s *Server) SetDrift(d *obs.DriftMonitor) { s.drift = d }
+
+// SetAccessLog enables structured per-request logging (method, path,
+// status, duration, trace ID) through l. Call before Handler sees
+// traffic.
+func (s *Server) SetAccessLog(l *slog.Logger) { s.logger = l }
+
 // Close drains every model's in-flight batches and releases the worker
 // pools. Call after the HTTP listener has stopped accepting requests.
 func (s *Server) Close() { s.registry.Close() }
@@ -78,6 +103,8 @@ func (s *Server) Close() { s.registry.Close() }
 //	GET  /healthz                     liveness probe
 //	GET  /stats                       server, cache, ingest, per-model counters
 //	GET  /metrics                     Prometheus text exposition
+//	GET  /debug/traces                recent + slowest request spans (tracer attached)
+//	GET  /v1/buildinfo                binary version, go version, uptime
 //	GET  /v1/models                   list published models
 //	POST /v1/models/{name}            load/hot-swap a .gob model: {"path": "..."}
 //	POST /v1/models/{name}/update     journal an insert/delete batch
@@ -88,11 +115,15 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /healthz", s.timed("/healthz", s.handleHealthz))
 	mux.HandleFunc("GET /stats", s.timed("/stats", s.handleStats))
 	mux.HandleFunc("GET /metrics", s.timed("/metrics", s.handleMetrics))
+	mux.HandleFunc("GET /v1/buildinfo", s.timed("/v1/buildinfo", s.handleBuildInfo))
 	mux.HandleFunc("GET /v1/models", s.timed("/v1/models", s.handleListModels))
 	mux.HandleFunc("POST /v1/models/{name}", s.timed("/v1/models/{name}", s.handleLoadModel))
 	mux.HandleFunc("POST /v1/models/{name}/update", s.timed("/v1/models/{name}/update", s.handleUpdateModel))
 	mux.HandleFunc("POST /v1/estimate", s.timed("/v1/estimate", s.handleEstimate))
 	mux.HandleFunc("POST /v1/estimate/batch", s.timed("/v1/estimate/batch", s.handleEstimateBatch))
+	if s.tracer != nil {
+		mux.HandleFunc("GET /debug/traces", s.timed("/debug/traces", s.handleTraces))
+	}
 	return s.count(mux)
 }
 
@@ -108,14 +139,37 @@ func (s *Server) timed(route string, h http.HandlerFunc) http.HandlerFunc {
 	}
 }
 
-// count wraps the mux with the request/error counters.
+// count wraps the mux with the request/error counters, assigns each
+// request a trace ID (echoed as X-Trace-Id and attached to the
+// context for span capture), and emits the structured access log.
 func (s *Server) count(next http.Handler) http.Handler {
+	traced := s.tracer != nil || s.logger != nil
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		s.requests.Add(1)
 		cw := &codeWriter{ResponseWriter: w, code: http.StatusOK}
+		var id uint64
+		var start time.Time
+		if traced {
+			id = obs.NextTraceID()
+			cw.Header().Set("X-Trace-Id", obs.FormatTraceID(id))
+			r = r.WithContext(obs.WithTraceID(r.Context(), id))
+			start = time.Now()
+		}
 		next.ServeHTTP(cw, r)
 		if cw.code >= 400 {
 			s.errors.Add(1)
+		}
+		if s.logger != nil {
+			lvl := slog.LevelInfo
+			if cw.code >= 400 {
+				lvl = slog.LevelWarn
+			}
+			s.logger.LogAttrs(r.Context(), lvl, "request",
+				slog.String("trace_id", obs.FormatTraceID(id)),
+				slog.String("method", r.Method),
+				slog.String("path", r.URL.Path),
+				slog.Int("status", cw.code),
+				slog.Duration("duration", time.Since(start)))
 		}
 	})
 }
@@ -199,9 +253,21 @@ type statsResponse struct {
 	Requests      uint64                  `json:"requests"`
 	Errors        uint64                  `json:"errors"`
 	Swaps         uint64                  `json:"swaps"`
+	Build         obs.BuildInfo           `json:"build"`
 	Cache         CacheStats              `json:"cache"`
 	Models        []modelInfo             `json:"models"`
 	Ingest        map[string]UpdaterStats `json:"ingest,omitempty"`
+	Trace         *obs.TracerStats        `json:"trace,omitempty"`
+	// Kernels reports process-wide per-kernel plan-execution time
+	// (present once kernel timing has recorded at least one call).
+	Kernels []infer.KernelStat        `json:"kernels,omitempty"`
+	Drift   map[string]obs.DriftStats `json:"drift,omitempty"`
+}
+
+type tracesResponse struct {
+	Stats  obs.TracerStats `json:"stats"`
+	Recent []obs.Span      `json:"recent"`
+	Slow   []obs.Span      `json:"slow"`
 }
 
 type errorResponse struct {
@@ -221,13 +287,55 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		Requests:      s.requests.Load(),
 		Errors:        s.errors.Load(),
 		Swaps:         s.swaps.Load(),
+		Build:         obs.ReadBuildInfo(s.started),
 		Cache:         s.cache.Stats(),
 		Models:        s.modelInfos(true),
 	}
 	if s.updater != nil {
 		resp.Ingest = s.updater.UpdaterStats()
 	}
+	if s.tracer != nil {
+		ts := s.tracer.Stats()
+		resp.Trace = &ts
+	}
+	if ks := infer.KernelStats(); len(ks) > 0 {
+		total := uint64(0)
+		for _, k := range ks {
+			total += k.Calls
+		}
+		if total > 0 {
+			resp.Kernels = ks
+		}
+	}
+	if s.drift != nil {
+		if ds := s.drift.Stats(); len(ds) > 0 {
+			resp.Drift = ds
+		}
+	}
 	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleBuildInfo(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, obs.ReadBuildInfo(s.started))
+}
+
+// handleTraces serves the tracer's recent and slowest spans.
+// ?limit=N caps the recent list (default 50).
+func (s *Server) handleTraces(w http.ResponseWriter, r *http.Request) {
+	limit := 50
+	if q := r.URL.Query().Get("limit"); q != "" {
+		n, err := strconv.Atoi(q)
+		if err != nil || n < 1 {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("bad limit %q", q))
+			return
+		}
+		limit = n
+	}
+	writeJSON(w, http.StatusOK, tracesResponse{
+		Stats:  s.tracer.Stats(),
+		Recent: s.tracer.Recent(limit),
+		Slow:   s.tracer.Slow(),
+	})
 }
 
 func (s *Server) handleListModels(w http.ResponseWriter, r *http.Request) {
@@ -293,32 +401,52 @@ func (s *Server) handleLoadModel(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
+	sb := s.beginSpan("/v1/estimate", r)
 	var req estimateRequest
 	if err := decodeJSON(r, &req); err != nil {
+		sb.stage(obs.StageDecode)
 		writeError(w, http.StatusBadRequest, err)
+		s.endSpan(sb, http.StatusBadRequest)
 		return
 	}
 	m, status, err := s.lookup(req.Model, req.Query)
+	sb.stage(obs.StageDecode) // body read + validation + model lookup
 	if err != nil {
 		writeError(w, status, err)
+		s.endSpan(sb, status)
 		return
 	}
+	sb.setModel(m.Name)
 	var key string
 	if s.cache.Enabled() {
 		key = s.cache.Key(m, req.Query, req.T)
 		if v, ok := s.cache.Get(key); ok {
+			sb.stage(obs.StageCache)
+			sb.setCached(true)
 			writeJSON(w, http.StatusOK, estimateResponse{Model: m.Name, Estimate: v, T: req.T, Cached: true})
+			sb.stage(obs.StageEncode)
+			s.endSpan(sb, http.StatusOK)
 			return
 		}
 	}
+	sb.stage(obs.StageCache)
 	var v float64
 	if b := m.Batcher(); b != nil {
-		v, err = b.Submit(r.Context(), req.Query, req.T)
+		var bt BatchTiming
+		v, bt, err = b.SubmitTimed(r.Context(), req.Query, req.T)
+		// The coalescer measured the request's time itself; copy its
+		// attribution and resync the span clock past the submit call.
+		sb.setStage(obs.StageQueue, bt.Queue)
+		sb.setStage(obs.StageFuse, bt.Fuse)
+		sb.setStage(obs.StageExecute, bt.Execute)
+		sb.setBatchSize(bt.BatchSize)
+		sb.markNow()
 		if errors.Is(err, ErrBatcherClosed) {
 			// The model was hot-swapped or removed between lookup and
 			// submit; our handle's estimator is still valid, so answer
 			// inline rather than surfacing the swap to the client.
 			v, err = m.Est.Estimate(req.Query, req.T), nil
+			sb.stage(obs.StageExecute)
 		}
 		if err != nil {
 			status := http.StatusServiceUnavailable
@@ -326,31 +454,42 @@ func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
 				status = 499 // client closed request
 			}
 			writeError(w, status, err)
+			s.endSpan(sb, status)
 			return
 		}
 	} else {
 		v = m.Est.Estimate(req.Query, req.T)
+		sb.stage(obs.StageExecute)
 	}
 	if s.cache.Enabled() {
 		s.cache.Put(key, v)
 	}
+	sb.stage(obs.StageCache)
 	writeJSON(w, http.StatusOK, estimateResponse{Model: m.Name, Estimate: v, T: req.T})
+	sb.stage(obs.StageEncode)
+	s.endSpan(sb, http.StatusOK)
 }
 
 func (s *Server) handleEstimateBatch(w http.ResponseWriter, r *http.Request) {
+	sb := s.beginSpan("/v1/estimate/batch", r)
+	fail := func(status int, err error) {
+		sb.stage(obs.StageDecode)
+		writeError(w, status, err)
+		s.endSpan(sb, status)
+	}
 	var req estimateBatchRequest
 	if err := decodeJSON(r, &req); err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		fail(http.StatusBadRequest, err)
 		return
 	}
 	if len(req.Queries) == 0 {
-		writeError(w, http.StatusBadRequest, errors.New("empty \"queries\""))
+		fail(http.StatusBadRequest, errors.New("empty \"queries\""))
 		return
 	}
 	ts := req.Ts
 	switch {
 	case req.T != nil && len(ts) > 0:
-		writeError(w, http.StatusBadRequest, errors.New("provide \"t\" or \"ts\", not both"))
+		fail(http.StatusBadRequest, errors.New("provide \"t\" or \"ts\", not both"))
 		return
 	case req.T != nil:
 		ts = make([]float64, len(req.Queries))
@@ -358,70 +497,95 @@ func (s *Server) handleEstimateBatch(w http.ResponseWriter, r *http.Request) {
 			ts[i] = *req.T
 		}
 	case len(ts) != len(req.Queries):
-		writeError(w, http.StatusBadRequest,
+		fail(http.StatusBadRequest,
 			fmt.Errorf("%d queries but %d thresholds", len(req.Queries), len(ts)))
 		return
 	}
 	m, status, err := s.lookup(req.Model, req.Queries[0])
 	if err != nil {
-		writeError(w, status, err)
+		fail(status, err)
 		return
 	}
+	sb.setModel(m.Name)
+	sb.setBatchSize(len(req.Queries))
+	sb.stage(obs.StageDecode)
 	x := tensor.New(len(req.Queries), m.Est.Dim())
 	for i, q := range req.Queries {
 		if len(q) != m.Est.Dim() {
-			writeError(w, http.StatusBadRequest,
+			fail(http.StatusBadRequest,
 				fmt.Errorf("query %d has dim %d, model %q expects %d", i, len(q), m.Name, m.Est.Dim()))
 			return
 		}
 		copy(x.Row(i), q)
 	}
+	// The tensor fill is this route's fuse work: one client batch
+	// becomes one fused inference batch.
+	sb.stage(obs.StageFuse)
 	// Already a batch: run the tensor pass directly, bypassing the
 	// coalescer (which exists to fuse separate requests).
-	writeJSON(w, http.StatusOK, estimateBatchResponse{Model: m.Name, Estimates: m.Est.EstimateBatch(x, ts)})
+	est := m.Est.EstimateBatch(x, ts)
+	sb.stage(obs.StageExecute)
+	writeJSON(w, http.StatusOK, estimateBatchResponse{Model: m.Name, Estimates: est})
+	sb.stage(obs.StageEncode)
+	s.endSpan(sb, http.StatusOK)
 }
 
 func (s *Server) handleUpdateModel(w http.ResponseWriter, r *http.Request) {
+	sb := s.beginSpan("/v1/models/{name}/update", r)
+	fail := func(status int, err error) {
+		writeError(w, status, err)
+		s.endSpan(sb, status)
+	}
 	name := r.PathValue("name")
+	sb.setModel(name)
 	var req updateModelRequest
 	if err := decodeJSON(r, &req); err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		sb.stage(obs.StageDecode)
+		fail(http.StatusBadRequest, err)
 		return
 	}
 	if len(req.Insert)+len(req.Delete) == 0 {
-		writeError(w, http.StatusBadRequest, errors.New("empty update: provide \"insert\" and/or \"delete\""))
+		sb.stage(obs.StageDecode)
+		fail(http.StatusBadRequest, errors.New("empty update: provide \"insert\" and/or \"delete\""))
 		return
 	}
 	if _, ok := s.registry.Get(name); !ok {
-		writeError(w, http.StatusNotFound, fmt.Errorf("unknown model %q", name))
+		sb.stage(obs.StageDecode)
+		fail(http.StatusNotFound, fmt.Errorf("unknown model %q", name))
 		return
 	}
+	sb.stage(obs.StageDecode)
 	if s.updater == nil {
-		writeError(w, http.StatusConflict, ErrNotUpdatable)
+		fail(http.StatusConflict, ErrNotUpdatable)
 		return
 	}
 	// Vector validation happens in the updater against its attached
 	// database — the authoritative dimensionality — not the registry
 	// model, which an operator may have hot-swapped independently.
 	ack, err := s.updater.Enqueue(name, req.Insert, req.Delete)
+	// Enqueue covers WAL append + queue admission: the update route's
+	// execute stage.
+	sb.stage(obs.StageExecute)
 	switch {
 	case errors.Is(err, ErrInvalidUpdate):
-		writeError(w, http.StatusBadRequest, err)
+		fail(http.StatusBadRequest, err)
 		return
 	case errors.Is(err, ErrUpdateQueueFull):
-		writeError(w, http.StatusTooManyRequests, err)
+		fail(http.StatusTooManyRequests, err)
 		return
 	case errors.Is(err, ErrNotUpdatable):
-		writeError(w, http.StatusConflict, err)
+		fail(http.StatusConflict, err)
 		return
 	case errors.Is(err, ErrUpdaterClosed):
-		writeError(w, http.StatusServiceUnavailable, err)
+		fail(http.StatusServiceUnavailable, err)
 		return
 	case err != nil:
-		writeError(w, http.StatusInternalServerError, err)
+		fail(http.StatusInternalServerError, err)
 		return
 	}
 	writeJSON(w, http.StatusAccepted, updateModelResponse{Model: name, Seq: ack.Seq, QueueDepth: ack.QueueDepth})
+	sb.stage(obs.StageEncode)
+	s.endSpan(sb, http.StatusAccepted)
 }
 
 // handleMetrics renders the Prometheus text exposition: request counters,
@@ -430,13 +594,13 @@ func (s *Server) handleUpdateModel(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	p := newPromWriter(w)
-	p.value("selestd_uptime_seconds", "Seconds since the server started.", "gauge",
+	p.Value("selestd_uptime_seconds", "Seconds since the server started.", "gauge",
 		time.Since(s.started).Seconds())
-	p.value("selestd_http_requests_total", "HTTP requests accepted.", "counter",
+	p.Value("selestd_http_requests_total", "HTTP requests accepted.", "counter",
 		float64(s.requests.Load()))
-	p.value("selestd_http_errors_total", "HTTP requests answered 4xx/5xx.", "counter",
+	p.Value("selestd_http_errors_total", "HTTP requests answered 4xx/5xx.", "counter",
 		float64(s.errors.Load()))
-	p.value("selestd_registry_swaps_total", "Model hot-swaps (replacing publishes).", "counter",
+	p.Value("selestd_registry_swaps_total", "Model hot-swaps (replacing publishes).", "counter",
 		float64(s.swaps.Load()))
 
 	routes := make([]string, 0, len(s.latency))
@@ -445,53 +609,53 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	}
 	sort.Strings(routes)
 	for _, route := range routes {
-		p.histogram("selestd_http_request_duration_seconds", "Request latency by route.",
+		p.Histogram("selestd_http_request_duration_seconds", "Request latency by route.",
 			s.latency[route].Snapshot(), "route", route)
 	}
 
 	cs := s.cache.Stats()
-	p.value("selestd_cache_hits_total", "Estimate cache hits.", "counter", float64(cs.Hits))
-	p.value("selestd_cache_misses_total", "Estimate cache misses.", "counter", float64(cs.Misses))
-	p.value("selestd_cache_evictions_total", "Estimate cache evictions.", "counter", float64(cs.Evictions))
-	p.value("selestd_cache_size", "Cached estimates.", "gauge", float64(cs.Size))
-	p.value("selestd_cache_capacity", "Estimate cache capacity.", "gauge", float64(cs.Capacity))
+	p.Value("selestd_cache_hits_total", "Estimate cache hits.", "counter", float64(cs.Hits))
+	p.Value("selestd_cache_misses_total", "Estimate cache misses.", "counter", float64(cs.Misses))
+	p.Value("selestd_cache_evictions_total", "Estimate cache evictions.", "counter", float64(cs.Evictions))
+	p.Value("selestd_cache_size", "Cached estimates.", "gauge", float64(cs.Size))
+	p.Value("selestd_cache_capacity", "Estimate cache capacity.", "gauge", float64(cs.Capacity))
 	ratio := 0.0
 	if total := cs.Hits + cs.Misses; total > 0 {
 		ratio = float64(cs.Hits) / float64(total)
 	}
-	p.value("selestd_cache_hit_ratio", "Cache hits / lookups since start.", "gauge", ratio)
+	p.Value("selestd_cache_hit_ratio", "Cache hits / lookups since start.", "gauge", ratio)
 
 	for _, m := range s.registry.List() {
-		p.value("selestd_model_generation", "Registry generation of the published model.", "gauge",
+		p.Value("selestd_model_generation", "Registry generation of the published model.", "gauge",
 			float64(m.Generation), "model", m.Name)
 		if b := m.Batcher(); b != nil {
 			bs := b.Stats()
-			p.value("selestd_batcher_requests_total", "Single estimates submitted to the coalescer.",
+			p.Value("selestd_batcher_requests_total", "Single estimates submitted to the coalescer.",
 				"counter", float64(bs.Requests), "model", m.Name)
-			p.value("selestd_batcher_batches_total", "Fused EstimateBatch calls.", "counter",
+			p.Value("selestd_batcher_batches_total", "Fused EstimateBatch calls.", "counter",
 				float64(bs.Batches), "model", m.Name)
-			p.value("selestd_batcher_timeouts_total", "Batches flushed by the interval timer.",
+			p.Value("selestd_batcher_timeouts_total", "Batches flushed by the interval timer.",
 				"counter", float64(bs.Timeouts), "model", m.Name)
-			p.value("selestd_batcher_lanes", "Coalescer lanes (independent shards).", "gauge",
+			p.Value("selestd_batcher_lanes", "Coalescer lanes (independent shards).", "gauge",
 				float64(len(bs.Lanes)), "model", m.Name)
 			for lane, hist := range b.LaneSizeHistograms() {
-				p.histogram("selestd_batcher_batch_size", "Requests fused per inference batch, by lane.",
+				p.Histogram("selestd_batcher_batch_size", "Requests fused per inference batch, by lane.",
 					hist, "model", m.Name, "lane", strconv.Itoa(lane))
 			}
 			for lane, ls := range bs.Lanes {
-				p.value("selestd_batcher_lane_batches_total", "Fused EstimateBatch calls by lane.",
+				p.Value("selestd_batcher_lane_batches_total", "Fused EstimateBatch calls by lane.",
 					"counter", float64(ls.Batches), "model", m.Name, "lane", strconv.Itoa(lane))
 			}
 		}
 		if ps, ok := m.Est.(PlanStatser); ok {
 			st := ps.PlanStats()
-			p.value("selestd_plan_checkouts_total", "Compiled-plan checkouts from the model's pools.",
+			p.Value("selestd_plan_checkouts_total", "Compiled-plan checkouts from the model's pools.",
 				"counter", float64(st.Checkouts), "model", m.Name)
-			p.value("selestd_plan_pool_misses_total", "Plan checkouts that missed the resident fast path.",
+			p.Value("selestd_plan_pool_misses_total", "Plan checkouts that missed the resident fast path.",
 				"counter", float64(st.Misses), "model", m.Name)
-			p.value("selestd_plan_compiles_total", "Forward-pass compilations (lazy, per batch-size class).",
+			p.Value("selestd_plan_compiles_total", "Forward-pass compilations (lazy, per batch-size class).",
 				"counter", float64(st.Compiles), "model", m.Name)
-			p.value("selestd_plan_drops_total", "Plan-pool invalidations (training, hot-swap).",
+			p.Value("selestd_plan_drops_total", "Plan-pool invalidations (training, hot-swap).",
 				"counter", float64(st.Drops), "model", m.Name)
 		}
 	}
@@ -505,44 +669,67 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		sort.Strings(names)
 		for _, name := range names {
 			us := stats[name]
-			p.value("selestd_ingest_queue_depth", "Pending update batches.", "gauge",
+			p.Value("selestd_ingest_queue_depth", "Pending update batches.", "gauge",
 				float64(us.QueueDepth), "model", name)
-			p.value("selestd_ingest_queue_capacity", "Update queue capacity.", "gauge",
+			p.Value("selestd_ingest_queue_capacity", "Update queue capacity.", "gauge",
 				float64(us.QueueCapacity), "model", name)
-			p.value("selestd_ingest_lag", "Journal sequences not yet applied.", "gauge",
+			p.Value("selestd_ingest_lag", "Journal sequences not yet applied.", "gauge",
 				float64(us.Lag), "model", name)
-			p.value("selestd_ingest_batches_applied_total", "Update batches applied to the database.",
+			p.Value("selestd_ingest_batches_applied_total", "Update batches applied to the database.",
 				"counter", float64(us.BatchesApplied), "model", name)
-			p.value("selestd_ingest_inserted_vecs_total", "Vectors inserted.", "counter",
+			p.Value("selestd_ingest_inserted_vecs_total", "Vectors inserted.", "counter",
 				float64(us.InsertedVecs), "model", name)
-			p.value("selestd_ingest_deleted_vecs_total", "Vectors deleted.", "counter",
+			p.Value("selestd_ingest_deleted_vecs_total", "Vectors deleted.", "counter",
 				float64(us.DeletedVecs), "model", name)
-			p.value("selestd_ingest_skipped_total", "Retrain cycles absorbed by the delta_U check.",
+			p.Value("selestd_ingest_skipped_total", "Retrain cycles absorbed by the delta_U check.",
 				"counter", float64(us.Skipped), "model", name)
-			p.value("selestd_ingest_retrained_total", "Retrain cycles that hot-swapped a shadow model.",
+			p.Value("selestd_ingest_retrained_total", "Retrain cycles that hot-swapped a shadow model.",
 				"counter", float64(us.Retrained), "model", name)
-			p.value("selestd_ingest_last_mae_before", "Validation MAE before the last cycle.", "gauge",
+			p.Value("selestd_ingest_last_mae_before", "Validation MAE before the last cycle.", "gauge",
 				us.LastMAEBefore, "model", name)
-			p.value("selestd_ingest_last_mae_after", "Validation MAE after the last cycle.", "gauge",
+			p.Value("selestd_ingest_last_mae_after", "Validation MAE after the last cycle.", "gauge",
 				us.LastMAEAfter, "model", name)
 			if us.Durable {
-				p.value("selestd_ingest_journaled_batches_total", "Batches appended to the write-ahead log.",
+				p.Value("selestd_ingest_journaled_batches_total", "Batches appended to the write-ahead log.",
 					"counter", float64(us.JournaledBatches), "model", name)
-				p.value("selestd_ingest_journal_syncs_total", "Fsyncs the write-ahead log performed.",
+				p.Value("selestd_ingest_journal_syncs_total", "Fsyncs the write-ahead log performed.",
 					"counter", float64(us.JournalSyncs), "model", name)
-				p.value("selestd_ingest_replayed_batches", "Journal entries replayed at boot.",
+				p.Value("selestd_ingest_replayed_batches", "Journal entries replayed at boot.",
 					"gauge", float64(us.ReplayedBatches), "model", name)
-				p.value("selestd_ingest_journal_bytes", "Write-ahead log size.",
+				p.Value("selestd_ingest_journal_bytes", "Write-ahead log size.",
 					"gauge", float64(us.JournalBytes), "model", name)
-				p.value("selestd_ingest_snapshot_seq", "Applied sequence of the last durable snapshot.",
+				p.Value("selestd_ingest_snapshot_seq", "Applied sequence of the last durable snapshot.",
 					"gauge", float64(us.SnapshotSeq), "model", name)
-				p.value("selestd_ingest_journal_compactions_total", "WAL compactions after snapshots.",
+				p.Value("selestd_ingest_journal_compactions_total", "WAL compactions after snapshots.",
 					"counter", float64(us.Compactions), "model", name)
-				p.value("selestd_ingest_journal_errors_total", "Failed snapshot/compaction attempts.",
+				p.Value("selestd_ingest_journal_errors_total", "Failed snapshot/compaction attempts.",
 					"counter", float64(us.JournalErrors), "model", name)
 			}
 		}
 	}
+
+	p.Value("selestd_kernel_timing_enabled", "1 when per-kernel plan timing is on.", "gauge",
+		boolGauge(infer.KernelTimingEnabled()))
+	for _, k := range infer.KernelStats() {
+		p.Value("selestd_kernel_seconds_total", "Plan-execution time attributed to one forward kernel.",
+			"counter", float64(k.Nanos)/1e9, "kernel", k.Kernel)
+		p.Value("selestd_kernel_calls_total", "Forward-kernel invocations during plan execution.",
+			"counter", float64(k.Calls), "kernel", k.Kernel)
+	}
+
+	if s.tracer != nil {
+		s.tracer.WriteMetrics(p)
+	}
+	if s.drift != nil {
+		s.drift.WriteMetrics(p)
+	}
+}
+
+func boolGauge(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
 }
 
 // lookup resolves the model and validates the query shape, returning an
