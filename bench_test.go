@@ -14,8 +14,10 @@ import (
 	"testing"
 	"time"
 
+	"selnet/internal/distance"
 	"selnet/internal/experiments"
 	"selnet/internal/ingest"
+	"selnet/internal/obs"
 	"selnet/internal/selnet"
 	"selnet/internal/serve"
 	"selnet/internal/vecdata"
@@ -293,6 +295,51 @@ func BenchmarkServeNaive(b *testing.B) {
 			i++
 		}
 	})
+}
+
+// BenchmarkServeShadowSampled proves the shadow-scoring tap costs the
+// serving path nothing: the loop is the inference hot path (compiled
+// plan Estimate) plus the Offer tap at a 10% sample rate, while the
+// oracle worker scores the sampled queries concurrently against an
+// exact ground-truth scan. ReportAllocs counts allocations from every
+// goroutine, so 0 allocs/op certifies the tap AND the async scoring
+// pipeline (sampler, oracle, rolling aggregates, worst-N) — not just
+// the unsampled fast path.
+func BenchmarkServeShadowSampled(b *testing.B) {
+	net := servingNet()
+	queries := servingQueries(256, net.Dim())
+	rng := rand.New(rand.NewSource(3))
+	db := vecdata.SyntheticFasttext(rng, 500, net.Dim(), distance.Euclidean)
+	sh := obs.NewShadow(obs.ShadowConfig{SampleRate: 0.1, QueueDepth: 1024})
+	sh.SetOracle("bench", ingest.NewDBOracle(db, ingest.OracleConfig{}))
+	defer sh.Close()
+
+	// Warm up until the model's rolling rings exist, the worst-N list is
+	// at capacity, and the plan pool is primed — allocations after this
+	// point are regressions.
+	for id := uint64(1); ; id++ {
+		q := queries[int(id)%len(queries)]
+		v := net.Estimate(q, 0.5)
+		sh.Offer("bench", id, 0, q, 0.5, 1, v)
+		if st, ok := sh.Accuracy().ModelStats("bench", 0); ok && st.Samples >= 64 {
+			break
+		}
+		if id%1024 == 0 {
+			time.Sleep(time.Millisecond) // let the worker drain
+		}
+	}
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q := queries[i%len(queries)]
+		v := net.Estimate(q, 0.5)
+		sh.Offer("bench", uint64(i+1), 0, q, 0.5, 1, v)
+	}
+	b.StopTimer()
+	st := sh.Stats()
+	b.ReportMetric(float64(st.Sampled), "sampled")
+	b.ReportMetric(float64(st.Dropped), "dropped")
 }
 
 // BenchmarkIngestRetrainSwap measures the end-to-end update-to-visible

@@ -12,6 +12,7 @@
 //	GET  /stats                     server, cache, ingest, per-model counters
 //	GET  /metrics                   Prometheus text exposition
 //	GET  /debug/traces              recent + slowest request spans (see -trace-slow)
+//	GET  /debug/accuracy            shadow-scored q-error breakdowns (see -shadow-sample)
 //	GET  /v1/buildinfo              binary version, go version, uptime
 //	GET  /v1/models                 list loaded models
 //	POST /v1/models/{name}          load or hot-swap a model: {"path": "model.gob"}
@@ -53,6 +54,7 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"runtime"
 	"strings"
 	"syscall"
 	"time"
@@ -91,15 +93,23 @@ type ingestOptions struct {
 	compactBytes   int64
 	syncInterval   time.Duration
 	drift          *obs.DriftMonitor
+	shadow         *obs.Shadow
+	workload       *obs.WorkloadMonitor
+	oracleBudget   int
 }
 
 // obsOptions carries the observability flag values.
 type obsOptions struct {
-	debugAddr    string
-	traceSlow    time.Duration
-	driftQError  float64
-	kernelTiming bool
-	accessLog    bool
+	debugAddr     string
+	traceSlow     time.Duration
+	driftQError   float64
+	kernelTiming  bool
+	accessLog     bool
+	shadowSample  float64
+	shadowBudget  int
+	workloadShift float64
+	mutexFraction int
+	blockRate     int
 }
 
 func main() {
@@ -128,6 +138,11 @@ func main() {
 	driftQError := flag.Float64("drift-qerror", 0, "rolling p95 q-error above which an ingest cycle counts as drift_exceeded (0 disables the alarm counter)")
 	kernelTiming := flag.Bool("kernel-timing", true, "accumulate per-kernel plan-execution timings (surfaced in /stats and /metrics)")
 	accessLog := flag.Bool("access-log", false, "log every HTTP request via slog with its trace id")
+	shadowSample := flag.Float64("shadow-sample", 0, "fraction of estimate requests shadow-scored against a ground-truth oracle, 0..1 (0 disables)")
+	shadowBudget := flag.Int("shadow-oracle-budget", 2000, "max vectors the shadow oracle scans (or samples) per ground-truth evaluation")
+	workloadShift := flag.Float64("workload-shift", 0.25, "live-vs-training workload divergence above which retraining is advised (with -shadow-sample)")
+	mutexFraction := flag.Int("mutex-profile-fraction", 0, "runtime.SetMutexProfileFraction sampling rate for /debug/pprof/mutex (with -debug-addr; 0 disables)")
+	blockRate := flag.Int("block-profile-rate", 0, "runtime.SetBlockProfileRate nanoseconds threshold for /debug/pprof/block (with -debug-addr; 0 disables)")
 	logJSON := flag.Bool("log-json", false, "emit logs as JSON instead of text")
 	flag.Var(&models, "model", "model to serve as name=path (repeatable); bare path serves as \"default\"")
 	flag.Var(&data, "data", "CSV vector database attached to a -model for streaming updates, as name=path.csv (repeatable)")
@@ -164,6 +179,12 @@ func main() {
 		driftQError:  *driftQError,
 		kernelTiming: *kernelTiming,
 		accessLog:    *accessLog,
+
+		shadowSample:  *shadowSample,
+		shadowBudget:  *shadowBudget,
+		workloadShift: *workloadShift,
+		mutexFraction: *mutexFraction,
+		blockRate:     *blockRate,
 	}
 	if err := run(*addr, models, data, serve.Config{
 		Batcher: serve.BatcherConfig{MaxBatch: *maxBatch, FlushInterval: *flush, Lanes: *lanes},
@@ -182,6 +203,21 @@ func run(addr string, models, data []string, cfg serve.Config, opts ingestOption
 	infer.SetKernelTiming(oo.kernelTiming)
 	if oo.accessLog {
 		srv.SetAccessLog(slog.Default())
+	}
+	if oo.shadowSample > 0 {
+		opts.workload = obs.NewWorkloadMonitor(obs.WorkloadConfig{Threshold: oo.workloadShift})
+		opts.shadow = obs.NewShadow(obs.ShadowConfig{
+			SampleRate: oo.shadowSample,
+			Workload:   opts.workload,
+		})
+		opts.oracleBudget = oo.shadowBudget
+		srv.SetShadow(opts.shadow)
+		// Close stops the oracle workers after the ingest pipeline (whose
+		// databases they read) has drained; deferred before attachIngest so
+		// it runs after the pipeline's own deferred Close.
+		defer opts.shadow.Close()
+		slog.Info("shadow accuracy sampling enabled",
+			"rate", oo.shadowSample, "oracle_budget", oo.shadowBudget, "workload_shift", oo.workloadShift)
 	}
 	// srv.Close() waits for in-flight batches, which is unbounded if a
 	// handler is stuck; the drain-timeout path below skips it so -drain
@@ -234,6 +270,14 @@ func run(addr string, models, data []string, cfg serve.Config, opts ingestOption
 	// shares a port (or an operator firewall rule) with the public API.
 	var ds *http.Server
 	if oo.debugAddr != "" {
+		// Contention profiling is opt-in and gated on the debug listener:
+		// without a pprof surface the samples would accumulate unread.
+		if oo.mutexFraction > 0 {
+			runtime.SetMutexProfileFraction(oo.mutexFraction)
+		}
+		if oo.blockRate > 0 {
+			runtime.SetBlockProfileRate(oo.blockRate)
+		}
 		dm := http.NewServeMux()
 		dm.HandleFunc("/debug/pprof/", pprof.Index)
 		dm.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -314,6 +358,9 @@ func attachIngest(srv *serve.Server, loaded map[string]selnet.Model, data []stri
 		Train:          tc,
 		Update:         selnet.UpdateConfig{DeltaU: opts.deltaU, Patience: opts.patience, MaxEpochs: opts.maxEpochs},
 		Drift:          opts.drift,
+		Shadow:         opts.shadow,
+		Workload:       opts.workload,
+		Oracle:         ingest.OracleConfig{Budget: opts.oracleBudget},
 		Journal: ingest.JournalConfig{
 			Dir:           opts.journalDir,
 			SnapshotEvery: opts.snapshotEvery,

@@ -85,6 +85,20 @@ type Config struct {
 	// δ_U check. Tests use it to freeze the pipeline at the point where
 	// serving must still be answering from the old model.
 	BeforeRetrain func(model string)
+	// Shadow, if set, gets a per-model ground-truth oracle (a DBOracle
+	// over the model's private database) registered at Attach, so live
+	// requests sampled by the serving tap can be scored against the
+	// exact data the model serves. Mutating cycles coordinate with the
+	// oracle through its write lock.
+	Shadow *obs.Shadow
+	// Oracle tunes the shadow oracle's sampling bounds; zero values take
+	// the defaults (budget 2000, eps 0.05, delta 0.01).
+	Oracle OracleConfig
+	// Workload, if set, receives a baseline snapshot of each model's
+	// training workload at Attach, against which the live query stream
+	// is compared for shift detection; the resulting divergence is
+	// surfaced as retraining advice in UpdaterStats.
+	Workload *obs.WorkloadMonitor
 	// Drift, if set, receives an online accuracy audit after every
 	// cycle: a holdout of the model's freshly relabelled validation
 	// queries is scored against the *serving* estimator — the answers
@@ -250,6 +264,10 @@ type modelPipeline struct {
 	// driftOff rotates the drift holdout through the validation set so
 	// consecutive cycles score different queries (worker-owned).
 	driftOff int
+	// oracle is the model's shadow ground-truth oracle (nil without
+	// Config.Shadow); cycles bracket database mutations with its write
+	// lock so concurrent ground-truth scans see batch-atomic state.
+	oracle *DBOracle
 
 	statsMu sync.Mutex
 	stats   serve.UpdaterStats
@@ -343,6 +361,25 @@ func (p *Pipeline) Attach(name string, m Updatable, db *vecdata.Database, train,
 	mp.published = mp.cur
 	mp.baseline = mp.cur.MAE(mp.valid)
 	mp.stats.QueueCapacity = p.cfg.QueueDepth
+
+	// Observability hookup: the shadow scorer gets a ground-truth oracle
+	// over the (possibly just-recovered) private database, and the
+	// workload monitor a baseline snapshot of the training workload.
+	if p.cfg.Shadow != nil {
+		mp.oracle = NewDBOracle(mp.db, p.cfg.Oracle)
+		p.cfg.Shadow.SetOracle(name, mp.oracle)
+	}
+	if p.cfg.Workload != nil {
+		qs := make([][]float64, 0, len(mp.train)+len(mp.valid))
+		ts := make([]float64, 0, len(mp.train)+len(mp.valid))
+		for _, set := range [][]vecdata.Query{mp.train, mp.valid} {
+			for _, q := range set {
+				qs = append(qs, q.X)
+				ts = append(ts, q.T)
+			}
+		}
+		p.cfg.Workload.SetBaseline(name, qs, ts)
+	}
 
 	p.mu.Lock()
 	defer p.mu.Unlock()
@@ -506,6 +543,13 @@ func (p *Pipeline) UpdaterStats() map[string]serve.UpdaterStats {
 			s.JournalBytes = ws.Size
 			s.JournalSyncs = ws.Syncs
 			s.Compactions = ws.Compactions
+		}
+		if p.cfg.Workload != nil {
+			if ws, ok := p.cfg.Workload.ModelStats(mp.name); ok {
+				s.WorkloadDivergence = ws.Divergence
+				s.WorkloadShiftExceeded = ws.Exceeded
+				s.RetrainAdvised = ws.ShiftAdvised
+			}
 		}
 		out[mp.name] = s
 	}
@@ -672,6 +716,12 @@ func (p *Pipeline) cycle(mp *modelPipeline, entries []Entry) Cycle {
 	var inserted, deleted [][]float64
 	var index *valueIndex
 	var drop []int
+	// With a shadow oracle attached, the mutation is bracketed by its
+	// write lock so concurrent ground-truth scans never observe a
+	// half-applied batch.
+	if mp.oracle != nil {
+		mp.oracle.BeginMutate()
+	}
 	for _, e := range entries {
 		if len(e.Insert) > 0 {
 			base := mp.db.Size()
@@ -692,6 +742,9 @@ func (p *Pipeline) cycle(mp *modelPipeline, entries []Entry) Cycle {
 		}
 	}
 	mp.db.Delete(drop...)
+	if mp.oracle != nil {
+		mp.oracle.EndMutate()
+	}
 	c.Inserted, c.Deleted = len(inserted), len(deleted)
 
 	if p.cfg.BeforeRetrain != nil {

@@ -150,6 +150,19 @@ func (e *Estimator) Estimate(x []float64, t float64) float64 {
 	return total
 }
 
+// Refresh recomputes the stored signatures from the database's current
+// contents, keeping the hyperplanes fixed — the cheap path for reusing
+// a built estimator after the database mutated (streaming inserts and
+// deletes), costing one O(|D|·bits·dim) hashing pass instead of a full
+// rebuild with fresh planes. Not safe concurrently with Estimate.
+func (e *Estimator) Refresh() {
+	sigs := make([]uint64, e.db.Size())
+	for i, v := range e.db.Vecs {
+		sigs[i] = e.signature(v)
+	}
+	e.signatures = sigs
+}
+
 // Name returns the paper's model name.
 func (e *Estimator) Name() string { return "LSH" }
 

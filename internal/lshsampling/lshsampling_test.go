@@ -160,3 +160,31 @@ func TestNameAndConsistency(t *testing.T) {
 		t.Fatalf("LSH must report guaranteed consistency")
 	}
 }
+
+func TestRefreshSeesMutations(t *testing.T) {
+	db := cosDB(31, 500, 8)
+	rng := rand.New(rand.NewSource(32))
+	e, err := Build(rng, db, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := append([]float64(nil), db.Vecs[0]...)
+	before := e.Estimate(x, 0.3)
+	// Duplicate a slab of vectors near x; after Refresh the estimator
+	// must hash the new rows and the estimate must grow.
+	for i := 0; i < 250; i++ {
+		db.Vecs = append(db.Vecs, append([]float64(nil), db.Vecs[i%50]...))
+	}
+	e.Refresh()
+	after := e.Estimate(x, 0.3)
+	if after <= before {
+		t.Fatalf("estimate did not grow after Refresh over duplicated rows: %v -> %v", before, after)
+	}
+	// Refresh keeps the planes: refreshing an unchanged database is a
+	// no-op for estimates.
+	again := e.Estimate(x, 0.3)
+	e.Refresh()
+	if got := e.Estimate(x, 0.3); got != again {
+		t.Fatalf("Refresh changed estimates on an unmodified database: %v -> %v", again, got)
+	}
+}

@@ -133,6 +133,43 @@ func (p *Partitioning) IndicatorInto(out []bool, qbuf, x []float64, t float64) {
 	}
 }
 
+// PrimaryRegion attributes a query to the single cluster that "owns"
+// it: among the clusters whose region the query ball intersects (the
+// ones Indicator activates), the one whose nearest ball center is
+// closest; when the ball misses every region, the globally nearest
+// center — a query just outside all regions is still attributed to its
+// neighborhood. Random partitionings (and empty ones) carry no
+// geometry, so attribution is meaningless and -1 is returned.
+//
+// This is the error-attribution hook of the observability layer: shadow
+// q-errors broken down by region expose which part of the data a
+// partitioned model is mis-estimating.
+func (p *Partitioning) PrimaryRegion(x []float64, t float64) int {
+	if p.allActive || len(p.Clusters) == 0 {
+		return -1
+	}
+	qx := x
+	qt := t
+	if p.convert {
+		qx = distance.Normalize(x)
+		qt = distance.CosineToL2Threshold(t)
+	}
+	best, bestD, bestActive := -1, math.Inf(1), false
+	for i, c := range p.Clusters {
+		for _, b := range c.Balls {
+			d := distance.L2(qx, b.Center)
+			active := d <= qt+b.Radius
+			switch {
+			case active && !bestActive:
+				best, bestD, bestActive = i, d, true
+			case active == bestActive && d < bestD:
+				best, bestD = i, d
+			}
+		}
+	}
+	return best
+}
+
 // Build partitions db into k clusters using the given method. ratio is the
 // cover-tree expansion bound (subtrees smaller than ratio*|D| stop
 // expanding); it is ignored by the other methods. Building is

@@ -1,6 +1,7 @@
 package partition
 
 import (
+	"math"
 	"math/rand"
 	"testing"
 	"testing/quick"
@@ -206,5 +207,63 @@ func TestKMeansDeterministicGivenSeed(t *testing.T) {
 				t.Fatalf("nondeterministic membership")
 			}
 		}
+	}
+}
+
+func TestPrimaryRegion(t *testing.T) {
+	for _, dist := range []distance.Func{distance.Euclidean, distance.Cosine} {
+		db := testDB(21, 400, 4, dist)
+		rng := rand.New(rand.NewSource(22))
+		p := Build(rng, db, 4, 0.2, KMeans)
+		tq := 0.5
+		if dist == distance.Cosine {
+			tq = 0.2
+		}
+		// Every database point must be attributed to a real cluster, and
+		// when the indicator activates the attributed cluster must be one
+		// of the active ones.
+		for i := 0; i < 50; i++ {
+			x := db.Vecs[i]
+			r := p.PrimaryRegion(x, tq)
+			if r < 0 || r >= p.K() {
+				t.Fatalf("%v: PrimaryRegion(vec %d) = %d, want [0, %d)", dist, i, r, p.K())
+			}
+			if act := p.Indicator(x, tq); !act[r] {
+				t.Fatalf("%v: attributed cluster %d inactive for vec %d", dist, r, i)
+			}
+		}
+	}
+}
+
+func TestPrimaryRegionFallsBackToNearest(t *testing.T) {
+	db := testDB(23, 200, 4, distance.Euclidean)
+	rng := rand.New(rand.NewSource(24))
+	p := Build(rng, db, 3, 0.2, KMeans)
+	// A query far outside every ball with a tiny threshold activates no
+	// region but must still be attributed to its nearest center.
+	far := []float64{100, 100, 100, 100}
+	r := p.PrimaryRegion(far, 1e-9)
+	if r < 0 || r >= p.K() {
+		t.Fatalf("far query attribution = %d, want the nearest cluster", r)
+	}
+	best, bestD := -1, math.Inf(1)
+	for i, c := range p.Clusters {
+		for _, b := range c.Balls {
+			if d := distance.L2(far, b.Center); d < bestD {
+				best, bestD = i, d
+			}
+		}
+	}
+	if r != best {
+		t.Fatalf("far query attributed to %d, nearest center is %d", r, best)
+	}
+}
+
+func TestPrimaryRegionRandomIsUnattributed(t *testing.T) {
+	db := testDB(25, 100, 4, distance.Euclidean)
+	rng := rand.New(rand.NewSource(26))
+	p := Build(rng, db, 3, 0.2, Random)
+	if r := p.PrimaryRegion(db.Vecs[0], 0.5); r != -1 {
+		t.Fatalf("random partitioning attribution = %d, want -1", r)
 	}
 }

@@ -87,6 +87,14 @@ func NewPartitioned(rng *rand.Rand, db *vecdata.Database, pcfg PartitionedConfig
 // K returns the number of clusters actually built.
 func (p *Partitioned) K() int { return len(p.locals) }
 
+// PartitionOf attributes a query to the cluster that owns it (see
+// partition.PrimaryRegion); -1 when the partitioning carries no
+// geometry (random method). The serving layer's shadow scorer uses
+// this to break q-errors down by region.
+func (p *Partitioned) PartitionOf(x []float64, t float64) int {
+	return p.part.PrimaryRegion(x, t)
+}
+
 // Dim returns the query dimensionality.
 func (p *Partitioned) Dim() int { return p.dim }
 

@@ -37,6 +37,20 @@ func TestMetricsExposition(t *testing.T) {
 	drift.Observe("m", []float64{30, 10}, []float64{10, 10})
 	s.SetDrift(drift)
 
+	// Shadow accuracy sampler with every family populated: scored
+	// samples (bucket + partition via the locator), a queue drop is not
+	// forced but its counter family still appears, and a workload
+	// baseline with live observations. Close drains the queue so the
+	// scrape below sees deterministic counts.
+	wl := obs.NewWorkloadMonitor(obs.WorkloadConfig{Threshold: 0.5, MinSamples: 1})
+	wl.SetBaseline("m", [][]float64{{0, 0, 0}, {1, 1, 1}}, []float64{0.2, 0.4})
+	sh := obs.NewShadow(obs.ShadowConfig{SampleRate: 1, QueueDepth: 64, Workload: wl})
+	sh.SetOracle("m", fixedOracle{v: 5})
+	sh.SetLocate(func(string, []float64, float64) (int, bool) { return 1, true })
+	sh.Offer("m", 7, 0, []float64{0.5, 0.5, 0.5}, 0.3, 1, 9)
+	sh.Close()
+	s.SetShadow(sh)
+
 	infer.SetKernelTiming(true)
 	defer infer.SetKernelTiming(false)
 
@@ -64,6 +78,11 @@ func TestMetricsExposition(t *testing.T) {
 		"selestd_request_duration_seconds", "selestd_stage_duration_seconds",
 		"selestd_trace_spans_total", "selestd_drift_qerror",
 		"selestd_ingest_journaled_batches_total",
+		"selestd_shadow_qerror", "selestd_shadow_partition_qerror",
+		"selestd_shadow_samples_total", "selestd_shadow_sampled_total",
+		"selestd_shadow_dropped_total", "selestd_shadow_oracle_truths_total",
+		"selestd_workload_divergence", "selestd_workload_shift_exceeded_total",
+		"selestd_ingest_retrain_advised",
 	} {
 		if _, ok := fams[want]; !ok {
 			t.Errorf("family %q missing from /metrics", want)

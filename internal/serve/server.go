@@ -39,6 +39,7 @@ type Server struct {
 	started  time.Time
 	tracer   *obs.Tracer
 	drift    *obs.DriftMonitor
+	shadow   *obs.Shadow
 	logger   *slog.Logger
 
 	requests atomic.Uint64 // HTTP requests accepted
@@ -89,6 +90,45 @@ func (s *Server) Tracer() *obs.Tracer { return s.tracer }
 // Call before Handler sees traffic.
 func (s *Server) SetDrift(d *obs.DriftMonitor) { s.drift = d }
 
+// PartitionLocator is the optional attribution surface of partitioned
+// estimators: PartitionOf maps a query to the cluster that owns it (-1
+// when the partitioning carries no geometry). *selnet.Partitioned
+// implements it; the shadow scorer uses it to break q-errors down by
+// region.
+type PartitionLocator interface {
+	PartitionOf(x []float64, t float64) int
+}
+
+// SetShadow attaches the live-traffic accuracy sampler: a deterministic
+// fraction of estimate requests is tapped (keyed by trace ID, enqueued
+// without blocking) and scored against ground truth off the serving
+// path, served at GET /debug/accuracy and in /stats + /metrics. The
+// server installs a partition locator so samples from partitioned
+// models are attributed to regions. Call before Handler sees traffic;
+// without one, the tap is compiled out of the request path (a single
+// nil check per handler).
+func (s *Server) SetShadow(sh *obs.Shadow) {
+	s.shadow = sh
+	if sh == nil {
+		return
+	}
+	sh.SetLocate(func(model string, x []float64, t float64) (int, bool) {
+		m, ok := s.registry.Get(model)
+		if !ok {
+			return 0, false
+		}
+		pl, ok := m.Est.(PartitionLocator)
+		if !ok {
+			return 0, false
+		}
+		p := pl.PartitionOf(x, t)
+		return p, p >= 0
+	})
+}
+
+// Shadow returns the attached sampler (nil when shadow scoring is off).
+func (s *Server) Shadow() *obs.Shadow { return s.shadow }
+
 // SetAccessLog enables structured per-request logging (method, path,
 // status, duration, trace ID) through l. Call before Handler sees
 // traffic.
@@ -104,6 +144,7 @@ func (s *Server) Close() { s.registry.Close() }
 //	GET  /stats                       server, cache, ingest, per-model counters
 //	GET  /metrics                     Prometheus text exposition
 //	GET  /debug/traces                recent + slowest request spans (tracer attached)
+//	GET  /debug/accuracy              shadow-scored q-error breakdowns (shadow attached)
 //	GET  /v1/buildinfo                binary version, go version, uptime
 //	GET  /v1/models                   list published models
 //	POST /v1/models/{name}            load/hot-swap a .gob model: {"path": "..."}
@@ -124,6 +165,9 @@ func (s *Server) Handler() http.Handler {
 	if s.tracer != nil {
 		mux.HandleFunc("GET /debug/traces", s.timed("/debug/traces", s.handleTraces))
 	}
+	if s.shadow != nil {
+		mux.HandleFunc("GET /debug/accuracy", s.timed("/debug/accuracy", s.handleAccuracy))
+	}
 	return s.count(mux)
 }
 
@@ -143,7 +187,9 @@ func (s *Server) timed(route string, h http.HandlerFunc) http.HandlerFunc {
 // request a trace ID (echoed as X-Trace-Id and attached to the
 // context for span capture), and emits the structured access log.
 func (s *Server) count(next http.Handler) http.Handler {
-	traced := s.tracer != nil || s.logger != nil
+	// Shadow sampling keys off the trace ID, so an attached sampler also
+	// turns on ID minting even without a tracer or access log.
+	traced := s.tracer != nil || s.logger != nil || s.shadow.Enabled()
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		s.requests.Add(1)
 		cw := &codeWriter{ResponseWriter: w, code: http.StatusOK}
@@ -262,12 +308,22 @@ type statsResponse struct {
 	// (present once kernel timing has recorded at least one call).
 	Kernels []infer.KernelStat        `json:"kernels,omitempty"`
 	Drift   map[string]obs.DriftStats `json:"drift,omitempty"`
+	// Shadow and Workload surface the live-traffic accuracy sampler
+	// when one is attached (full detail lives at /debug/accuracy).
+	Shadow   *obs.ShadowStats             `json:"shadow,omitempty"`
+	Workload map[string]obs.WorkloadStats `json:"workload,omitempty"`
 }
 
 type tracesResponse struct {
 	Stats  obs.TracerStats `json:"stats"`
 	Recent []obs.Span      `json:"recent"`
 	Slow   []obs.Span      `json:"slow"`
+}
+
+type accuracyResponse struct {
+	Sampler  obs.ShadowStats              `json:"sampler"`
+	Models   map[string]obs.AccuracyStats `json:"models"`
+	Workload map[string]obs.WorkloadStats `json:"workload,omitempty"`
 }
 
 type errorResponse struct {
@@ -312,6 +368,15 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			resp.Drift = ds
 		}
 	}
+	if s.shadow != nil {
+		ss := s.shadow.Stats()
+		resp.Shadow = &ss
+		if wl := s.shadow.Workload(); wl != nil {
+			if ws := wl.Stats(); len(ws) > 0 {
+				resp.Workload = ws
+			}
+		}
+	}
 	writeJSON(w, http.StatusOK, resp)
 }
 
@@ -319,23 +384,59 @@ func (s *Server) handleBuildInfo(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, obs.ReadBuildInfo(s.started))
 }
 
+// parseLimit reads ?limit=N (positive integer). ok is false — and a
+// 400 has been written — when the parameter is present but invalid.
+func parseLimit(w http.ResponseWriter, r *http.Request, def int) (limit int, ok bool) {
+	q := r.URL.Query().Get("limit")
+	if q == "" {
+		return def, true
+	}
+	n, err := strconv.Atoi(q)
+	if err != nil || n < 1 {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad limit %q", q))
+		return 0, false
+	}
+	return n, true
+}
+
 // handleTraces serves the tracer's recent and slowest spans.
-// ?limit=N caps the recent list (default 50).
+// ?limit=N caps both lists (default 50 recent, all slow).
 func (s *Server) handleTraces(w http.ResponseWriter, r *http.Request) {
-	limit := 50
-	if q := r.URL.Query().Get("limit"); q != "" {
-		n, err := strconv.Atoi(q)
-		if err != nil || n < 1 {
-			writeError(w, http.StatusBadRequest, fmt.Errorf("bad limit %q", q))
-			return
-		}
-		limit = n
+	limit, ok := parseLimit(w, r, 50)
+	if !ok {
+		return
+	}
+	slow := s.tracer.Slow()
+	if r.URL.Query().Get("limit") != "" && limit < len(slow) {
+		slow = slow[:limit]
 	}
 	writeJSON(w, http.StatusOK, tracesResponse{
 		Stats:  s.tracer.Stats(),
 		Recent: s.tracer.Recent(limit),
-		Slow:   s.tracer.Slow(),
+		Slow:   slow,
 	})
+}
+
+// handleAccuracy serves the shadow scorer's live-accuracy picture:
+// sampler counters, per-model q-error quantiles with threshold-bucket
+// and partition breakdowns, the retained worst-N requests, and the
+// workload-shift detectors. ?limit=N caps each model's worst list
+// (default all retained).
+func (s *Server) handleAccuracy(w http.ResponseWriter, r *http.Request) {
+	limit, ok := parseLimit(w, r, 0)
+	if !ok {
+		return
+	}
+	resp := accuracyResponse{
+		Sampler: s.shadow.Stats(),
+		Models:  s.shadow.Accuracy().Stats(limit),
+	}
+	if wl := s.shadow.Workload(); wl != nil {
+		if ws := wl.Stats(); len(ws) > 0 {
+			resp.Workload = ws
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 func (s *Server) handleListModels(w http.ResponseWriter, r *http.Request) {
@@ -423,6 +524,7 @@ func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
 		if v, ok := s.cache.Get(key); ok {
 			sb.stage(obs.StageCache)
 			sb.setCached(true)
+			s.offerShadow(r, m, 0, req.Query, req.T, v)
 			writeJSON(w, http.StatusOK, estimateResponse{Model: m.Name, Estimate: v, T: req.T, Cached: true})
 			sb.stage(obs.StageEncode)
 			s.endSpan(sb, http.StatusOK)
@@ -465,6 +567,7 @@ func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
 		s.cache.Put(key, v)
 	}
 	sb.stage(obs.StageCache)
+	s.offerShadow(r, m, 0, req.Query, req.T, v)
 	writeJSON(w, http.StatusOK, estimateResponse{Model: m.Name, Estimate: v, T: req.T})
 	sb.stage(obs.StageEncode)
 	s.endSpan(sb, http.StatusOK)
@@ -525,6 +628,13 @@ func (s *Server) handleEstimateBatch(w http.ResponseWriter, r *http.Request) {
 	// coalescer (which exists to fuse separate requests).
 	est := m.Est.EstimateBatch(x, ts)
 	sb.stage(obs.StageExecute)
+	if s.shadow.Enabled() {
+		// Each query in the batch gets its own sampling decision, salted
+		// by its index so one traced request doesn't sample all-or-none.
+		for i, q := range req.Queries {
+			s.offerShadow(r, m, uint64(i+1), q, ts[i], est[i])
+		}
+	}
 	writeJSON(w, http.StatusOK, estimateBatchResponse{Model: m.Name, Estimates: est})
 	sb.stage(obs.StageEncode)
 	s.endSpan(sb, http.StatusOK)
@@ -689,6 +799,8 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 				us.LastMAEBefore, "model", name)
 			p.Value("selestd_ingest_last_mae_after", "Validation MAE after the last cycle.", "gauge",
 				us.LastMAEAfter, "model", name)
+			p.Value("selestd_ingest_retrain_advised", "1 when live workload-shift detection advises retraining.",
+				"gauge", boolGauge(us.RetrainAdvised), "model", name)
 			if us.Durable {
 				p.Value("selestd_ingest_journaled_batches_total", "Batches appended to the write-ahead log.",
 					"counter", float64(us.JournaledBatches), "model", name)
@@ -723,6 +835,9 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	if s.drift != nil {
 		s.drift.WriteMetrics(p)
 	}
+	if s.shadow != nil {
+		s.shadow.WriteMetrics(p)
+	}
 }
 
 func boolGauge(b bool) float64 {
@@ -730,6 +845,18 @@ func boolGauge(b bool) float64 {
 		return 1
 	}
 	return 0
+}
+
+// offerShadow taps one answered estimate into the shadow scorer: a
+// nil-check when sampling is off, a hash + non-blocking enqueue when
+// on. salt distinguishes queries within a batch request (0 for single
+// estimates).
+func (s *Server) offerShadow(r *http.Request, m *Model, salt uint64, q []float64, t, v float64) {
+	if !s.shadow.Enabled() {
+		return
+	}
+	id, _ := obs.TraceIDFrom(r.Context())
+	s.shadow.Offer(m.Name, id, salt, q, t, m.Est.TMax(), v)
 }
 
 // lookup resolves the model and validates the query shape, returning an

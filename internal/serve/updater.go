@@ -87,6 +87,14 @@ type UpdaterStats struct {
 	SnapshotSeq   uint64 `json:"snapshot_seq,omitempty"`
 	Compactions   uint64 `json:"compactions,omitempty"`
 	JournalErrors uint64 `json:"journal_errors,omitempty"`
+	// WorkloadDivergence is the live-versus-training workload divergence
+	// from shift detection (0 without a workload monitor); Workload-
+	// ShiftExceeded counts observations past the configured threshold,
+	// and RetrainAdvised is the resulting retraining advice — the live-
+	// telemetry complement to the δ_U data-drift trigger.
+	WorkloadDivergence    float64 `json:"workload_divergence,omitempty"`
+	WorkloadShiftExceeded uint64  `json:"workload_shift_exceeded,omitempty"`
+	RetrainAdvised        bool    `json:"retrain_advised,omitempty"`
 }
 
 // Updater accepts insert/delete batches for served models. Implementations
