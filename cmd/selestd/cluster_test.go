@@ -1,0 +1,301 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"selnet/internal/selnet"
+	"selnet/internal/vecdata"
+)
+
+// TestClusterFailover is the distributed acceptance test, run against
+// real processes: three selestd nodes form a cluster, updates are
+// ingested through the leader (and proxied through a follower), the
+// leader is SIGKILLed, and the test asserts that the most caught-up
+// follower is promoted, that no acknowledged batch is lost, and that
+// reads keep serving throughout. The CI `cluster` job runs exactly this.
+func TestClusterFailover(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and drives three real daemons")
+	}
+	dir := t.TempDir()
+	bin := filepath.Join(dir, "selestd")
+	build := exec.Command("go", "build", "-o", bin, ".")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+
+	// One trained model + CSV database shared by every node (each keeps
+	// its own journal directory, as separate machines would).
+	rng := rand.New(rand.NewSource(71))
+	db := vecdata.SyntheticFace(rng, 300, 4)
+	wl := vecdata.GeometricWorkload(rng, db, 10, 4)
+	mcfg := selnet.Config{
+		L: 4, EmbedDim: 4,
+		AEHidden: []int{8}, AELatent: 4,
+		TauHidden: []int{8}, MHidden: []int{8},
+		TMax: wl.TMax, Lambda: 0.1, QueryDependentTau: true, NormEps: 1e-6,
+	}
+	m := selnet.NewNet(rng, db.Dim, mcfg)
+	tc := selnet.TrainConfig{Epochs: 1, Batch: 32, LR: 5e-3, HuberDelta: 1.345, LogEps: 1e-3, Seed: 1}
+	cut := len(wl.Queries) * 3 / 4
+	m.Fit(tc, db, wl.Queries[:cut], wl.Queries[cut:])
+	modelPath := filepath.Join(dir, "model.gob")
+	if err := m.SaveFile(modelPath); err != nil {
+		t.Fatal(err)
+	}
+	csvPath := filepath.Join(dir, "data.csv")
+	f, err := os.Create(csvPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := vecdata.WriteCSV(f, db); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	const n = 3
+	addrs := make([]string, n)
+	urls := make([]string, n)
+	for i := range addrs {
+		addrs[i] = freeAddr(t)
+		urls[i] = "http://" + addrs[i]
+	}
+	peers := strings.Join(urls, ",")
+
+	daemons := make(map[string]*exec.Cmd, n) // base URL -> process
+	for i := 0; i < n; i++ {
+		args := []string{
+			"-addr", addrs[i],
+			"-model", "m=" + modelPath,
+			"-data", "m=" + csvPath,
+			"-journal-dir", filepath.Join(dir, fmt.Sprintf("journal-%d", i)),
+			"-cluster-self", urls[i],
+			"-cluster-peers", peers,
+			"-cluster-replicas", "3",
+			"-cluster-heartbeat", "50ms",
+			"-cluster-failover", "400ms",
+			"-cluster-ack", "1",
+			"-cluster-ack-timeout", "10s",
+			// Absorb every update with cheap cycles so replication, not
+			// retraining, dominates the clock.
+			"-delta-u", "1e18",
+			"-retrain-epochs", "1",
+			"-update-queries", "8",
+			"-snapshot-every", "100000",
+		}
+		daemons[urls[i]] = startDaemon(t, bin, args, urls[i])
+	}
+	t.Cleanup(func() {
+		for _, d := range daemons {
+			d.Process.Signal(syscall.SIGTERM)
+		}
+		for _, d := range daemons {
+			d.Wait()
+		}
+	})
+
+	client := &http.Client{Timeout: 5 * time.Second}
+
+	// The cluster elects a leader for the model.
+	var leaderURL string
+	var leaderTerm uint64
+	waitForCluster(t, 15*time.Second, "initial leader", func() bool {
+		sm, err := getClusterMap(client, urls[0])
+		if err != nil || len(sm.Models) != 1 {
+			return false
+		}
+		leaderURL, leaderTerm = sm.Models[0].Leader, sm.Models[0].Term
+		return leaderURL != ""
+	})
+	if _, ok := daemons[leaderURL]; !ok {
+		t.Fatalf("shard map names unknown leader %q", leaderURL)
+	}
+
+	// Acknowledged ingest through the leader. Each 202 means a follower
+	// journaled the batch too (-cluster-ack 1).
+	var lastSeq uint64
+	for i := 0; i < 10; i++ {
+		ins := [][]float64{{float64(i), 0.1, 0.2, 0.3}}
+		seq, ok := postUpdate(t, client, leaderURL, ins)
+		if !ok {
+			i--
+			time.Sleep(20 * time.Millisecond)
+			continue
+		}
+		lastSeq = seq
+	}
+	if lastSeq == 0 {
+		t.Fatal("no batch was acknowledged")
+	}
+
+	// A write through a follower is proxied to the leader: same journal,
+	// continuing sequence, and the trace ID survives the hop.
+	var followerURL string
+	for url := range daemons {
+		if url != leaderURL {
+			followerURL = url
+			break
+		}
+	}
+	body, _ := json.Marshal(map[string]any{"insert": [][]float64{{99, 0.1, 0.2, 0.3}}})
+	resp, err := client.Post(followerURL+"/v1/models/m/update", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	proxied, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("proxied update status %d: %s", resp.StatusCode, proxied)
+	}
+	if resp.Header.Get("X-Trace-Id") == "" {
+		t.Fatal("proxied update response lost its trace id")
+	}
+	var ack struct {
+		Seq uint64 `json:"seq"`
+	}
+	if err := json.Unmarshal(proxied, &ack); err != nil || ack.Seq != lastSeq+1 {
+		t.Fatalf("proxied update got seq %d (%v), want %d", ack.Seq, err, lastSeq+1)
+	}
+	lastSeq = ack.Seq
+
+	// Reads serve from every node.
+	for url := range daemons {
+		assertEstimates(t, client, url, db.Vecs[0], wl.TMax/2)
+	}
+
+	// Followers export replication lag; every node exports its role.
+	waitForCluster(t, 10*time.Second, "replication metrics", func() bool {
+		metrics := getBody(t, client, followerURL+"/metrics")
+		return strings.Contains(metrics, "selestd_replication_lag{") &&
+			strings.Contains(metrics, `selestd_cluster_is_leader{model="m"} 0`)
+	})
+
+	// /stats carries the cluster section.
+	stats := getBody(t, client, leaderURL+"/stats")
+	if !strings.Contains(stats, `"cluster"`) || !strings.Contains(stats, `"leader":true`) {
+		t.Fatalf("leader /stats lacks cluster section: %s", stats)
+	}
+
+	// Kill the leader. No drain: acknowledged batches must already be
+	// durable on a follower.
+	daemons[leaderURL].Process.Kill()
+	daemons[leaderURL].Wait()
+	delete(daemons, leaderURL)
+
+	// A survivor takes over with a higher term.
+	var newLeader string
+	waitForCluster(t, 15*time.Second, "failover", func() bool {
+		for url := range daemons {
+			sm, err := getClusterMap(client, url)
+			if err != nil || len(sm.Models) != 1 {
+				continue
+			}
+			lead := sm.Models[0].Leader
+			if _, alive := daemons[lead]; alive && sm.Models[0].Term > leaderTerm {
+				newLeader = lead
+				return true
+			}
+		}
+		return false
+	})
+
+	// Zero acknowledged loss: the new leader's journal holds every acked
+	// sequence, and replay applies them all.
+	waitForCluster(t, 30*time.Second, "acked batches applied on new leader", func() bool {
+		st := getStats(t, client, newLeader)
+		return st.NextSeq >= lastSeq && st.AppliedSeq >= lastSeq
+	})
+
+	// Reads keep serving on the survivors, and writes flow again.
+	for url := range daemons {
+		assertEstimates(t, client, url, db.Vecs[0], wl.TMax/2)
+	}
+	var postSeq uint64
+	waitForCluster(t, 15*time.Second, "post-failover write", func() bool {
+		seq, ok := postUpdate(t, client, newLeader, [][]float64{{7, 7, 7, 7}})
+		postSeq = seq
+		return ok && seq > lastSeq
+	})
+	if postSeq <= lastSeq {
+		t.Fatalf("post-failover seq %d did not advance past %d", postSeq, lastSeq)
+	}
+}
+
+type clusterMapModel struct {
+	Model    string   `json:"model"`
+	Replicas []string `json:"replicas"`
+	Leader   string   `json:"leader"`
+	Term     uint64   `json:"term"`
+}
+
+type clusterMap struct {
+	Self   string            `json:"self"`
+	Models []clusterMapModel `json:"models"`
+}
+
+func getClusterMap(client *http.Client, base string) (clusterMap, error) {
+	var sm clusterMap
+	resp, err := client.Get(base + "/v1/cluster")
+	if err != nil {
+		return sm, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return sm, fmt.Errorf("status %d", resp.StatusCode)
+	}
+	return sm, json.NewDecoder(resp.Body).Decode(&sm)
+}
+
+func getBody(t *testing.T, client *http.Client, url string) string {
+	t.Helper()
+	resp, err := client.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+func assertEstimates(t *testing.T, client *http.Client, base string, q []float64, threshold float64) {
+	t.Helper()
+	body, _ := json.Marshal(map[string]any{"model": "m", "query": q, "t": threshold})
+	resp, err := client.Post(base+"/v1/estimate", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatalf("estimate on %s: %v", base, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		b, _ := io.ReadAll(resp.Body)
+		t.Fatalf("estimate on %s: status %d: %s", base, resp.StatusCode, b)
+	}
+}
+
+func waitForCluster(t *testing.T, d time.Duration, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(d)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}

@@ -14,6 +14,7 @@
 //	GET  /debug/traces              recent + slowest request spans (see -trace-slow)
 //	GET  /debug/accuracy            shadow-scored q-error breakdowns (see -shadow-sample)
 //	GET  /v1/buildinfo              binary version, go version, uptime
+//	GET  /v1/cluster                shard map: model -> replicas/leader (with -cluster-peers)
 //	GET  /v1/models                 list loaded models
 //	POST /v1/models/{name}          load or hot-swap a model: {"path": "model.gob"}
 //	POST /v1/models/{name}/update   {"insert": [[...]], "delete": [[...]]}
@@ -41,6 +42,17 @@
 // SIGINT/SIGTERM trigger a graceful shutdown: the listener stops, open
 // requests finish, the ingest journals drain (every accepted batch is
 // applied), and in-flight inference batches drain.
+//
+// With -cluster-peers set, several selestd processes form one serving
+// group: models are placed on nodes by consistent hashing with
+// -cluster-replicas-way replication, each model's leader streams its
+// write-ahead log to the follower replicas, reads fan out to any
+// replica, updates are proxied to the leader (and acknowledged only
+// after -cluster-ack followers journaled them), and leadership fails
+// over to the most caught-up follower when the leader stops answering
+// heartbeats. GET /v1/cluster serves the shard map. Clustering requires
+// -journal-dir (replication streams the WAL) and every clustered model
+// needs a -data attachment.
 package main
 
 import (
@@ -59,6 +71,7 @@ import (
 	"syscall"
 	"time"
 
+	"selnet/internal/cluster"
 	"selnet/internal/distance"
 	"selnet/internal/infer"
 	"selnet/internal/ingest"
@@ -96,6 +109,32 @@ type ingestOptions struct {
 	shadow         *obs.Shadow
 	workload       *obs.WorkloadMonitor
 	oracleBudget   int
+}
+
+// clusterOptions carries the -cluster-* flag values.
+type clusterOptions struct {
+	self       string
+	peers      []string
+	replicas   int
+	heartbeat  time.Duration
+	failover   time.Duration
+	ack        int
+	ackTimeout time.Duration
+}
+
+func (c clusterOptions) enabled() bool { return len(c.peers) > 0 }
+
+// parsePeers splits a comma-separated peer list into normalized base
+// URLs (trailing slashes stripped, empties dropped).
+func parsePeers(s string) []string {
+	var out []string
+	for _, p := range strings.Split(s, ",") {
+		p = strings.TrimRight(strings.TrimSpace(p), "/")
+		if p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
 }
 
 // obsOptions carries the observability flag values.
@@ -143,6 +182,13 @@ func main() {
 	workloadShift := flag.Float64("workload-shift", 0.25, "live-vs-training workload divergence above which retraining is advised (with -shadow-sample)")
 	mutexFraction := flag.Int("mutex-profile-fraction", 0, "runtime.SetMutexProfileFraction sampling rate for /debug/pprof/mutex (with -debug-addr; 0 disables)")
 	blockRate := flag.Int("block-profile-rate", 0, "runtime.SetBlockProfileRate nanoseconds threshold for /debug/pprof/block (with -debug-addr; 0 disables)")
+	clusterSelf := flag.String("cluster-self", "", "this node's base URL as peers reach it, e.g. http://10.0.0.1:8080 (with -cluster-peers)")
+	clusterPeers := flag.String("cluster-peers", "", "comma-separated base URLs of every cluster node including this one (empty disables clustering)")
+	clusterReplicas := flag.Int("cluster-replicas", 2, "replicas per model (clamped to the cluster size)")
+	clusterHeartbeat := flag.Duration("cluster-heartbeat", 250*time.Millisecond, "peer heartbeat interval")
+	clusterFailover := flag.Duration("cluster-failover", 0, "leader silence before a follower takes over (0 = 6x the heartbeat)")
+	clusterAck := flag.Int("cluster-ack", 1, "follower journal acknowledgements required before an update is acknowledged (0 = asynchronous replication)")
+	clusterAckTimeout := flag.Duration("cluster-ack-timeout", 5*time.Second, "max wait for follower acknowledgements before answering 503")
 	logJSON := flag.Bool("log-json", false, "emit logs as JSON instead of text")
 	flag.Var(&models, "model", "model to serve as name=path (repeatable); bare path serves as \"default\"")
 	flag.Var(&data, "data", "CSV vector database attached to a -model for streaming updates, as name=path.csv (repeatable)")
@@ -186,16 +232,166 @@ func main() {
 		mutexFraction: *mutexFraction,
 		blockRate:     *blockRate,
 	}
-	if err := run(*addr, models, data, serve.Config{
+	co := clusterOptions{
+		self:       strings.TrimRight(strings.TrimSpace(*clusterSelf), "/"),
+		peers:      parsePeers(*clusterPeers),
+		replicas:   *clusterReplicas,
+		heartbeat:  *clusterHeartbeat,
+		failover:   *clusterFailover,
+		ack:        *clusterAck,
+		ackTimeout: *clusterAckTimeout,
+	}
+	cfg := serve.Config{
 		Batcher: serve.BatcherConfig{MaxBatch: *maxBatch, FlushInterval: *flush, Lanes: *lanes},
 		Cache:   serve.CacheConfig{Capacity: *cacheSize, Quantum: *quantum},
-	}, opts, oo, *drain); err != nil {
+	}
+	if err := validateFlags(cfg, opts, oo, co, *drain); err != nil {
+		fmt.Fprintf(os.Stderr, "selestd: %v\n", err)
+		os.Exit(1)
+	}
+	if err := run(*addr, models, data, cfg, opts, oo, co, *drain); err != nil {
 		fmt.Fprintf(os.Stderr, "selestd: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr string, models, data []string, cfg serve.Config, opts ingestOptions, oo obsOptions, drain time.Duration) error {
+// validateFlags rejects out-of-range flag values at startup with one
+// clear error, instead of letting a bad value surface later as silent
+// misbehavior (a negative sample rate never sampling, a zero queue
+// rejecting every update).
+func validateFlags(cfg serve.Config, opts ingestOptions, oo obsOptions, co clusterOptions, drain time.Duration) error {
+	if oo.shadowSample < 0 || oo.shadowSample > 1 {
+		return fmt.Errorf("-shadow-sample must be in [0,1], got %g", oo.shadowSample)
+	}
+	if oo.shadowBudget < 0 {
+		return fmt.Errorf("-shadow-oracle-budget must be >= 0, got %d", oo.shadowBudget)
+	}
+	if oo.traceSlow < 0 {
+		return fmt.Errorf("-trace-slow must be >= 0, got %s", oo.traceSlow)
+	}
+	if oo.driftQError < 0 {
+		return fmt.Errorf("-drift-qerror must be >= 0, got %g", oo.driftQError)
+	}
+	if oo.workloadShift < 0 {
+		return fmt.Errorf("-workload-shift must be >= 0, got %g", oo.workloadShift)
+	}
+	if cfg.Batcher.MaxBatch < 1 {
+		return fmt.Errorf("-max-batch must be >= 1, got %d", cfg.Batcher.MaxBatch)
+	}
+	if cfg.Cache.Capacity < 0 {
+		return fmt.Errorf("-cache must be >= 0, got %d", cfg.Cache.Capacity)
+	}
+	if opts.queueDepth < 1 {
+		return fmt.Errorf("-update-queue must be >= 1, got %d", opts.queueDepth)
+	}
+	if opts.coalesceMax < 1 {
+		return fmt.Errorf("-coalesce must be >= 1, got %d", opts.coalesceMax)
+	}
+	if opts.retrainWorkers < 1 {
+		return fmt.Errorf("-retrain-workers must be >= 1, got %d", opts.retrainWorkers)
+	}
+	if opts.snapshotEvery < 1 {
+		return fmt.Errorf("-snapshot-every must be >= 1, got %d", opts.snapshotEvery)
+	}
+	if opts.compactBytes < 0 {
+		return fmt.Errorf("-journal-compact-bytes must be >= 0, got %d", opts.compactBytes)
+	}
+	if opts.syncInterval < 0 {
+		return fmt.Errorf("-journal-sync-interval must be >= 0, got %s", opts.syncInterval)
+	}
+	if drain <= 0 {
+		return fmt.Errorf("-drain must be > 0, got %s", drain)
+	}
+	if !co.enabled() {
+		if co.self != "" {
+			return fmt.Errorf("-cluster-self requires -cluster-peers")
+		}
+		return nil
+	}
+	if co.self == "" {
+		return fmt.Errorf("-cluster-peers requires -cluster-self")
+	}
+	found := false
+	for _, p := range co.peers {
+		found = found || p == co.self
+	}
+	if !found {
+		return fmt.Errorf("-cluster-self %q is not in -cluster-peers %v", co.self, co.peers)
+	}
+	if co.replicas < 1 {
+		return fmt.Errorf("-cluster-replicas must be >= 1, got %d", co.replicas)
+	}
+	if co.heartbeat <= 0 {
+		return fmt.Errorf("-cluster-heartbeat must be > 0, got %s", co.heartbeat)
+	}
+	if co.failover < 0 {
+		return fmt.Errorf("-cluster-failover must be >= 0, got %s", co.failover)
+	}
+	if co.ack < 0 {
+		return fmt.Errorf("-cluster-ack must be >= 0, got %d", co.ack)
+	}
+	if co.ackTimeout <= 0 {
+		return fmt.Errorf("-cluster-ack-timeout must be > 0, got %s", co.ackTimeout)
+	}
+	if opts.journalDir == "" {
+		return fmt.Errorf("-cluster-peers requires -journal-dir: replication streams the write-ahead log")
+	}
+	return nil
+}
+
+func run(addr string, models, data []string, cfg serve.Config, opts ingestOptions, oo obsOptions, co clusterOptions, drain time.Duration) error {
+	// With clustering on, every node is configured identically (same
+	// -model/-data specs, same peer list) and placement decides which
+	// models this node actually loads and attaches; the full name list
+	// still feeds the router so requests for remote models proxy out.
+	var clusterModels []string
+	hosted := func(string) bool { return true }
+	if co.enabled() {
+		seen := map[string]bool{}
+		for _, spec := range models {
+			name, _, ok := strings.Cut(spec, "=")
+			if !ok {
+				name = "default"
+			}
+			if !seen[name] {
+				seen[name] = true
+				clusterModels = append(clusterModels, name)
+			}
+		}
+		hosted = func(name string) bool {
+			for _, rep := range cluster.Placement(co.peers, co.replicas, name) {
+				if rep == co.self {
+					return true
+				}
+			}
+			return false
+		}
+		kept := models[:0]
+		for _, spec := range models {
+			name, _, ok := strings.Cut(spec, "=")
+			if !ok {
+				name = "default"
+			}
+			if hosted(name) {
+				kept = append(kept, spec)
+			} else {
+				slog.Info("model placed on other nodes; serving it by proxy", "model", name)
+			}
+		}
+		models = kept
+		keptData := data[:0]
+		for _, spec := range data {
+			name, _, ok := strings.Cut(spec, "=")
+			if !ok {
+				name = "default"
+			}
+			if hosted(name) {
+				keptData = append(keptData, spec)
+			}
+		}
+		data = keptData
+	}
+
 	srv := serve.NewServer(cfg)
 	srv.SetTracer(obs.NewTracer(obs.TracerConfig{SlowThreshold: oo.traceSlow}))
 	opts.drift = obs.NewDriftMonitor(obs.DriftConfig{Threshold: oo.driftQError})
@@ -264,6 +460,32 @@ func run(addr string, models, data []string, cfg serve.Config, opts ingestOption
 				pipe.Close()
 			}
 		}()
+	}
+
+	// Cluster mode: wrap the pipeline in a cluster node so updates go
+	// through leadership + replication acks, and attach the router so
+	// the server proxies requests for models placed elsewhere. Deferred
+	// after the pipeline's Close, so the node's loops stop first.
+	if co.enabled() {
+		if pipe == nil {
+			return fmt.Errorf("clustering requires at least one -data attachment: replication streams the update journal")
+		}
+		node, err := cluster.NewNode(cluster.Config{
+			Self: co.self, Peers: co.peers, Replicas: co.replicas,
+			Models: clusterModels, Pipe: pipe,
+			Heartbeat: co.heartbeat, FailAfter: co.failover,
+			AckFollowers: co.ack, AckTimeout: co.ackTimeout,
+			Monitor: obs.NewClusterMonitor(), Logger: slog.Default(),
+		})
+		if err != nil {
+			return err
+		}
+		srv.SetUpdater(node)
+		srv.SetCluster(node)
+		node.Start()
+		defer node.Close()
+		slog.Info("cluster enabled", "self", co.self, "peers", len(co.peers),
+			"replicas", co.replicas, "hosted", node.Hosted(), "ack_followers", co.ack)
 	}
 
 	// The pprof surface lives on its own listener so profiling never

@@ -1,0 +1,131 @@
+package cluster
+
+import (
+	"errors"
+	"log/slog"
+	"time"
+
+	"selnet/internal/ingest"
+	"selnet/internal/serve"
+)
+
+// pullLoop replicates one hosted model: while this node follows, it
+// long-polls the leader's WAL from its own journal position and replays
+// each chunk through the ingest pipeline (journal append at the
+// replicated sequence, then the normal apply/retrain worker). While
+// this node leads, the loop idles — followers pull from us instead.
+func (n *Node) pullLoop(model string) {
+	defer n.wg.Done()
+	for {
+		select {
+		case <-n.stop:
+			return
+		default:
+		}
+
+		n.mu.Lock()
+		ms := n.models[model]
+		leading, leader := ms.leader, ms.leaderURL
+		n.mu.Unlock()
+
+		if leading || leader == "" || leader == n.cfg.Self {
+			// Leading, or leaderless during failover: nothing to pull.
+			if !n.sleep(n.cfg.Heartbeat) {
+				return
+			}
+			continue
+		}
+
+		last, _, ok := n.pipe.Position(model)
+		if !ok {
+			// Model not attached (shouldn't happen for hosted models).
+			if !n.sleep(n.cfg.Heartbeat) {
+				return
+			}
+			continue
+		}
+
+		chunk, err := n.fetchWAL(leader, model, last+1)
+		if err != nil {
+			n.handlePullError(model, leader, err)
+			if !n.sleep(n.cfg.Heartbeat) {
+				return
+			}
+			continue
+		}
+
+		entries := make([]ingest.Entry, 0, len(chunk.Entries))
+		for _, we := range chunk.Entries {
+			entries = append(entries, ingest.Entry{
+				Seq: we.Seq, At: time.Unix(0, we.At), Insert: we.Insert, Delete: we.Delete,
+			})
+		}
+		accepted := 0
+		if len(entries) > 0 {
+			accepted, err = n.pipe.Replicate(model, entries)
+		}
+		n.mon.ObservePull(accepted, err != nil)
+		if err != nil && !errors.Is(err, serve.ErrUpdateQueueFull) {
+			// Queue-full is ordinary backpressure (the worker drains it);
+			// anything else — a gap, a dimension mismatch — means this
+			// replica has diverged and retrying won't fix it. Log loudly
+			// and back off rather than spinning.
+			n.logger.Error("cluster: replication replay failed",
+				slog.String("model", model), slog.String("leader", leader),
+				slog.String("err", err.Error()))
+			if !n.sleep(n.cfg.FailAfter) {
+				return
+			}
+			continue
+		}
+
+		n.mu.Lock()
+		ms.leaderLast = chunk.LastSeq
+		if nowLast, _, ok := n.pipe.Position(model); ok && chunk.LastSeq >= nowLast {
+			n.mon.SetLag(model, n.cfg.Self, chunk.LastSeq-nowLast)
+		}
+		n.mu.Unlock()
+
+		// A full chunk suggests more is waiting: pull again immediately.
+		// An empty or partial chunk means we're caught up; the next
+		// long-poll blocks server-side until new data arrives, so there
+		// is no client-side sleep on the hot path.
+	}
+}
+
+// handlePullError reacts to a failed WAL pull. A 409 clears the cached
+// leader (adopting the peer's hint if it offered one) so the heartbeat
+// loop re-resolves leadership; a 410 means the leader compacted past
+// our position and this replica needs a reseed — surfaced as a loud
+// log until snapshot shipping exists. Transport errors just count: the
+// heartbeat loop notices a dead leader via FailAfter.
+func (n *Node) handlePullError(model, leader string, err error) {
+	n.mon.ObservePull(0, true)
+	var notLeader *errNotLeaderPeer
+	switch {
+	case errors.As(err, &notLeader):
+		n.mu.Lock()
+		ms := n.models[model]
+		if !ms.leader && ms.leaderURL == leader {
+			ms.leaderURL = notLeader.Leader // may be "": heartbeat re-resolves
+		}
+		n.mu.Unlock()
+	case errors.Is(err, errCompactedPeer):
+		n.logger.Error("cluster: leader compacted past our position; replica needs reseed",
+			slog.String("model", model), slog.String("leader", leader))
+	default:
+		n.logger.Debug("cluster: wal pull failed",
+			slog.String("model", model), slog.String("leader", leader),
+			slog.String("err", err.Error()))
+	}
+}
+
+// sleep waits d or until shutdown, reporting false on shutdown.
+func (n *Node) sleep(d time.Duration) bool {
+	select {
+	case <-n.stop:
+		return false
+	case <-time.After(d):
+		return true
+	}
+}

@@ -1,0 +1,96 @@
+// Package cluster turns a set of selestd processes into one serving
+// group: models are placed on nodes by consistent hashing over the
+// model name with R-way replication, each model's leader streams its
+// write-ahead log to the follower replicas (which replay it through the
+// normal ingest pipeline), reads fan out to any replica, updates are
+// proxied to the leader, and leadership fails over to the most
+// caught-up follower when the leader stops answering heartbeats.
+//
+// Membership is static (the -cluster-peers list); the protocol is a
+// deliberately simple heartbeat + term scheme, not Raft: leadership
+// conflicts are resolved by highest term (ties by placement order), and
+// an update is only acknowledged once a configurable number of
+// followers have journaled it, so a leader crash never loses an
+// acknowledged batch as long as one such follower survives to be
+// promoted.
+package cluster
+
+import (
+	"hash/fnv"
+	"sort"
+)
+
+// vnodesPerNode is the number of ring points each node projects; enough
+// to smooth placement across a handful of nodes without making ring
+// construction noticeable.
+const vnodesPerNode = 64
+
+// ring is a consistent-hash ring over node URLs.
+type ring struct {
+	points []ringPoint
+	nodes  int
+}
+
+type ringPoint struct {
+	hash uint64
+	node string
+}
+
+func newRing(nodes []string) *ring {
+	r := &ring{points: make([]ringPoint, 0, len(nodes)*vnodesPerNode), nodes: len(nodes)}
+	for _, node := range nodes {
+		for i := 0; i < vnodesPerNode; i++ {
+			r.points = append(r.points, ringPoint{hash: ringHash(node, i), node: node})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].hash != r.points[j].hash {
+			return r.points[i].hash < r.points[j].hash
+		}
+		// Ties (vanishingly rare with 64-bit hashes) break by name so
+		// every node computes the same ring.
+		return r.points[i].node < r.points[j].node
+	})
+	return r
+}
+
+func ringHash(node string, vnode int) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(node))
+	h.Write([]byte{'#', byte(vnode), byte(vnode >> 8)})
+	return h.Sum64()
+}
+
+// replicas returns the n distinct nodes owning key, walking clockwise
+// from the key's hash. The first node is the model's home (its initial
+// leader); the rest are followers in promotion-preference order.
+func (r *ring) replicas(key string, n int) []string {
+	if len(r.points) == 0 || n <= 0 {
+		return nil
+	}
+	if n > r.nodes {
+		n = r.nodes
+	}
+	h := fnv.New64a()
+	h.Write([]byte(key))
+	target := h.Sum64()
+	start := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= target })
+	out := make([]string, 0, n)
+	seen := make(map[string]bool, n)
+	for i := 0; len(out) < n && i < len(r.points); i++ {
+		p := r.points[(start+i)%len(r.points)]
+		if !seen[p.node] {
+			seen[p.node] = true
+			out = append(out, p.node)
+		}
+	}
+	return out
+}
+
+// Placement computes the replica set for a model over a static peer
+// list: the distinct nodes, in preference order, that should host it.
+// Every node computes the same placement from the same peer list, which
+// is what lets placement be decided locally with no coordinator.
+func Placement(peers []string, replicas int, model string) []string {
+	return newRing(peers).replicas(model, replicas)
+}

@@ -26,6 +26,7 @@ package ingest
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"math"
 	"os"
@@ -503,6 +504,81 @@ func (p *Pipeline) Enqueue(model string, insert, del [][]float64) (serve.UpdateA
 		return serve.UpdateAck{}, err
 	}
 	return serve.UpdateAck{Seq: e.Seq, QueueDepth: depth}, nil
+}
+
+// Replicate journals a chunk of leader-assigned entries for the named
+// model, the follower half of WAL streaming replication: entries are
+// appended at their original sequence numbers (skipping any the local
+// journal already holds, so re-pulled ranges replay idempotently),
+// fsynced once as a group, and then flow through the same worker
+// apply+retrain path as local updates. It returns how many entries were
+// newly journaled; a queue-full stop after a partial chunk is not an
+// error — the caller re-pulls from its new position once the worker
+// drains.
+func (p *Pipeline) Replicate(model string, entries []Entry) (accepted int, err error) {
+	mp := p.lookup(model)
+	if mp == nil {
+		return 0, serve.ErrNotUpdatable
+	}
+	for _, e := range entries {
+		for _, set := range [2][][]float64{e.Insert, e.Delete} {
+			for _, v := range set {
+				if len(v) != mp.db.Dim {
+					return 0, fmt.Errorf("%w: replicated seq %d has dim %d, model %q expects %d",
+						serve.ErrInvalidUpdate, e.Seq, len(v), model, mp.db.Dim)
+				}
+			}
+		}
+	}
+	for _, e := range entries {
+		ok, aerr := mp.j.appendAt(e)
+		if aerr != nil {
+			if errors.Is(aerr, serve.ErrUpdateQueueFull) && accepted > 0 {
+				break
+			}
+			if accepted > 0 {
+				if serr := mp.j.sync(); serr != nil {
+					return accepted, serr
+				}
+			}
+			return accepted, aerr
+		}
+		if ok {
+			accepted++
+		}
+	}
+	if accepted > 0 {
+		if serr := mp.j.sync(); serr != nil {
+			return accepted, serr
+		}
+	}
+	return accepted, nil
+}
+
+// TailWAL opens a streaming reader over the named model's write-ahead
+// log resuming after the given sequence, for serving replication pulls.
+// It fails for models without a durable journal and with ErrWALCompacted
+// when the log no longer reaches back to the requested position.
+func (p *Pipeline) TailWAL(model string, after uint64) (*WALTailer, error) {
+	mp := p.lookup(model)
+	if mp == nil {
+		return nil, serve.ErrNotUpdatable
+	}
+	if mp.wal == nil {
+		return nil, fmt.Errorf("ingest: model %q has no durable journal to stream", model)
+	}
+	return TailWAL(mp.wal.path, after)
+}
+
+// Position reports the named model's journal position: the last assigned
+// (journaled) sequence and the last applied one.
+func (p *Pipeline) Position(model string) (lastSeq, applied uint64, ok bool) {
+	mp := p.lookup(model)
+	if mp == nil {
+		return 0, 0, false
+	}
+	lastSeq, applied, _ = mp.j.snapshot()
+	return lastSeq, applied, true
 }
 
 // WaitApplied blocks until the named model's applied sequence reaches

@@ -1,6 +1,7 @@
 package ingest
 
 import (
+	"fmt"
 	"sync"
 	"time"
 
@@ -126,6 +127,41 @@ func (j *journal) append(insert, del [][]float64) (Entry, int, error) {
 	}
 	return e, depth, nil
 }
+
+// appendAt journals one batch at its replicated sequence number, the
+// follower-side counterpart of append: the leader already assigned the
+// sequence, so instead of minting one this verifies that e.Seq continues
+// the local journal exactly. Entries at or below the last assigned
+// sequence are skipped (accepted=false, nil error) — a follower that
+// re-requests a range it already journaled replays idempotently — and a
+// gap is a hard error, since applying past a hole would diverge from the
+// leader. The caller syncs once per replicated chunk via sync().
+func (j *journal) appendAt(e Entry) (accepted bool, err error) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.closed {
+		return false, serve.ErrUpdaterClosed
+	}
+	if e.Seq < j.next {
+		return false, nil
+	}
+	if e.Seq != j.next {
+		return false, fmt.Errorf("ingest: replication gap: journal at seq %d, got %d", j.next-1, e.Seq)
+	}
+	if len(j.pending) >= j.depth {
+		return false, serve.ErrUpdateQueueFull
+	}
+	if err := j.store.Append(e); err != nil {
+		return false, err
+	}
+	j.next++
+	j.pending = append(j.pending, e)
+	j.cond.Broadcast()
+	return true, nil
+}
+
+// sync makes every appended record durable (group-committed).
+func (j *journal) sync() error { return j.store.Sync() }
 
 // claim blocks until at least one entry is pending (or the journal is
 // closed and drained, returning nil) and takes up to max entries in

@@ -1,0 +1,202 @@
+package ingest
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+)
+
+// This file is the streaming half of the WAL: a tailer that reads a live
+// log record by record so a follower replica can resume replication from
+// an arbitrary sequence number. The writer side (wal.go) only ever
+// appends whole records under its lock and advances its size after full
+// writes, so every byte below the writer's recorded size is immutable —
+// the tailer reads through an independent handle with ReadAt and treats
+// anything that does not yet form an intact record (a torn frame, a CRC
+// mismatch) as "not written yet" and retries on the next Next call
+// without advancing. Compaction replaces the file via rename; the tailer
+// detects the inode change, reopens, and re-checks that the new header's
+// watermark still covers its resume position.
+
+// ErrWALCompacted reports that the log's retained suffix starts past the
+// requested resume sequence: the dropped prefix only survives in a
+// snapshot, so the caller cannot catch up from the log alone and must be
+// reseeded.
+var ErrWALCompacted = errors.New("ingest: wal compacted past requested sequence")
+
+// WALTailer streams ops records from a model's WAL file, resuming after
+// a given sequence number. It is a read-only, single-goroutine cursor:
+// Next returns newly durable entries in sequence order and returns an
+// empty batch (not an error) while the writer has nothing new.
+type WALTailer struct {
+	path string
+	f    *os.File
+	off  int64
+	// last is the highest sequence emitted (seeded with the resume
+	// floor): records at or below it are skipped, which makes re-tailing
+	// an already-replicated range idempotent.
+	last uint64
+}
+
+// TailWAL opens a tailer over the log at path positioned just past the
+// header, ready to emit entries with sequence > after. It fails with
+// ErrWALCompacted when the log has been compacted past the resume point.
+func TailWAL(path string, after uint64) (*WALTailer, error) {
+	t := &WALTailer{path: path, last: after}
+	if err := t.open(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// open (re)positions the tailer at the start of the ops stream of the
+// current file at t.path, validating magic and header.
+func (t *WALTailer) open() error {
+	f, err := os.Open(t.path)
+	if err != nil {
+		return err
+	}
+	var magic [len(walMagic)]byte
+	if _, err := f.ReadAt(magic[:], 0); err != nil {
+		f.Close()
+		return fmt.Errorf("ingest: tail %s: %w", t.path, err)
+	}
+	if string(magic[:]) != walMagic {
+		f.Close()
+		return fmt.Errorf("ingest: tail %s: not a selnet WAL (bad magic)", t.path)
+	}
+	payload, next, ok, err := readRecordAt(f, int64(len(walMagic)))
+	if err != nil {
+		f.Close()
+		return fmt.Errorf("ingest: tail %s: %w", t.path, err)
+	}
+	if !ok || payload[0] != walRecHeader {
+		f.Close()
+		return fmt.Errorf("ingest: tail %s: missing header record", t.path)
+	}
+	_, base, okH := decodeWALHeader(payload)
+	if !okH {
+		f.Close()
+		return fmt.Errorf("ingest: tail %s: malformed header record", t.path)
+	}
+	if base > t.last {
+		f.Close()
+		return ErrWALCompacted
+	}
+	if t.f != nil {
+		t.f.Close()
+	}
+	t.f = f
+	t.off = next
+	return nil
+}
+
+// Next returns up to max entries with sequence > the resume floor that
+// are intact in the log, advancing the cursor past them. An empty result
+// with a nil error means the writer has not appended (or not finished
+// appending) anything new; call again later. When the underlying file
+// has been replaced by compaction, the tailer transparently reopens it,
+// failing with ErrWALCompacted if the new log no longer covers the
+// cursor position.
+func (t *WALTailer) Next(max int) ([]Entry, error) {
+	if t.f == nil {
+		return nil, fmt.Errorf("ingest: tail %s: closed", t.path)
+	}
+	if max <= 0 {
+		max = 1
+	}
+	// Compaction swaps in a new inode via rename; stat both ends and
+	// reopen when they diverge. The old handle stays readable until then,
+	// so records already streamed are never lost to the swap.
+	if cur, err := t.f.Stat(); err == nil {
+		if disk, err := os.Stat(t.path); err == nil && !os.SameFile(cur, disk) {
+			if err := t.open(); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	var out []Entry
+	for len(out) < max {
+		payload, next, ok, err := readRecordAt(t.f, t.off)
+		if err != nil {
+			return out, fmt.Errorf("ingest: tail %s: %w", t.path, err)
+		}
+		if !ok {
+			// Torn or absent tail: the writer has not completed this record
+			// yet (or never will, and recovery will truncate it). Do not
+			// advance; surface what is intact so far.
+			break
+		}
+		if payload[0] != walRecOps {
+			// Only the first record is a header; anything else is foreign.
+			// Skip without emitting so a future record format does not wedge
+			// the stream.
+			t.off = next
+			continue
+		}
+		e, okE := decodeWALOps(payload)
+		if !okE {
+			// CRC-valid but undecodable: recovery treats this as the end of
+			// the trustworthy log; so does the tailer.
+			break
+		}
+		if e.Seq <= t.last {
+			// Catch-up skip: the record predates the resume floor (the
+			// follower already journaled it). This is the idempotence path
+			// for re-requested ranges.
+			t.off = next
+			continue
+		}
+		out = append(out, e)
+		t.last = e.Seq
+		t.off = next
+	}
+	return out, nil
+}
+
+// LastSeq reports the highest sequence the tailer has emitted (or the
+// resume floor before the first emit).
+func (t *WALTailer) LastSeq() uint64 { return t.last }
+
+// Close releases the file handle. Further Next calls fail.
+func (t *WALTailer) Close() error {
+	if t.f == nil {
+		return nil
+	}
+	err := t.f.Close()
+	t.f = nil
+	return err
+}
+
+// readRecordAt reads the framed record at off via ReadAt, reporting
+// ok=false when the bytes there do not (yet) form an intact record. Real
+// I/O errors other than hitting the current end of file are returned.
+func readRecordAt(f *os.File, off int64) (payload []byte, next int64, ok bool, err error) {
+	var hdr [8]byte
+	if _, rerr := f.ReadAt(hdr[:], off); rerr != nil {
+		if rerr == io.EOF || rerr == io.ErrUnexpectedEOF {
+			return nil, 0, false, nil
+		}
+		return nil, 0, false, rerr
+	}
+	n := int64(binary.LittleEndian.Uint32(hdr[0:4]))
+	crc := binary.LittleEndian.Uint32(hdr[4:8])
+	if n < 1 || n > maxWALRecord {
+		return nil, 0, false, nil
+	}
+	payload = make([]byte, n)
+	if _, rerr := f.ReadAt(payload, off+8); rerr != nil {
+		if rerr == io.EOF || rerr == io.ErrUnexpectedEOF {
+			return nil, 0, false, nil
+		}
+		return nil, 0, false, rerr
+	}
+	if crc32.ChecksumIEEE(payload) != crc {
+		return nil, 0, false, nil
+	}
+	return payload, off + 8 + n, true, nil
+}

@@ -1,0 +1,308 @@
+package ingest
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"selnet/internal/serve"
+	"selnet/internal/vecdata"
+)
+
+func tailAll(t *testing.T, tl *WALTailer, max int) []Entry {
+	t.Helper()
+	out, err := tl.Next(max)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func seqsOf(entries []Entry) []uint64 {
+	out := make([]uint64, len(entries))
+	for i, e := range entries {
+		out[i] = e.Seq
+	}
+	return out
+}
+
+// TestTailWALResumeMidLog is the follower-catch-up path: a tailer opened
+// with an arbitrary mid-log resume sequence must emit exactly the
+// entries past it, in order, and re-tailing the same range again (a
+// follower re-requesting an already-applied batch) must skip what the
+// floor already covers — replay idempotence.
+func TestTailWALResumeMidLog(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "m.wal")
+	w, _ := openTestWAL(t, path)
+	var all []Entry
+	for seq := uint64(1); seq <= 10; seq++ {
+		all = append(all, testEntry(seq, float64(seq)))
+	}
+	appendAll(t, w, all...)
+
+	tl, err := TailWAL(path, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tl.Close()
+	got := tailAll(t, tl, 100)
+	if len(got) != 5 || got[0].Seq != 6 || got[4].Seq != 10 {
+		t.Fatalf("resume after 5 emitted seqs %v, want 6..10", seqsOf(got))
+	}
+	if got[0].At.UnixNano() != all[5].At.UnixNano() || len(got[0].Insert) != len(all[5].Insert) {
+		t.Fatalf("entry payload mismatch: %+v vs %+v", got[0], all[5])
+	}
+	if more := tailAll(t, tl, 100); len(more) != 0 {
+		t.Fatalf("drained tailer emitted %v", seqsOf(more))
+	}
+
+	// A fresh tailer re-requesting an already-consumed position replays
+	// the same suffix — pulling twice never duplicates ahead of the floor.
+	again, err := TailWAL(path, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer again.Close()
+	if got := tailAll(t, again, 100); len(got) != 2 || got[0].Seq != 9 || got[1].Seq != 10 {
+		t.Fatalf("re-request after 8 emitted %v, want 9..10", seqsOf(got))
+	}
+}
+
+// TestTailWALFollowsLiveAppends proves the tailer sees records appended
+// after it was opened, respecting the max chunk size.
+func TestTailWALFollowsLiveAppends(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "m.wal")
+	w, _ := openTestWAL(t, path)
+	appendAll(t, w, testEntry(1, 1))
+
+	tl, err := TailWAL(path, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tl.Close()
+	if got := tailAll(t, tl, 100); len(got) != 1 || got[0].Seq != 1 {
+		t.Fatalf("initial read %v", seqsOf(got))
+	}
+	if got := tailAll(t, tl, 100); len(got) != 0 {
+		t.Fatalf("idle read %v", seqsOf(got))
+	}
+
+	appendAll(t, w, testEntry(2, 2), testEntry(3, 3), testEntry(4, 4))
+	if got := tailAll(t, tl, 2); len(got) != 2 || got[0].Seq != 2 || got[1].Seq != 3 {
+		t.Fatalf("live read capped at 2 got %v", seqsOf(got))
+	}
+	if got := tailAll(t, tl, 2); len(got) != 1 || got[0].Seq != 4 {
+		t.Fatalf("live read tail got %v", seqsOf(got))
+	}
+	if tl.LastSeq() != 4 {
+		t.Fatalf("LastSeq %d, want 4", tl.LastSeq())
+	}
+}
+
+// TestTailWALIgnoresTornTail: a torn (partially written) record must not
+// be emitted and must not advance the cursor; once the writer completes
+// it (simulated by truncating the garbage and appending properly) the
+// stream resumes.
+func TestTailWALIgnoresTornTail(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "m.wal")
+	w, _ := openTestWAL(t, path)
+	appendAll(t, w, testEntry(1, 1))
+
+	tl, err := TailWAL(path, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tl.Close()
+	if got := tailAll(t, tl, 10); len(got) != 1 {
+		t.Fatalf("initial read %v", seqsOf(got))
+	}
+
+	// Simulate a torn append: write only the first half of a record's
+	// frame directly, bypassing the WAL (which refuses partial writes).
+	rec := frameWALRecord(encodeWALOps(testEntry(2, 2)))
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write(rec[:len(rec)/2]); err != nil {
+		t.Fatal(err)
+	}
+	if got := tailAll(t, tl, 10); len(got) != 0 {
+		t.Fatalf("torn tail emitted %v", seqsOf(got))
+	}
+	if _, err := f.Write(rec[len(rec)/2:]); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	if got := tailAll(t, tl, 10); len(got) != 1 || got[0].Seq != 2 {
+		t.Fatalf("completed tail got %v, want seq 2", seqsOf(got))
+	}
+}
+
+// TestTailWALSurvivesCompaction: compaction replaces the log file via
+// rename; an open tailer must detect the swap, reopen, and keep
+// streaming from its floor without duplicates. A tailer whose position
+// was compacted away must fail with ErrWALCompacted.
+func TestTailWALSurvivesCompaction(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "m.wal")
+	w, _ := openTestWAL(t, path)
+	appendAll(t, w, testEntry(1, 1), testEntry(2, 2), testEntry(3, 3), testEntry(4, 4))
+
+	tl, err := TailWAL(path, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tl.Close()
+	if got := tailAll(t, tl, 3); len(got) != 3 {
+		t.Fatalf("pre-compaction read %v", seqsOf(got))
+	}
+
+	if err := w.Compact(3); err != nil {
+		t.Fatal(err)
+	}
+	appendAll(t, w, testEntry(5, 5))
+	got := tailAll(t, tl, 10)
+	if len(got) != 2 || got[0].Seq != 4 || got[1].Seq != 5 {
+		t.Fatalf("post-compaction read %v, want 4..5", seqsOf(got))
+	}
+
+	// A tailer far behind the compaction horizon cannot catch up from
+	// the log alone.
+	if _, err := TailWAL(path, 1); !errors.Is(err, ErrWALCompacted) {
+		t.Fatalf("stale resume: %v, want ErrWALCompacted", err)
+	}
+
+	// An open tailer that falls behind a later compaction hits the same
+	// error on its next read.
+	lag, err := TailWAL(path, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lag.Close()
+	if err := w.Compact(5); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := lag.Next(10); !errors.Is(err, ErrWALCompacted) {
+		t.Fatalf("lagging tailer: %v, want ErrWALCompacted", err)
+	}
+}
+
+// TestJournalAppendAt covers the follower-side journal write: in-order
+// replicated entries are accepted, duplicates are skipped without error,
+// and a sequence gap is refused.
+func TestJournalAppendAt(t *testing.T) {
+	j := newJournal(3, nil)
+	if ok, err := j.appendAt(Entry{Seq: 1, At: time.Unix(0, 1)}); !ok || err != nil {
+		t.Fatalf("seq 1: ok=%v err=%v", ok, err)
+	}
+	if ok, err := j.appendAt(Entry{Seq: 1, At: time.Unix(0, 1)}); ok || err != nil {
+		t.Fatalf("duplicate seq 1: ok=%v err=%v (want skipped, no error)", ok, err)
+	}
+	if ok, err := j.appendAt(Entry{Seq: 3, At: time.Unix(0, 1)}); ok || err == nil {
+		t.Fatalf("gap seq 3: ok=%v err=%v (want error)", ok, err)
+	}
+	if ok, err := j.appendAt(Entry{Seq: 2, At: time.Unix(0, 1)}); !ok || err != nil {
+		t.Fatalf("seq 2: ok=%v err=%v", ok, err)
+	}
+	// Local appends continue the replicated sequence.
+	e, _, err := j.append([][]float64{{1}}, nil)
+	if err != nil || e.Seq != 3 {
+		t.Fatalf("append after replicate: seq %d err %v, want 3", e.Seq, err)
+	}
+	// Backpressure applies to replication too.
+	if _, err := j.appendAt(Entry{Seq: 4}); !errors.Is(err, serve.ErrUpdateQueueFull) {
+		t.Fatalf("full queue: %v", err)
+	}
+	j.close()
+	if _, err := j.appendAt(Entry{Seq: 4}); !errors.Is(err, serve.ErrUpdaterClosed) {
+		t.Fatalf("closed journal: %v", err)
+	}
+}
+
+// TestPipelineReplicate streams one durable pipeline's WAL into another
+// through TailWAL + Replicate — the in-process form of leader→follower
+// replication — and proves the follower applies the batches through its
+// normal worker path, idempotently under re-delivery.
+func TestPipelineReplicate(t *testing.T) {
+	db, wl, train, valid := testData(31, 150, 4, 8)
+	leaderDB := db.Clone()
+	followerDB := db.Clone()
+
+	leader, _ := newPipeline(t, Config{
+		Update:  neverRetrain(),
+		Journal: JournalConfig{Dir: t.TempDir()},
+	})
+	if err := leader.Attach("m", tinyModel(32, db.Dim, wl.TMax), leaderDB, train, valid); err != nil {
+		t.Fatal(err)
+	}
+	follower, _ := newPipeline(t, Config{
+		Update:  neverRetrain(),
+		Journal: JournalConfig{Dir: t.TempDir()},
+	})
+	fTrain := append([]vecdata.Query(nil), train...)
+	fValid := append([]vecdata.Query(nil), valid...)
+	if err := follower.Attach("m", tinyModel(32, db.Dim, wl.TMax), followerDB, fTrain, fValid); err != nil {
+		t.Fatal(err)
+	}
+
+	var lastSeq uint64
+	for i := 0; i < 5; i++ {
+		ack, err := leader.Enqueue("m", [][]float64{{float64(i), 1, 2, 3}}, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lastSeq = ack.Seq
+	}
+	if !leader.WaitApplied("m", lastSeq) {
+		t.Fatal("leader never applied")
+	}
+
+	tl, err := leader.TailWAL("m", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tl.Close()
+	entries := tailAll(t, tl, 100)
+	if len(entries) != 5 {
+		t.Fatalf("tailed %d entries, want 5", len(entries))
+	}
+
+	accepted, err := follower.Replicate("m", entries)
+	if err != nil || accepted != 5 {
+		t.Fatalf("replicate: accepted %d err %v", accepted, err)
+	}
+	// Re-delivering the same chunk (a follower re-pull) journals nothing.
+	accepted, err = follower.Replicate("m", entries)
+	if err != nil || accepted != 0 {
+		t.Fatalf("re-replicate: accepted %d err %v, want 0", accepted, err)
+	}
+	if !follower.WaitApplied("m", lastSeq) {
+		t.Fatal("follower never applied")
+	}
+	last, applied, ok := follower.Position("m")
+	if !ok || last != lastSeq || applied != lastSeq {
+		t.Fatalf("follower position last=%d applied=%d ok=%v, want %d", last, applied, ok, lastSeq)
+	}
+	if followerDB.Size() != leaderDB.Size() {
+		t.Fatalf("databases diverged: follower %d vs leader %d vectors", followerDB.Size(), leaderDB.Size())
+	}
+
+	// A replication gap is refused before anything is journaled.
+	if _, err := follower.Replicate("m", []Entry{testEntryDim(lastSeq+2, db.Dim)}); err == nil {
+		t.Fatal("gap accepted")
+	}
+	// Unknown models and bad dims are rejected up front.
+	if _, err := follower.Replicate("ghost", entries); !errors.Is(err, serve.ErrNotUpdatable) {
+		t.Fatalf("unknown model: %v", err)
+	}
+	if _, err := follower.Replicate("m", []Entry{testEntry(lastSeq+1, 9)}); !errors.Is(err, serve.ErrInvalidUpdate) {
+		t.Fatalf("bad dim: %v", err)
+	}
+}
+
+func testEntryDim(seq uint64, dim int) Entry {
+	v := make([]float64, dim)
+	return Entry{Seq: seq, At: time.Unix(0, 1), Insert: [][]float64{v}}
+}

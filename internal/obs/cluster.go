@@ -1,0 +1,199 @@
+package obs
+
+import (
+	"sort"
+	"sync"
+)
+
+// ClusterMonitor collects the distributed-serving counters: per-model
+// leadership role and term, failover promotions/demotions, per-peer
+// replication lag, and WAL pull-stream traffic. The cluster node feeds
+// it from its heartbeat and replication loops; the HTTP server renders
+// it into /metrics. All methods are safe for concurrent use and cheap
+// enough for per-heartbeat updates.
+type ClusterMonitor struct {
+	mu    sync.Mutex
+	roles map[string]clusterRole
+	// lag[model][peer] is the replication lag the local node last
+	// observed for that peer: on a leader, its own last assigned
+	// sequence minus the follower's acknowledged (journaled) sequence;
+	// on a follower, the leader's last sequence minus the local applied
+	// sequence, keyed by the follower's own URL.
+	lag        map[string]map[string]uint64
+	promotions map[string]uint64
+	demotions  map[string]uint64
+	pulls      uint64
+	pullErrors uint64
+	entries    uint64
+}
+
+type clusterRole struct {
+	leader bool
+	term   uint64
+}
+
+// ClusterCounters is a point-in-time copy of the monitor's totals.
+type ClusterCounters struct {
+	Promotions uint64 `json:"promotions"`
+	Demotions  uint64 `json:"demotions"`
+	Pulls      uint64 `json:"pulls"`
+	PullErrors uint64 `json:"pull_errors"`
+	Entries    uint64 `json:"entries"`
+}
+
+// NewClusterMonitor builds an empty monitor.
+func NewClusterMonitor() *ClusterMonitor {
+	return &ClusterMonitor{
+		roles:      make(map[string]clusterRole),
+		lag:        make(map[string]map[string]uint64),
+		promotions: make(map[string]uint64),
+		demotions:  make(map[string]uint64),
+	}
+}
+
+// SetRole records the local node's current role and term for a model.
+func (c *ClusterMonitor) SetRole(model string, leader bool, term uint64) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	c.roles[model] = clusterRole{leader: leader, term: term}
+	c.mu.Unlock()
+}
+
+// Promotion counts one leader failover won by the local node.
+func (c *ClusterMonitor) Promotion(model string) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	c.promotions[model]++
+	c.mu.Unlock()
+}
+
+// Demotion counts one leadership loss (a higher-term claim superseded
+// the local node).
+func (c *ClusterMonitor) Demotion(model string) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	c.demotions[model]++
+	c.mu.Unlock()
+}
+
+// SetLag records the replication lag observed for one peer of a model.
+func (c *ClusterMonitor) SetLag(model, peer string, lag uint64) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	m := c.lag[model]
+	if m == nil {
+		m = make(map[string]uint64)
+		c.lag[model] = m
+	}
+	m[peer] = lag
+	c.mu.Unlock()
+}
+
+// DropPeer forgets a peer's lag series for a model (the peer left the
+// replica set, or leadership moved and the local node no longer tracks
+// its followers).
+func (c *ClusterMonitor) DropPeer(model, peer string) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	delete(c.lag[model], peer)
+	c.mu.Unlock()
+}
+
+// ObservePull records one WAL pull round-trip made by the local node as
+// a follower: entries replicated into the local journal, and whether
+// the pull failed.
+func (c *ClusterMonitor) ObservePull(entries int, failed bool) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	c.pulls++
+	if failed {
+		c.pullErrors++
+	}
+	if entries > 0 {
+		c.entries += uint64(entries)
+	}
+	c.mu.Unlock()
+}
+
+// Counters snapshots the monitor's totals.
+func (c *ClusterMonitor) Counters() ClusterCounters {
+	if c == nil {
+		return ClusterCounters{}
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := ClusterCounters{Pulls: c.pulls, PullErrors: c.pullErrors, Entries: c.entries}
+	for _, n := range c.promotions {
+		out.Promotions += n
+	}
+	for _, n := range c.demotions {
+		out.Demotions += n
+	}
+	return out
+}
+
+// WriteMetrics renders the cluster families into one exposition pass.
+func (c *ClusterMonitor) WriteMetrics(p *PromWriter) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+
+	models := make([]string, 0, len(c.roles))
+	for name := range c.roles {
+		models = append(models, name)
+	}
+	sort.Strings(models)
+	for _, name := range models {
+		role := c.roles[name]
+		leader := 0.0
+		if role.leader {
+			leader = 1
+		}
+		p.Value("selestd_cluster_is_leader", "1 when this node leads the model's replica group.",
+			"gauge", leader, "model", name)
+		p.Value("selestd_cluster_term", "Leadership term of the model's replica group.",
+			"gauge", float64(role.term), "model", name)
+		p.Value("selestd_cluster_failovers_total", "Leader promotions won by this node.",
+			"counter", float64(c.promotions[name]), "model", name)
+		p.Value("selestd_cluster_demotions_total", "Leaderships this node ceded to a higher-term claim.",
+			"counter", float64(c.demotions[name]), "model", name)
+	}
+
+	lagModels := make([]string, 0, len(c.lag))
+	for name := range c.lag {
+		lagModels = append(lagModels, name)
+	}
+	sort.Strings(lagModels)
+	for _, name := range lagModels {
+		peers := make([]string, 0, len(c.lag[name]))
+		for peer := range c.lag[name] {
+			peers = append(peers, peer)
+		}
+		sort.Strings(peers)
+		for _, peer := range peers {
+			p.Value("selestd_replication_lag", "Leader sequence minus the peer's replicated sequence.",
+				"gauge", float64(c.lag[name][peer]), "model", name, "peer", peer)
+		}
+	}
+
+	p.Value("selestd_replication_pulls_total", "WAL pull round-trips made as a follower.",
+		"counter", float64(c.pulls))
+	p.Value("selestd_replication_pull_errors_total", "WAL pulls that failed.",
+		"counter", float64(c.pullErrors))
+	p.Value("selestd_replication_entries_total", "WAL entries replicated into the local journal.",
+		"counter", float64(c.entries))
+}

@@ -22,6 +22,7 @@ package obs
 import (
 	"context"
 	"fmt"
+	"strconv"
 	"sync/atomic"
 )
 
@@ -36,6 +37,22 @@ func NextTraceID() uint64 { return traceIDs.Add(1) }
 // FormatTraceID renders an identifier the way it appears in the
 // X-Trace-Id response header, /debug/traces, and request logs.
 func FormatTraceID(id uint64) string { return fmt.Sprintf("%016x", id) }
+
+// ParseTraceID inverts FormatTraceID. It accepts the identifiers the
+// server itself mints (up to 16 hex digits, nonzero), so a request
+// forwarded between cluster nodes keeps one trace ID across hops; an
+// arbitrary client-supplied header that does not parse is rejected and
+// the receiving node mints its own.
+func ParseTraceID(s string) (uint64, bool) {
+	if len(s) == 0 || len(s) > 16 {
+		return 0, false
+	}
+	id, err := strconv.ParseUint(s, 16, 64)
+	if err != nil || id == 0 {
+		return 0, false
+	}
+	return id, true
+}
 
 type traceIDKey struct{}
 

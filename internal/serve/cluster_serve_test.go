@@ -1,0 +1,194 @@
+package serve
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"selnet/internal/obs"
+)
+
+// fakeCluster is a scriptable ClusterRouter: tests point reads and
+// writes wherever they like and feed the metrics pass a real monitor.
+type fakeCluster struct {
+	readTargets []string
+	readLocal   bool
+	writeTarget string
+	writeLocal  bool
+	mon         *obs.ClusterMonitor
+}
+
+func (f *fakeCluster) RouteRead(model string) ([]string, bool) { return f.readTargets, f.readLocal }
+func (f *fakeCluster) RouteWrite(model string) (string, bool)  { return f.writeTarget, f.writeLocal }
+func (f *fakeCluster) ShardMap() any                           { return map[string]string{"self": "here"} }
+func (f *fakeCluster) ClusterStats() any                       { return map[string]string{"self": "here"} }
+func (f *fakeCluster) Handler() http.Handler                   { return http.NotFoundHandler() }
+func (f *fakeCluster) WriteMetrics(p *obs.PromWriter)          { f.mon.WriteMetrics(p) }
+
+func localCluster() *fakeCluster {
+	return &fakeCluster{readLocal: true, writeLocal: true, mon: obs.NewClusterMonitor()}
+}
+
+// newClusterTestServer builds a server with the router attached before
+// the handler exists, so the /v1/cluster routes register.
+func newClusterTestServer(t *testing.T, fc *fakeCluster) (*Server, *httptest.Server) {
+	t.Helper()
+	s := NewServer(Config{Batcher: BatcherConfig{MaxBatch: 4}})
+	s.SetCluster(fc)
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		s.Close()
+	})
+	return s, ts
+}
+
+func TestRetryAfterOnBackpressure(t *testing.T) {
+	s, ts := newTestServer(t, Config{Batcher: BatcherConfig{MaxBatch: 4}})
+	if _, err := s.Registry().Publish("m", tinyNet(21, 3), "mem"); err != nil {
+		t.Fatal(err)
+	}
+	s.SetUpdater(&fakeUpdater{err: ErrUpdateQueueFull})
+	resp, _ := postJSON(t, ts.URL+"/v1/models/m/update", map[string]any{"insert": [][]float64{{1, 2, 3}}})
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("status %d, want 429", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("429 without Retry-After")
+	}
+}
+
+func TestNotLeaderAnswers503WithRetryAfter(t *testing.T) {
+	fc := localCluster()
+	s, ts := newClusterTestServer(t, fc)
+	if _, err := s.Registry().Publish("m", tinyNet(22, 3), "mem"); err != nil {
+		t.Fatal(err)
+	}
+	for _, err := range []error{ErrNotLeader, ErrReplicationTimeout} {
+		s.SetUpdater(&fakeUpdater{err: err})
+		resp, _ := postJSON(t, ts.URL+"/v1/models/m/update", map[string]any{"insert": [][]float64{{1, 2, 3}}})
+		if resp.StatusCode != http.StatusServiceUnavailable {
+			t.Fatalf("%v: status %d, want 503", err, resp.StatusCode)
+		}
+		if resp.Header.Get("Retry-After") == "" {
+			t.Fatalf("%v: 503 without Retry-After", err)
+		}
+	}
+}
+
+func TestClusterMapRoute(t *testing.T) {
+	_, ts := newClusterTestServer(t, localCluster())
+	var sm map[string]string
+	resp := getJSON(t, ts.URL+"/v1/cluster", &sm)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if sm["self"] != "here" {
+		t.Fatalf("shard map %v", sm)
+	}
+}
+
+// TestForwarding proxies an estimate and an update from a router node
+// to the node that owns the model, asserting the answer comes back
+// verbatim, the trace ID survives the hop, and the forwarded request
+// carries the hop count (so the remote side serves locally instead of
+// forwarding again).
+func TestForwarding(t *testing.T) {
+	// Owner: hosts the model, everything local.
+	owner, ownerTS := newClusterTestServer(t, localCluster())
+	if _, err := owner.Registry().Publish("m", tinyNet(23, 3), "mem"); err != nil {
+		t.Fatal(err)
+	}
+	owner.SetUpdater(&fakeUpdater{ack: UpdateAck{Seq: 42, QueueDepth: 1}})
+
+	var hopSeen string
+	tap := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hopSeen = r.Header.Get(ForwardedHeader)
+		ownerTS.Config.Handler.ServeHTTP(w, r)
+	}))
+	defer tap.Close()
+
+	// Router: hosts nothing; reads and writes both point at the owner.
+	router := &fakeCluster{readTargets: []string{tap.URL}, writeTarget: tap.URL, mon: obs.NewClusterMonitor()}
+	_, routerTS := newClusterTestServer(t, router)
+
+	resp, body := postJSON(t, routerTS.URL+"/v1/estimate",
+		map[string]any{"model": "m", "query": []float64{0.1, 0.2, 0.3}, "t": 0.5})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("forwarded estimate: status %d: %s", resp.StatusCode, body)
+	}
+	if !strings.Contains(string(body), `"estimate"`) {
+		t.Fatalf("forwarded estimate body %q", body)
+	}
+	if hopSeen != "1" {
+		t.Fatalf("forwarded request hop count %q, want 1", hopSeen)
+	}
+	if resp.Header.Get("X-Trace-Id") == "" {
+		t.Fatal("forwarded response lost the trace id")
+	}
+
+	resp, body = postJSON(t, routerTS.URL+"/v1/models/m/update",
+		map[string]any{"insert": [][]float64{{1, 2, 3}}})
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("forwarded update: status %d: %s", resp.StatusCode, body)
+	}
+	if !strings.Contains(string(body), `"seq":42`) {
+		t.Fatalf("forwarded update body %q", body)
+	}
+}
+
+// TestForwardingNoReplicaReachable: every candidate dead -> 503 with
+// Retry-After, not a hang or a panic.
+func TestForwardingNoReplicaReachable(t *testing.T) {
+	dead := httptest.NewServer(http.NotFoundHandler())
+	dead.Close() // now refusing connections
+	router := &fakeCluster{readTargets: []string{dead.URL}, mon: obs.NewClusterMonitor()}
+	_, ts := newClusterTestServer(t, router)
+	resp, _ := postJSON(t, ts.URL+"/v1/estimate",
+		map[string]any{"model": "m", "query": []float64{0.1}, "t": 0.5})
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("status %d, want 503", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("503 without Retry-After")
+	}
+}
+
+// TestLeaderlessWriteAnswers503: a hosted model with no known leader
+// cannot accept or forward writes.
+func TestLeaderlessWriteAnswers503(t *testing.T) {
+	router := &fakeCluster{mon: obs.NewClusterMonitor()} // writeTarget "", writeLocal false
+	_, ts := newClusterTestServer(t, router)
+	resp, body := postJSON(t, ts.URL+"/v1/models/m/update",
+		map[string]any{"insert": [][]float64{{1, 2, 3}}})
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("status %d, want 503: %s", resp.StatusCode, body)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("leaderless 503 without Retry-After")
+	}
+}
+
+func TestHopCount(t *testing.T) {
+	mk := func(h string) *http.Request {
+		r := httptest.NewRequest(http.MethodPost, "/v1/estimate", nil)
+		if h != "" {
+			r.Header.Set(ForwardedHeader, h)
+		}
+		return r
+	}
+	if got := hopCount(mk("")); got != 0 {
+		t.Fatalf("no header: %d", got)
+	}
+	if got := hopCount(mk("1")); got != 1 {
+		t.Fatalf("hop 1: %d", got)
+	}
+	// Garbage or negative counts clamp to the max so they never forward.
+	if got := hopCount(mk("zzz")); got != maxForwardHops {
+		t.Fatalf("garbage: %d", got)
+	}
+	if got := hopCount(mk("-3")); got != maxForwardHops {
+		t.Fatalf("negative: %d", got)
+	}
+}

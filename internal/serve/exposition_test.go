@@ -51,6 +51,18 @@ func TestMetricsExposition(t *testing.T) {
 	sh.Close()
 	s.SetShadow(sh)
 
+	// Cluster families: one led model with a lagging peer, one followed,
+	// a promotion and a demotion, and pull traffic with one failure.
+	fc := localCluster()
+	fc.mon.SetRole("m", true, 3)
+	fc.mon.SetRole("shadow", false, 2)
+	fc.mon.SetLag("m", "http://peer:9", 4)
+	fc.mon.Promotion("m")
+	fc.mon.Demotion("shadow")
+	fc.mon.ObservePull(5, false)
+	fc.mon.ObservePull(0, true)
+	s.SetCluster(fc)
+
 	infer.SetKernelTiming(true)
 	defer infer.SetKernelTiming(false)
 
@@ -83,6 +95,10 @@ func TestMetricsExposition(t *testing.T) {
 		"selestd_shadow_dropped_total", "selestd_shadow_oracle_truths_total",
 		"selestd_workload_divergence", "selestd_workload_shift_exceeded_total",
 		"selestd_ingest_retrain_advised",
+		"selestd_cluster_is_leader", "selestd_cluster_term",
+		"selestd_cluster_failovers_total", "selestd_cluster_demotions_total",
+		"selestd_replication_lag", "selestd_replication_pulls_total",
+		"selestd_replication_pull_errors_total", "selestd_replication_entries_total",
 	} {
 		if _, ok := fams[want]; !ok {
 			t.Errorf("family %q missing from /metrics", want)

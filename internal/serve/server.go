@@ -26,6 +26,12 @@ type Config struct {
 	// NoBatch disables coalescing: single estimates run inline on the
 	// caller's goroutine. Used by the naive arm of the serving benchmark.
 	NoBatch bool
+	// RetryAfter is the backoff hint stamped on 429 backpressure and
+	// leaderless-503 responses (default 1s).
+	RetryAfter time.Duration
+	// ForwardClient overrides the HTTP client used to proxy requests to
+	// other cluster nodes (tests inject short timeouts).
+	ForwardClient *http.Client
 }
 
 // Server is the HTTP model-serving front end: it owns the model
@@ -41,6 +47,7 @@ type Server struct {
 	drift    *obs.DriftMonitor
 	shadow   *obs.Shadow
 	logger   *slog.Logger
+	cluster  ClusterRouter
 
 	requests atomic.Uint64 // HTTP requests accepted
 	errors   atomic.Uint64 // requests answered 4xx/5xx
@@ -151,6 +158,8 @@ func (s *Server) Close() { s.registry.Close() }
 //	POST /v1/models/{name}/update     journal an insert/delete batch
 //	POST /v1/estimate                 {"model","query","t"} -> one estimate
 //	POST /v1/estimate/batch           {"model","queries",["ts"|"t"]} -> estimates
+//	GET  /v1/cluster                  shard map: model -> replicas/leader (cluster attached)
+//	GET  /v1/cluster/...              intra-cluster API: peer state, WAL streaming
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", s.timed("/healthz", s.handleHealthz))
@@ -159,9 +168,13 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/buildinfo", s.timed("/v1/buildinfo", s.handleBuildInfo))
 	mux.HandleFunc("GET /v1/models", s.timed("/v1/models", s.handleListModels))
 	mux.HandleFunc("POST /v1/models/{name}", s.timed("/v1/models/{name}", s.handleLoadModel))
-	mux.HandleFunc("POST /v1/models/{name}/update", s.timed("/v1/models/{name}/update", s.handleUpdateModel))
-	mux.HandleFunc("POST /v1/estimate", s.timed("/v1/estimate", s.handleEstimate))
-	mux.HandleFunc("POST /v1/estimate/batch", s.timed("/v1/estimate/batch", s.handleEstimateBatch))
+	mux.HandleFunc("POST /v1/models/{name}/update", s.timed("/v1/models/{name}/update", s.routeWrite(s.handleUpdateModel)))
+	mux.HandleFunc("POST /v1/estimate", s.timed("/v1/estimate", s.routeRead(s.handleEstimate)))
+	mux.HandleFunc("POST /v1/estimate/batch", s.timed("/v1/estimate/batch", s.routeRead(s.handleEstimateBatch)))
+	if s.cluster != nil {
+		mux.HandleFunc("GET /v1/cluster", s.timed("/v1/cluster", s.handleClusterMap))
+		mux.Handle("/v1/cluster/", s.cluster.Handler())
+	}
 	if s.tracer != nil {
 		mux.HandleFunc("GET /debug/traces", s.timed("/debug/traces", s.handleTraces))
 	}
@@ -188,15 +201,23 @@ func (s *Server) timed(route string, h http.HandlerFunc) http.HandlerFunc {
 // context for span capture), and emits the structured access log.
 func (s *Server) count(next http.Handler) http.Handler {
 	// Shadow sampling keys off the trace ID, so an attached sampler also
-	// turns on ID minting even without a tracer or access log.
-	traced := s.tracer != nil || s.logger != nil || s.shadow.Enabled()
+	// turns on ID minting even without a tracer or access log; a cluster
+	// router does too, so every hop of a forwarded request shares one ID.
+	traced := s.tracer != nil || s.logger != nil || s.shadow.Enabled() || s.cluster != nil
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		s.requests.Add(1)
 		cw := &codeWriter{ResponseWriter: w, code: http.StatusOK}
 		var id uint64
 		var start time.Time
 		if traced {
-			id = obs.NextTraceID()
+			if hopCount(r) > 0 {
+				// A request forwarded by a peer already carries a trace ID;
+				// adopt it so cross-node spans line up under one ID.
+				id, _ = obs.ParseTraceID(r.Header.Get("X-Trace-Id"))
+			}
+			if id == 0 {
+				id = obs.NextTraceID()
+			}
 			cw.Header().Set("X-Trace-Id", obs.FormatTraceID(id))
 			r = r.WithContext(obs.WithTraceID(r.Context(), id))
 			start = time.Now()
@@ -312,6 +333,10 @@ type statsResponse struct {
 	// when one is attached (full detail lives at /debug/accuracy).
 	Shadow   *obs.ShadowStats             `json:"shadow,omitempty"`
 	Workload map[string]obs.WorkloadStats `json:"workload,omitempty"`
+	// Cluster is the per-model replication picture (leadership, terms,
+	// follower lag) when a cluster router is attached; its concrete type
+	// lives in internal/cluster.
+	Cluster any `json:"cluster,omitempty"`
 }
 
 type tracesResponse struct {
@@ -376,6 +401,9 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 				resp.Workload = ws
 			}
 		}
+	}
+	if s.cluster != nil {
+		resp.Cluster = s.cluster.ClusterStats()
 	}
 	writeJSON(w, http.StatusOK, resp)
 }
@@ -681,10 +709,17 @@ func (s *Server) handleUpdateModel(w http.ResponseWriter, r *http.Request) {
 		fail(http.StatusBadRequest, err)
 		return
 	case errors.Is(err, ErrUpdateQueueFull):
+		s.retryAfter(w)
 		fail(http.StatusTooManyRequests, err)
 		return
 	case errors.Is(err, ErrNotUpdatable):
 		fail(http.StatusConflict, err)
+		return
+	case errors.Is(err, ErrNotLeader), errors.Is(err, ErrReplicationTimeout):
+		// Leadership moved under us, or follower acks timed out: the
+		// client retries (the batch is unacknowledged either way).
+		s.retryAfter(w)
+		fail(http.StatusServiceUnavailable, err)
 		return
 	case errors.Is(err, ErrUpdaterClosed):
 		fail(http.StatusServiceUnavailable, err)
@@ -838,6 +873,9 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	if s.shadow != nil {
 		s.shadow.WriteMetrics(p)
 	}
+	if s.cluster != nil {
+		s.cluster.WriteMetrics(p)
+	}
 }
 
 func boolGauge(b bool) float64 {
@@ -882,8 +920,12 @@ func (s *Server) lookup(name string, query []float64) (*Model, int, error) {
 // ----------------------------------------------------------------------------
 // JSON plumbing
 
+// maxBodyBytes caps request bodies, both when decoding locally and when
+// buffering for a cluster forward.
+const maxBodyBytes = 16 << 20
+
 func decodeJSON(r *http.Request, v any) error {
-	dec := json.NewDecoder(http.MaxBytesReader(nil, r.Body, 16<<20))
+	dec := json.NewDecoder(http.MaxBytesReader(nil, r.Body, maxBodyBytes))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(v); err != nil {
 		return fmt.Errorf("bad request body: %w", err)
