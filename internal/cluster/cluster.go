@@ -80,6 +80,11 @@ type modelState struct {
 	// leaderLast is, on a follower, the leader's last assigned sequence
 	// from the most recent WAL chunk — the basis of the lag gauge.
 	leaderLast uint64
+	// diverged latches when the local journal holds entries that
+	// conflict with the leader's history (a deposed leader's
+	// unreplicated suffix, or a pull cursor ahead of the leader's log).
+	// A diverged replica stops replicating and must be reseeded.
+	diverged bool
 	// rr round-robins fan-out reads across the replica set.
 	rr uint64
 }
@@ -153,9 +158,16 @@ func NewNode(cfg Config) (*Node, error) {
 	client, probe := cfg.Client, cfg.Client
 	if client == nil {
 		client = &http.Client{Timeout: cfg.PullWait + 10*time.Second}
-		// A hung peer must not stall the heartbeat loop past the failover
-		// window, or elections would wait on it.
-		probe = &http.Client{Timeout: cfg.FailAfter}
+		// Probes must fail well inside the failover window: probePeers
+		// waits for every in-flight probe, so a hung (not refusing) peer
+		// stalls each heartbeat round by the probe timeout. At FailAfter
+		// that would double leader-silence detection for every model;
+		// a couple of heartbeats is plenty for a healthy state fetch.
+		probeTimeout := 2 * cfg.Heartbeat
+		if limit := cfg.FailAfter / 2; probeTimeout > limit {
+			probeTimeout = limit
+		}
+		probe = &http.Client{Timeout: probeTimeout}
 	}
 	n := &Node{
 		cfg:    cfg,
@@ -406,6 +418,22 @@ func (n *Node) followLocked(ms *modelState, leader string, term uint64, now time
 			slog.String("model", ms.name), slog.String("new_leader", leader),
 			slog.Uint64("term", term), slog.String("reason", why))
 		n.mon.Demotion(ms.name)
+		// Entries this node journaled as leader that no follower ever
+		// pulled cannot be on the successor: it will reassign those
+		// sequence numbers to different batches, and the pull loop's
+		// idempotence skips (journal.appendAt and the WAL tailer both
+		// treat lower sequences as already replicated) would silently
+		// keep the conflicting suffix. Flag the replica instead.
+		var maxAck uint64
+		for _, s := range ms.followerAck {
+			if s > maxAck {
+				maxAck = s
+			}
+		}
+		if last, _, ok := n.pipe.Position(ms.name); ok && last > maxAck {
+			n.markDivergedLocked(ms, fmt.Sprintf(
+				"deposed (term %d -> %d) holding unreplicated suffix %d..%d", ms.term, term, maxAck+1, last))
+		}
 	}
 	ms.leader = false
 	ms.term = term
@@ -422,6 +450,23 @@ func (n *Node) followLocked(ms *modelState, leader string, term uint64, now time
 
 func (n *Node) publishRoleLocked(ms *modelState) {
 	n.mon.SetRole(ms.name, ms.leader, ms.term)
+}
+
+// markDivergedLocked latches the divergence flag: the local journal
+// holds entries that the authoritative leader history does not, so
+// continuing to replicate would silently skip the conflict and leave
+// this replica serving a permanently different database. The replica
+// stops pulling and must be reseeded (today: wipe the model's journal
+// directory and restart the node so it re-syncs from the leader;
+// automatic snapshot shipping is a roadmap item).
+func (n *Node) markDivergedLocked(ms *modelState, why string) {
+	if ms.diverged {
+		return
+	}
+	ms.diverged = true
+	n.logger.Error("cluster: replica diverged from leader history; needs reseed",
+		slog.String("model", ms.name), slog.String("reason", why))
+	n.mon.MarkDiverged(ms.name)
 }
 
 // ----------------------------------------------------------------------------
@@ -453,6 +498,21 @@ func (n *Node) Enqueue(model string, insert, del [][]float64) (serve.UpdateAck, 
 	if err != nil {
 		return ack, err
 	}
+	// Re-check leadership: a demotion between the check above and the
+	// journal append means this node minted (and fsynced) a sequence
+	// number the new leader will assign to a different batch. The entry
+	// is already durable locally, so the journal is suspect from here on
+	// — flag it and refuse the ack so the client retries at the real
+	// leader.
+	n.mu.Lock()
+	if !ms.leader {
+		n.markDivergedLocked(ms, fmt.Sprintf("leadership lost while journaling seq %d", ack.Seq))
+		leader := ms.leaderURL
+		n.mu.Unlock()
+		return serve.UpdateAck{}, fmt.Errorf("%w: lost leadership of %q while journaling seq %d (now led by %q); replica needs reseed",
+			serve.ErrNotLeader, model, ack.Seq, leader)
+	}
+	n.mu.Unlock()
 	if need == 0 {
 		return ack, nil
 	}
@@ -595,6 +655,9 @@ type ModelClusterStats struct {
 	LastSeq    uint64 `json:"last_seq"`
 	AppliedSeq uint64 `json:"applied_seq"`
 	Lag        uint64 `json:"lag"`
+	// Diverged reports a replica whose journal conflicts with the
+	// leader's history; it has stopped replicating and needs a reseed.
+	Diverged bool `json:"diverged,omitempty"`
 	// FollowerAck is the leader's view of each follower's journaled
 	// sequence (empty on followers).
 	FollowerAck map[string]uint64 `json:"follower_ack,omitempty"`
@@ -627,6 +690,7 @@ func (n *Node) ClusterStats() any {
 			Term:       ms.term,
 			LastSeq:    last,
 			AppliedSeq: applied,
+			Diverged:   ms.diverged,
 		}
 		if ms.leader {
 			if len(ms.followerAck) > 0 {

@@ -6,6 +6,8 @@ import (
 	"math/rand"
 	"net"
 	"net/http"
+	"net/http/httptest"
+	"net/url"
 	"testing"
 	"time"
 
@@ -330,6 +332,148 @@ func TestClusterReplicationAndFailover(t *testing.T) {
 	// Telemetry recorded the promotion.
 	if c := next.node.mon.Counters(); c.Promotions == 0 {
 		t.Fatalf("promotion not counted: %+v", c)
+	}
+}
+
+// newLeaderNode builds an unstarted two-peer node hosting "m" that has
+// promoted itself, plus its follower's URL — the fixture for the ack
+// credit and divergence tests (no loops run; state is driven by hand).
+func newLeaderNode(t *testing.T) (*Node, string) {
+	t.Helper()
+	p := newClusterPipeline(t, t.TempDir())
+	self, follower := "http://self:1", "http://b:1"
+	n, err := NewNode(Config{
+		Self: self, Peers: []string{self, follower}, Replicas: 2,
+		Models: []string{"m"}, Pipe: p, Monitor: obs.NewClusterMonitor(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n.mu.Lock()
+	n.promoteLocked(n.models["m"], 1, "test")
+	n.mu.Unlock()
+	return n, follower
+}
+
+func TestWALPullCreditClampedToReplicaSet(t *testing.T) {
+	n, follower := newLeaderNode(t)
+	ts := httptest.NewServer(n.Handler())
+	defer ts.Close()
+	get := func(q string) int {
+		t.Helper()
+		resp, err := http.Get(ts.URL + "/v1/cluster/wal/m?" + q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		drain(resp)
+		return resp.StatusCode
+	}
+	ack := func() map[string]uint64 {
+		n.mu.Lock()
+		defer n.mu.Unlock()
+		out := make(map[string]uint64)
+		for k, v := range n.models["m"].followerAck {
+			out[k] = v
+		}
+		return out
+	}
+
+	// Empty journal: from=1 is the caught-up cursor; anything further
+	// means the puller journaled sequences this leader never assigned.
+	if code := get("from=2&peer=" + url.QueryEscape(follower)); code != http.StatusRequestedRangeNotSatisfiable {
+		t.Fatalf("divergent cursor on empty journal: status %d, want 416", code)
+	}
+	if got := ack(); len(got) != 0 {
+		t.Fatalf("rejected pull still credited an ack: %v", got)
+	}
+
+	for i := 1; i <= 3; i++ {
+		if _, err := n.Enqueue("m", [][]float64{vec(i)}, nil); err != nil {
+			t.Fatalf("enqueue %d: %v", i, err)
+		}
+	}
+	// A legitimate replica cursor earns credit for the prefix it proves.
+	if code := get("from=2&peer=" + url.QueryEscape(follower)); code != http.StatusOK {
+		t.Fatalf("replica pull: status %d", code)
+	}
+	if got := ack(); got[follower] != 1 {
+		t.Fatalf("followerAck = %v, want %q -> 1", got, follower)
+	}
+	// A puller outside the replica set never does — the endpoint is on
+	// the public listener, and semi-sync acks must not be forgeable.
+	if code := get("from=4&peer=" + url.QueryEscape("http://evil:1")); code != http.StatusOK {
+		t.Fatalf("outsider pull: status %d", code)
+	}
+	if got := ack(); len(got) != 1 || got[follower] != 1 {
+		t.Fatalf("outsider peer earned ack credit: %v", got)
+	}
+	// A cursor past the leader's tip is refused and the credit (a
+	// monotonic max) must not jump past reality.
+	if code := get("from=10&peer=" + url.QueryEscape(follower)); code != http.StatusRequestedRangeNotSatisfiable {
+		t.Fatalf("cursor past tip: status %d, want 416", code)
+	}
+	if got := ack(); got[follower] != 1 {
+		t.Fatalf("rejected cursor moved the ack credit: %v", got)
+	}
+}
+
+func TestDemotionWithUnreplicatedSuffixMarksDiverged(t *testing.T) {
+	n, follower := newLeaderNode(t)
+	ms := n.models["m"]
+
+	// Two journaled batches, both acked by the follower: demotion is
+	// clean — the successor provably holds our whole journal.
+	for i := 1; i <= 2; i++ {
+		if _, err := n.Enqueue("m", [][]float64{vec(i)}, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	n.mu.Lock()
+	ms.followerAck[follower] = 2
+	n.followLocked(ms, follower, 2, time.Now(), "test")
+	diverged := ms.diverged
+	n.mu.Unlock()
+	if diverged {
+		t.Fatal("fully replicated demotion flagged as diverged")
+	}
+
+	// Re-promoted, one more batch that no follower ever pulls: being
+	// deposed now strands a suffix the new leader cannot have.
+	n.mu.Lock()
+	n.promoteLocked(ms, 3, "test")
+	n.mu.Unlock()
+	if _, err := n.Enqueue("m", [][]float64{vec(3)}, nil); err != nil {
+		t.Fatal(err)
+	}
+	n.mu.Lock()
+	n.followLocked(ms, follower, 4, time.Now(), "test")
+	diverged = ms.diverged
+	n.mu.Unlock()
+	if !diverged {
+		t.Fatal("deposed leader with unreplicated suffix not flagged as diverged")
+	}
+	if c := n.mon.Counters(); c.Diverged != 1 {
+		t.Fatalf("diverged counter = %d, want 1", c.Diverged)
+	}
+	st := n.ClusterStats().(ClusterStatsResponse)
+	if !st.Models["m"].Diverged {
+		t.Fatalf("/stats does not report divergence: %+v", st.Models["m"])
+	}
+}
+
+func TestPullRejectionMarksDiverged(t *testing.T) {
+	n, follower := newLeaderNode(t)
+	ms := n.models["m"]
+	n.mu.Lock()
+	n.followLocked(ms, follower, 2, time.Now(), "test")
+	n.mu.Unlock()
+
+	n.handlePullError("m", follower, errDivergedPeer)
+	n.mu.Lock()
+	diverged := ms.diverged
+	n.mu.Unlock()
+	if !diverged {
+		t.Fatal("416 pull rejection did not latch the divergence flag")
 	}
 }
 

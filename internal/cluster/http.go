@@ -24,9 +24,12 @@ import (
 //	    long-polling up to wait_ms when caught up. Only the leader
 //	    serves entries (409 otherwise, with its best guess at the
 //	    leader); 410 means the WAL was compacted past `from` and the
-//	    follower needs a reseed. `peer` identifies the puller so the
-//	    leader can credit its replication cursor: a follower asking
-//	    from=N+1 has durably journaled through N.
+//	    follower needs a reseed; 416 means `from` is past the leader's
+//	    own last sequence — the puller holds a divergent suffix and
+//	    needs a reseed. `peer` identifies the puller so the leader can
+//	    credit its replication cursor: a follower asking from=N+1 has
+//	    durably journaled through N. Credit goes only to replica-set
+//	    members and never past the leader's own tip.
 
 // ModelStatus is one model's view in GET /v1/cluster/state.
 type ModelStatus struct {
@@ -134,15 +137,35 @@ func (n *Node) handleWAL(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	term := ms.term
+	leaderLast, _, havePos := n.pipe.Position(model)
+	// A cursor past our own tip means the puller journaled sequences we
+	// never assigned — the divergent-suffix state after a failover.
+	// Refuse instead of long-polling: serving (or crediting) it would
+	// let a forked replica pass as caught up.
+	if havePos && from > leaderLast+1 {
+		n.mu.Unlock()
+		writeJSON(w, http.StatusRequestedRangeNotSatisfiable, clusterError{
+			Error: fmt.Sprintf("from %d is past the leader's last sequence %d: puller holds a divergent suffix and needs a reseed", from, leaderLast),
+		})
+		return
+	}
 	// The pull cursor is the follower's durability receipt: asking for
-	// `from` proves everything below it is journaled there.
-	if peer := q.Get("peer"); peer != "" && peer != n.cfg.Self {
+	// `from` proves everything below it is journaled there. Only replica
+	//-set members earn credit — the endpoint is on the public listener,
+	// and the semi-sync ack count must not be satisfiable by arbitrary
+	// clients — and the credit is clamped to our own tip so a bogus
+	// cursor can never mark a follower as caught up past reality.
+	if peer := q.Get("peer"); peer != "" && peer != n.cfg.Self &&
+		n.placementRank(ms, peer) < len(ms.replicas) {
 		acked := from - 1
+		if havePos && acked > leaderLast {
+			acked = leaderLast
+		}
 		if ms.followerAck[peer] < acked {
 			ms.followerAck[peer] = acked
 		}
-		if last, _, ok := n.pipe.Position(model); ok && last >= acked {
-			n.mon.SetLag(model, peer, last-acked)
+		if havePos && leaderLast >= acked {
+			n.mon.SetLag(model, peer, leaderLast-acked)
 		}
 		n.ackCond.Broadcast()
 	}
@@ -227,6 +250,11 @@ func (e *errNotLeaderPeer) Error() string { return "cluster: peer is not the lea
 // and streaming cannot resume without a reseed.
 var errCompactedPeer = errors.New("cluster: leader compacted past our journal position")
 
+// errDivergedPeer reports a 416: our pull cursor is past the leader's
+// own last sequence, so the local journal holds a suffix the
+// authoritative history never assigned — the replica has diverged.
+var errDivergedPeer = errors.New("cluster: local journal is ahead of the leader's history")
+
 func (n *Node) fetchWAL(leader, model string, from uint64) (*WALChunk, error) {
 	u := fmt.Sprintf("%s/v1/cluster/wal/%s?from=%d&max=%d&wait_ms=%d&peer=%s",
 		leader, url.PathEscape(model), from, n.cfg.PullBatch,
@@ -244,6 +272,8 @@ func (n *Node) fetchWAL(leader, model string, from uint64) (*WALChunk, error) {
 		return nil, &errNotLeaderPeer{Leader: ce.Leader}
 	case http.StatusGone:
 		return nil, errCompactedPeer
+	case http.StatusRequestedRangeNotSatisfiable:
+		return nil, errDivergedPeer
 	default:
 		return nil, fmt.Errorf("cluster: %s wal pull: %s", leader, resp.Status)
 	}

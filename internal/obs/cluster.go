@@ -22,6 +22,7 @@ type ClusterMonitor struct {
 	lag        map[string]map[string]uint64
 	promotions map[string]uint64
 	demotions  map[string]uint64
+	diverged   map[string]bool
 	pulls      uint64
 	pullErrors uint64
 	entries    uint64
@@ -36,6 +37,7 @@ type clusterRole struct {
 type ClusterCounters struct {
 	Promotions uint64 `json:"promotions"`
 	Demotions  uint64 `json:"demotions"`
+	Diverged   uint64 `json:"diverged"`
 	Pulls      uint64 `json:"pulls"`
 	PullErrors uint64 `json:"pull_errors"`
 	Entries    uint64 `json:"entries"`
@@ -48,6 +50,7 @@ func NewClusterMonitor() *ClusterMonitor {
 		lag:        make(map[string]map[string]uint64),
 		promotions: make(map[string]uint64),
 		demotions:  make(map[string]uint64),
+		diverged:   make(map[string]bool),
 	}
 }
 
@@ -79,6 +82,19 @@ func (c *ClusterMonitor) Demotion(model string) {
 	}
 	c.mu.Lock()
 	c.demotions[model]++
+	c.mu.Unlock()
+}
+
+// MarkDiverged latches the divergence flag for a model: the local
+// replica holds journal entries that conflict with the leader's history
+// and must be reseeded. The flag only clears with the reseed (a process
+// restart), so it stays visible until an operator acts.
+func (c *ClusterMonitor) MarkDiverged(model string) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	c.diverged[model] = true
 	c.mu.Unlock()
 }
 
@@ -141,6 +157,11 @@ func (c *ClusterMonitor) Counters() ClusterCounters {
 	for _, n := range c.demotions {
 		out.Demotions += n
 	}
+	for _, d := range c.diverged {
+		if d {
+			out.Diverged++
+		}
+	}
 	return out
 }
 
@@ -171,6 +192,12 @@ func (c *ClusterMonitor) WriteMetrics(p *PromWriter) {
 			"counter", float64(c.promotions[name]), "model", name)
 		p.Value("selestd_cluster_demotions_total", "Leaderships this node ceded to a higher-term claim.",
 			"counter", float64(c.demotions[name]), "model", name)
+		div := 0.0
+		if c.diverged[name] {
+			div = 1
+		}
+		p.Value("selestd_replication_diverged", "1 when the local replica's journal conflicts with the leader's history and needs a reseed.",
+			"gauge", div, "model", name)
 	}
 
 	lagModels := make([]string, 0, len(c.lag))

@@ -15,10 +15,15 @@ func TestClusterMonitorCounters(t *testing.T) {
 	m.SetLag("m", "http://c:1", 0)
 	m.ObservePull(5, false)
 	m.ObservePull(0, true)
+	m.MarkDiverged("m")
+	m.MarkDiverged("m") // latched, not double-counted
 
 	c := m.Counters()
 	if c.Promotions != 1 || c.Demotions != 1 {
 		t.Fatalf("promotions/demotions = %d/%d, want 1/1", c.Promotions, c.Demotions)
+	}
+	if c.Diverged != 1 {
+		t.Fatalf("diverged = %d, want 1", c.Diverged)
 	}
 	if c.Pulls != 2 || c.PullErrors != 1 || c.Entries != 5 {
 		t.Fatalf("pulls/errors/entries = %d/%d/%d, want 2/1/5", c.Pulls, c.PullErrors, c.Entries)
@@ -32,6 +37,7 @@ func TestClusterMonitorCounters(t *testing.T) {
 		`selestd_cluster_term{model="m"} 2`,
 		`selestd_cluster_failovers_total{model="m"} 1`,
 		`selestd_cluster_demotions_total{model="m"} 1`,
+		`selestd_replication_diverged{model="m"} 1`,
 		`selestd_replication_lag{model="m",peer="http://b:1"} 3`,
 		`selestd_replication_pulls_total 2`,
 		`selestd_replication_pull_errors_total 1`,
@@ -57,6 +63,7 @@ func TestClusterMonitorNilSafe(t *testing.T) {
 	m.Demotion("m")
 	m.SetLag("m", "p", 1)
 	m.DropPeer("m", "p")
+	m.MarkDiverged("m")
 	m.ObservePull(1, false)
 	if c := m.Counters(); c != (ClusterCounters{}) {
 		t.Fatalf("nil monitor counters = %+v", c)

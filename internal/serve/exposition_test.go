@@ -99,6 +99,7 @@ func TestMetricsExposition(t *testing.T) {
 		"selestd_cluster_failovers_total", "selestd_cluster_demotions_total",
 		"selestd_replication_lag", "selestd_replication_pulls_total",
 		"selestd_replication_pull_errors_total", "selestd_replication_entries_total",
+		"selestd_replication_diverged",
 	} {
 		if _, ok := fams[want]; !ok {
 			t.Errorf("family %q missing from /metrics", want)
