@@ -13,15 +13,23 @@
 //
 // Comma-separated -index and -t lists estimate every (query, threshold)
 // pair in one batched tensor pass — the same path selestd serves.
+//
+// Against a running selestd, 'selest models -addr http://host:8080'
+// prints the daemon's model listing: every loaded estimator's kind,
+// dimensionality, t_max, registry generation, source, partition count,
+// and — with -router set on the daemon — its current router assignment.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"math/rand"
+	"net/http"
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
 	"selnet/internal/distance"
 	"selnet/internal/metrics"
@@ -47,6 +55,8 @@ func main() {
 		err = cmdEvaluate(os.Args[2:])
 	case "estimate":
 		err = cmdEstimate(os.Args[2:])
+	case "models":
+		err = cmdModels(os.Args[2:])
 	case "help", "-h", "--help":
 		usage()
 	default:
@@ -69,6 +79,7 @@ commands:
   train     train a SelNet estimator
   evaluate  report MSE/MAE/MAPE of a trained model on a workload split
   estimate  estimate the selectivity of one or more (query, threshold) pairs
+  models    list the models a running selestd serves (kind, dim, router assignment)
 
 run 'selest <command> -h' for command flags.
 `)
@@ -306,6 +317,78 @@ func cmdEstimate(args []string) error {
 				fmt.Printf("%8s %10.4f %12.2f\n", labels[i], t, est)
 			}
 		}
+	}
+	return nil
+}
+
+// cmdModels prints the model listing of a running selestd: one line per
+// loaded estimator with its codec kind, architecture, shape, registry
+// generation, and current workload-router assignment.
+func cmdModels(args []string) error {
+	fs := flag.NewFlagSet("models", flag.ExitOnError)
+	addr := fs.String("addr", "http://localhost:8080", "base URL of a running selestd")
+	asJSON := fs.Bool("json", false, "print the raw JSON listing instead of a table")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	resp, err := http.Get(strings.TrimRight(*addr, "/") + "/v1/models")
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		// Every selestd error is the uniform {"error":{code,message}}
+		// envelope; surface its fields rather than the raw body.
+		var e struct {
+			Error struct {
+				Code    string `json:"code"`
+				Message string `json:"message"`
+			} `json:"error"`
+		}
+		if json.NewDecoder(resp.Body).Decode(&e) == nil && e.Error.Code != "" {
+			return fmt.Errorf("%s: %s (%s)", resp.Status, e.Error.Message, e.Error.Code)
+		}
+		return fmt.Errorf("GET /v1/models: %s", resp.Status)
+	}
+	var out struct {
+		Models []struct {
+			Name       string    `json:"name"`
+			Kind       string    `json:"kind"`
+			Estimator  string    `json:"estimator"`
+			Dim        int       `json:"dim"`
+			TMax       float64   `json:"t_max"`
+			Source     string    `json:"source"`
+			Generation uint64    `json:"generation"`
+			LoadedAt   time.Time `json:"loaded_at"`
+			Partitions int       `json:"partitions"`
+			Router     []string  `json:"router"`
+		} `json:"models"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return fmt.Errorf("decode /v1/models: %w", err)
+	}
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(out)
+	}
+	if len(out.Models) == 0 {
+		fmt.Println("no models loaded")
+		return nil
+	}
+	fmt.Printf("%-12s %-12s %-14s %5s %8s %4s %5s %-14s %s\n",
+		"NAME", "KIND", "ESTIMATOR", "DIM", "TMAX", "GEN", "PARTS", "ROUTER", "SOURCE")
+	for _, m := range out.Models {
+		parts := "-"
+		if m.Partitions > 0 {
+			parts = strconv.Itoa(m.Partitions)
+		}
+		router := "-"
+		if len(m.Router) > 0 {
+			router = strings.Join(m.Router, ",")
+		}
+		fmt.Printf("%-12s %-12s %-14s %5d %8.4f %4d %5s %-14s %s\n",
+			m.Name, m.Kind, m.Estimator, m.Dim, m.TMax, m.Generation, parts, router, m.Source)
 	}
 	return nil
 }

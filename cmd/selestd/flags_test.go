@@ -25,14 +25,20 @@ func goodFlags() (serve.Config, ingestOptions, obsOptions, clusterOptions, time.
 
 func TestValidateFlagsAcceptsDefaults(t *testing.T) {
 	cfg, opts, oo, co, drain := goodFlags()
-	if err := validateFlags(cfg, opts, oo, co, drain); err != nil {
+	if err := validateFlags(cfg, opts, oo, co, "", drain); err != nil {
 		t.Fatalf("defaults rejected: %v", err)
 	}
 	// Boundary sample rates are legal.
 	for _, rate := range []float64{0, 1} {
 		oo.shadowSample = rate
-		if err := validateFlags(cfg, opts, oo, co, drain); err != nil {
+		if err := validateFlags(cfg, opts, oo, co, "", drain); err != nil {
 			t.Fatalf("shadow-sample %g rejected: %v", rate, err)
+		}
+	}
+	// Every routing policy the serve layer accepts is a legal -router.
+	for _, mode := range []string{"auto", "ensemble", "selnet", "kde", "lsh"} {
+		if err := validateFlags(cfg, opts, oo, co, mode, drain); err != nil {
+			t.Fatalf("-router %s rejected: %v", mode, err)
 		}
 	}
 }
@@ -116,7 +122,7 @@ func TestValidateFlagsRejectsOutOfRange(t *testing.T) {
 	for _, tc := range cases {
 		cfg, opts, oo, co, drain := goodFlags()
 		tc.mut(&cfg, &opts, &oo, &co, &drain)
-		err := validateFlags(cfg, opts, oo, co, drain)
+		err := validateFlags(cfg, opts, oo, co, "", drain)
 		if err == nil {
 			t.Errorf("%s: accepted", tc.name)
 			continue
@@ -124,6 +130,11 @@ func TestValidateFlagsRejectsOutOfRange(t *testing.T) {
 		if !strings.Contains(err.Error(), tc.flag) {
 			t.Errorf("%s: error %q does not name %s", tc.name, err, tc.flag)
 		}
+	}
+	cfg, opts, oo, co, drain := goodFlags()
+	err := validateFlags(cfg, opts, oo, co, "bogus-kind", drain)
+	if err == nil || !strings.Contains(err.Error(), "-router") {
+		t.Errorf("bogus -router mode: err = %v, want one naming -router", err)
 	}
 }
 

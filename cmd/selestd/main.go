@@ -1,8 +1,13 @@
-// Command selestd is the SelNet model-serving daemon: it loads trained
-// .gob models (from 'selest train') and serves selectivity estimates
-// over HTTP with batched inference, an LRU estimate cache, hot-swappable
-// models, and — for models attached to a database via -data — streaming
-// insert/delete ingestion with Sec. 5.4 shadow retraining.
+// Command selestd is the selectivity-estimation serving daemon: it
+// loads trained .gob models (from 'selest train', or any estimator
+// saved through the kind-tagged model codec — SelNet, KDE, LSH
+// sampling, GBM, the deep baselines) and serves estimates over HTTP
+// with batched inference, an LRU estimate cache, hot-swappable models,
+// and — for models attached to a database via -data — streaming
+// insert/delete ingestion with Sec. 5.4 shadow retraining. Estimators
+// without an incremental-training path degrade by capability: LSH
+// refreshes its derived state against the updated database, static
+// kinds keep serving while the database and journal absorb updates.
 //
 //	selestd -addr :8080 -model default=model.gob -data default=vectors.csv
 //
@@ -35,9 +40,20 @@
 // records through the δ_U pipeline — so a SIGKILL loses nothing that
 // was acknowledged.
 //
-// Models may be single (.gob from 'selest train') or partitioned; the
-// loader detects the kind, and both serve estimates and attach for
-// streaming updates.
+// Models may be any servable estimator kind — single or partitioned
+// SelNet, KDE, LSH sampling, GBM, DNN/MoE/RMI, DLN, UMNN — saved with
+// the kind-tagged codec; the loader sniffs the kind (legacy SelNet
+// files included) and every kind serves estimates and hot-swaps.
+//
+// With -router set, requests naming "default" (when no concrete model
+// holds that name) or "auto" are routed across the loaded models:
+// "auto" picks per query dimension — a sampling-backed estimator when
+// its data size is within the VC bound m* = (d+1+ln(1/δ))/(2ε²), a
+// SelNet-class model in high dimension — "ensemble" blends every
+// dimension-compatible model in log space, and an explicit kind slug
+// ("kde", "lsh", ...) pins the virtual names to that kind. Decisions
+// are surfaced in /stats (router section) and /metrics
+// (selestd_router_decisions_total).
 //
 // SIGINT/SIGTERM trigger a graceful shutdown: the listener stops, open
 // requests finish, the ingest journals drain (every accepted batch is
@@ -75,6 +91,7 @@ import (
 	"selnet/internal/distance"
 	"selnet/internal/infer"
 	"selnet/internal/ingest"
+	"selnet/internal/modelcodec"
 	"selnet/internal/obs"
 	"selnet/internal/selnet"
 	"selnet/internal/serve"
@@ -189,6 +206,7 @@ func main() {
 	clusterFailover := flag.Duration("cluster-failover", 0, "leader silence before a follower takes over (0 = 6x the heartbeat)")
 	clusterAck := flag.Int("cluster-ack", 1, "follower journal acknowledgements required before an update is acknowledged (0 = asynchronous replication)")
 	clusterAckTimeout := flag.Duration("cluster-ack-timeout", 5*time.Second, "max wait for follower acknowledgements before answering 503")
+	routerMode := flag.String("router", "", "workload routing for the virtual names \"default\"/\"auto\": auto, ensemble, or an estimator kind slug (empty disables)")
 	logJSON := flag.Bool("log-json", false, "emit logs as JSON instead of text")
 	flag.Var(&models, "model", "model to serve as name=path (repeatable); bare path serves as \"default\"")
 	flag.Var(&data, "data", "CSV vector database attached to a -model for streaming updates, as name=path.csv (repeatable)")
@@ -245,11 +263,11 @@ func main() {
 		Batcher: serve.BatcherConfig{MaxBatch: *maxBatch, FlushInterval: *flush, Lanes: *lanes},
 		Cache:   serve.CacheConfig{Capacity: *cacheSize, Quantum: *quantum},
 	}
-	if err := validateFlags(cfg, opts, oo, co, *drain); err != nil {
+	if err := validateFlags(cfg, opts, oo, co, *routerMode, *drain); err != nil {
 		fmt.Fprintf(os.Stderr, "selestd: %v\n", err)
 		os.Exit(1)
 	}
-	if err := run(*addr, models, data, cfg, opts, oo, co, *drain); err != nil {
+	if err := run(*addr, models, data, cfg, opts, oo, co, *routerMode, *drain); err != nil {
 		fmt.Fprintf(os.Stderr, "selestd: %v\n", err)
 		os.Exit(1)
 	}
@@ -259,9 +277,12 @@ func main() {
 // clear error, instead of letting a bad value surface later as silent
 // misbehavior (a negative sample rate never sampling, a zero queue
 // rejecting every update).
-func validateFlags(cfg serve.Config, opts ingestOptions, oo obsOptions, co clusterOptions, drain time.Duration) error {
+func validateFlags(cfg serve.Config, opts ingestOptions, oo obsOptions, co clusterOptions, routerMode string, drain time.Duration) error {
 	if oo.shadowSample < 0 || oo.shadowSample > 1 {
 		return fmt.Errorf("-shadow-sample must be in [0,1], got %g", oo.shadowSample)
+	}
+	if routerMode != "" && !serve.ValidRouterMode(routerMode) {
+		return fmt.Errorf("-router must be auto, ensemble, or an estimator kind slug, got %q", routerMode)
 	}
 	if oo.shadowBudget < 0 {
 		return fmt.Errorf("-shadow-oracle-budget must be >= 0, got %d", oo.shadowBudget)
@@ -339,7 +360,7 @@ func validateFlags(cfg serve.Config, opts ingestOptions, oo obsOptions, co clust
 	return nil
 }
 
-func run(addr string, models, data []string, cfg serve.Config, opts ingestOptions, oo obsOptions, co clusterOptions, drain time.Duration) error {
+func run(addr string, models, data []string, cfg serve.Config, opts ingestOptions, oo obsOptions, co clusterOptions, routerMode string, drain time.Duration) error {
 	// With clustering on, every node is configured identically (same
 	// -model/-data specs, same peer list) and placement decides which
 	// models this node actually loads and attaches; the full name list
@@ -425,13 +446,13 @@ func run(addr string, models, data []string, cfg serve.Config, opts ingestOption
 		}
 	}()
 
-	loaded := map[string]selnet.Model{}
+	loaded := map[string]serve.Estimator{}
 	for _, spec := range models {
 		name, path, ok := strings.Cut(spec, "=")
 		if !ok {
 			name, path = "default", spec
 		}
-		m, err := selnet.LoadModelFile(path)
+		m, err := modelcodec.LoadFile(path)
 		if err != nil {
 			return fmt.Errorf("load -model %s: %w", spec, err)
 		}
@@ -440,10 +461,14 @@ func run(addr string, models, data []string, cfg serve.Config, opts ingestOption
 		}
 		loaded[name] = m
 		slog.Info("model loaded", "name", name, "path", path,
-			"kind", fmt.Sprintf("%T", m), "dim", m.Dim(), "t_max", m.TMax())
+			"kind", modelcodec.Kind(m), "estimator", m.Name(), "dim", m.Dim(), "t_max", m.TMax())
 	}
 	if len(models) == 0 {
 		slog.Info("no -model given; load one with POST /v1/models/{name}")
+	}
+	if routerMode != "" {
+		srv.SetRouter(serve.NewRouter(srv.Registry(), serve.RouterConfig{Mode: routerMode}))
+		slog.Info("workload router enabled", "mode", routerMode, "virtual_names", "default, auto")
 	}
 
 	// Like srv.Close, draining the update journals (shadow retrains
@@ -559,11 +584,13 @@ func run(addr string, models, data []string, cfg serve.Config, opts ingestOption
 
 // attachIngest builds the update pipeline for every -data spec, pairing
 // each CSV database with its already-loaded model and generating a
-// labelled validation workload for the δ_U trigger. With -journal-dir,
-// each Attach recovers the model's durable state first (snapshot +
-// write-ahead-log replay) and the directory is scanned for journals
-// whose models are not configured, which would otherwise never replay.
-func attachIngest(srv *serve.Server, loaded map[string]selnet.Model, data []string, opts ingestOptions) (*ingest.Pipeline, error) {
+// labelled validation workload for the δ_U trigger. The pipeline
+// degrades by estimator capability (retrain / refresh / static), so
+// every model kind can attach. With -journal-dir, each Attach recovers
+// the model's durable state first (snapshot + write-ahead-log replay)
+// and the directory is scanned for journals whose models are not
+// configured, which would otherwise never replay.
+func attachIngest(srv *serve.Server, loaded map[string]serve.Estimator, data []string, opts ingestOptions) (*ingest.Pipeline, error) {
 	if len(data) == 0 {
 		if opts.journalDir != "" {
 			warnOrphanJournals(opts.journalDir, nil)

@@ -1,0 +1,205 @@
+package deepreg
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+
+	"selnet/internal/autodiff"
+	"selnet/internal/nn"
+	"selnet/internal/tensor"
+	"selnet/internal/vecdata"
+)
+
+// archInfo records what the constructors need to rebuild a network at
+// load time, plus the serving metadata every estimator advertises.
+type archInfo struct {
+	dim       int
+	hidden    []int
+	tEmbedDim int
+	tmax      float64
+}
+
+func (a *archInfo) observeTMax(train []vecdata.Query) {
+	for _, q := range train {
+		if q.T > a.tmax {
+			a.tmax = q.T
+		}
+	}
+	if a.tmax == 0 {
+		a.tmax = 1
+	}
+}
+
+func (a *archInfo) setTMax(t float64) {
+	if t > 0 {
+		a.tmax = t
+	}
+}
+
+// estimateLogBatch runs one forward pass over the whole batch and maps
+// log predictions back to selectivity space.
+func estimateLogBatch(m logForward, x *tensor.Dense, ts []float64) []float64 {
+	if x.Rows() != len(ts) {
+		panic(fmt.Sprintf("deepreg: batch size mismatch: %d rows, %d thresholds", x.Rows(), len(ts)))
+	}
+	tp := autodiff.NewTape()
+	xn := tp.Input(x)
+	tn := tp.Input(tensor.ColVector(ts))
+	z := m.forwardLog(tp, xn, tn)
+	out := make([]float64, x.Rows())
+	for i := range out {
+		v := math.Exp(z.Value.At(i, 0)) - logEps
+		if v < 0 {
+			v = 0
+		}
+		out[i] = v
+	}
+	return out
+}
+
+// paramBytes serializes params into a standalone byte blob so the outer
+// gob stream stays single-message (no decoder stream sharing needed).
+func paramBytes(params []*nn.Param) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := nn.SaveParams(&buf, params); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+func loadParamBytes(blob []byte, params []*nn.Param) error {
+	return nn.LoadParams(bytes.NewReader(blob), params)
+}
+
+type dnnBlob struct {
+	Dim       int
+	Hidden    []int
+	TEmbedDim int
+	TMax      float64
+	Params    []byte
+}
+
+// Save serializes the trained DNN to w.
+func (d *DNN) Save(w io.Writer) error {
+	pb, err := paramBytes(d.Params())
+	if err != nil {
+		return err
+	}
+	return gob.NewEncoder(w).Encode(dnnBlob{
+		Dim: d.arch.dim, Hidden: d.arch.hidden, TEmbedDim: d.arch.tEmbedDim,
+		TMax: d.arch.tmax, Params: pb,
+	})
+}
+
+// LoadDNN reads a DNN previously written by Save.
+func LoadDNN(r io.Reader) (*DNN, error) {
+	var b dnnBlob
+	if err := gob.NewDecoder(r).Decode(&b); err != nil {
+		return nil, fmt.Errorf("deepreg: decode DNN: %w", err)
+	}
+	d := NewDNN(rand.New(rand.NewSource(1)), b.Dim, b.Hidden, b.TEmbedDim)
+	d.arch.tmax = b.TMax
+	if err := loadParamBytes(b.Params, d.Params()); err != nil {
+		return nil, fmt.Errorf("deepreg: DNN params: %w", err)
+	}
+	return d, nil
+}
+
+type moeBlob struct {
+	Dim        int
+	Hidden     []int
+	TEmbedDim  int
+	NumExperts int
+	TopK       int
+	TMax       float64
+	Params     []byte
+}
+
+// Save serializes the trained MoE to w.
+func (m *MoE) Save(w io.Writer) error {
+	pb, err := paramBytes(m.Params())
+	if err != nil {
+		return err
+	}
+	return gob.NewEncoder(w).Encode(moeBlob{
+		Dim: m.arch.dim, Hidden: m.arch.hidden, TEmbedDim: m.arch.tEmbedDim,
+		NumExperts: len(m.experts), TopK: m.topK,
+		TMax: m.arch.tmax, Params: pb,
+	})
+}
+
+// LoadMoE reads an MoE previously written by Save.
+func LoadMoE(r io.Reader) (*MoE, error) {
+	var b moeBlob
+	if err := gob.NewDecoder(r).Decode(&b); err != nil {
+		return nil, fmt.Errorf("deepreg: decode MoE: %w", err)
+	}
+	m := NewMoE(rand.New(rand.NewSource(1)), b.Dim, b.Hidden, b.TEmbedDim, b.NumExperts, b.TopK)
+	m.arch.tmax = b.TMax
+	if err := loadParamBytes(b.Params, m.Params()); err != nil {
+		return nil, fmt.Errorf("deepreg: MoE params: %w", err)
+	}
+	return m, nil
+}
+
+type rmiBlob struct {
+	Dim       int
+	Hidden    []int
+	TEmbedDim int
+	Counts    []int
+	Lo, Hi    []float64
+	Trained   [][]bool
+	TMax      float64
+	Params    []byte
+}
+
+// Save serializes the trained RMI to w, including its routing bounds and
+// which sub-models the stage-wise fit actually trained.
+func (r *RMI) Save(w io.Writer) error {
+	pb, err := paramBytes(r.Params())
+	if err != nil {
+		return err
+	}
+	trained := make([][]bool, len(r.levels))
+	for li, level := range r.levels {
+		trained[li] = make([]bool, len(level))
+		for mi, m := range level {
+			trained[li][mi] = m.trained
+		}
+	}
+	return gob.NewEncoder(w).Encode(rmiBlob{
+		Dim: r.arch.dim, Hidden: r.arch.hidden, TEmbedDim: r.arch.tEmbedDim,
+		Counts: r.counts, Lo: r.lo, Hi: r.hi, Trained: trained,
+		TMax: r.arch.tmax, Params: pb,
+	})
+}
+
+// LoadRMI reads an RMI previously written by Save.
+func LoadRMI(rd io.Reader) (*RMI, error) {
+	var b rmiBlob
+	if err := gob.NewDecoder(rd).Decode(&b); err != nil {
+		return nil, fmt.Errorf("deepreg: decode RMI: %w", err)
+	}
+	r := NewRMI(rand.New(rand.NewSource(1)), b.Dim, b.Hidden, b.TEmbedDim, b.Counts)
+	r.arch.tmax = b.TMax
+	copy(r.lo, b.Lo)
+	copy(r.hi, b.Hi)
+	for li, level := range r.levels {
+		if li >= len(b.Trained) {
+			break
+		}
+		for mi, m := range level {
+			if mi < len(b.Trained[li]) {
+				m.trained = b.Trained[li][mi]
+			}
+		}
+	}
+	if err := loadParamBytes(b.Params, r.Params()); err != nil {
+		return nil, fmt.Errorf("deepreg: RMI params: %w", err)
+	}
+	return r, nil
+}

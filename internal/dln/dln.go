@@ -137,8 +137,9 @@ func isotonicProject(vals []float64) {
 
 // Model is a trained DLN selectivity estimator.
 type Model struct {
-	cfg Config
-	dim int
+	cfg  Config
+	dim  int
+	tmax float64
 
 	inputCals []*calibrator // one per x dim + one (monotone) for t
 	embedW    *nn.Param     // (dim+1) x EmbedDim, row dim (t) kept >= 0
@@ -319,6 +320,11 @@ func (m *Model) Fit(train []vecdata.Query) {
 		lo[dim] = math.Min(lo[dim], q.T)
 		hi[dim] = math.Max(hi[dim], q.T)
 	}
+	if hi[dim] > 0 {
+		m.tmax = hi[dim]
+	} else {
+		m.tmax = 1
+	}
 	m.inputCals = nil
 	for j := 0; j <= dim; j++ {
 		m.inputCals = append(m.inputCals,
@@ -369,6 +375,36 @@ func (m *Model) Estimate(x []float64, t float64) float64 {
 		return 0
 	}
 	return v
+}
+
+// EstimateBatch runs one batched forward pass over all queries. Safe for
+// concurrent use: each call owns its tape, parameters are read-only.
+func (m *Model) EstimateBatch(x *tensor.Dense, ts []float64) []float64 {
+	tp := autodiff.NewTape()
+	z := m.forwardLog(tp, tp.Input(x), tp.Input(tensor.ColVector(ts)))
+	out := make([]float64, x.Rows())
+	for i := range out {
+		v := math.Exp(z.Value.At(i, 0)) - logEps
+		if v < 0 {
+			v = 0
+		}
+		out[i] = v
+	}
+	return out
+}
+
+// Dim returns the query dimensionality.
+func (m *Model) Dim() int { return m.dim }
+
+// TMax returns the largest threshold seen during training (the t
+// calibrator's top keypoint).
+func (m *Model) TMax() float64 { return m.tmax }
+
+// SetTMax overrides the advertised threshold ceiling.
+func (m *Model) SetTMax(t float64) {
+	if t > 0 {
+		m.tmax = t
+	}
 }
 
 // Name returns the paper's model name.

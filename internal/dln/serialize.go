@@ -1,0 +1,77 @@
+package dln
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"io"
+	"math/rand"
+
+	"selnet/internal/nn"
+)
+
+// calBlob stores a calibrator's structure; output values travel with the
+// parameter blob (calibrator outputs are in Params()).
+type calBlob struct {
+	Keypoints []float64
+	Monotone  bool
+}
+
+type modelBlob struct {
+	Cfg       Config
+	Dim       int
+	TMax      float64
+	InputCals []calBlob
+	MidCals   []calBlob
+	Wiring    [][]int
+	Params    []byte
+}
+
+// Save serializes the trained DLN to w.
+func (m *Model) Save(w io.Writer) error {
+	var pb bytes.Buffer
+	if err := nn.SaveParams(&pb, m.Params()); err != nil {
+		return err
+	}
+	b := modelBlob{
+		Cfg: m.cfg, Dim: m.dim, TMax: m.tmax,
+		Wiring: m.wiring, Params: pb.Bytes(),
+	}
+	for _, c := range m.inputCals {
+		b.InputCals = append(b.InputCals, calBlob{Keypoints: c.keypoints, Monotone: c.monotone})
+	}
+	for _, c := range m.midCals {
+		b.MidCals = append(b.MidCals, calBlob{Keypoints: c.keypoints, Monotone: c.monotone})
+	}
+	return gob.NewEncoder(w).Encode(b)
+}
+
+// Load reads a model previously written by Save.
+func Load(r io.Reader) (*Model, error) {
+	var b modelBlob
+	if err := gob.NewDecoder(r).Decode(&b); err != nil {
+		return nil, fmt.Errorf("dln: decode: %w", err)
+	}
+	if len(b.InputCals) != b.Dim+1 || len(b.MidCals) != b.Cfg.EmbedDim {
+		return nil, fmt.Errorf("dln: corrupt model: %d input / %d mid calibrators for dim %d embed %d",
+			len(b.InputCals), len(b.MidCals), b.Dim, b.Cfg.EmbedDim)
+	}
+	m := New(rand.New(rand.NewSource(1)), b.Dim, b.Cfg)
+	m.tmax = b.TMax
+	m.wiring = b.Wiring
+	rng := rand.New(rand.NewSource(1))
+	for _, cb := range b.InputCals {
+		c := newCalibrator(rng, "dln.cal", 0, 1, b.Cfg.Keypoints, cb.Monotone)
+		c.keypoints = cb.Keypoints
+		m.inputCals = append(m.inputCals, c)
+	}
+	for _, cb := range b.MidCals {
+		c := newCalibrator(rng, "dln.mid", 0, 1, b.Cfg.Keypoints, cb.Monotone)
+		c.keypoints = cb.Keypoints
+		m.midCals = append(m.midCals, c)
+	}
+	if err := nn.LoadParams(bytes.NewReader(b.Params), m.Params()); err != nil {
+		return nil, fmt.Errorf("dln: params: %w", err)
+	}
+	return m, nil
+}

@@ -1,6 +1,7 @@
 package gbm
 
 import (
+	"selnet/internal/tensor"
 	"selnet/internal/vecdata"
 )
 
@@ -17,6 +18,7 @@ type SelectivityEstimator struct {
 	model     *Model
 	dim       int
 	monotonic bool
+	tmax      float64
 }
 
 // FitSelectivity trains on labelled queries. cfg.Monotone is overwritten
@@ -32,14 +34,22 @@ func FitSelectivity(cfg Config, train []vecdata.Query, monotonic bool) *Selectiv
 	}
 	x := make([][]float64, len(train))
 	y := make([]float64, len(train))
+	var tmax float64
 	for i, q := range train {
 		x[i] = featureRow(q.X, q.T)
 		y[i] = q.Y
+		if q.T > tmax {
+			tmax = q.T
+		}
+	}
+	if tmax == 0 {
+		tmax = 1
 	}
 	return &SelectivityEstimator{
 		model:     Train(cfg, x, y, logEps),
 		dim:       dim,
 		monotonic: monotonic,
+		tmax:      tmax,
 	}
 }
 
@@ -53,6 +63,34 @@ func featureRow(x []float64, t float64) []float64 {
 // Estimate returns the predicted selectivity for (x, t).
 func (e *SelectivityEstimator) Estimate(x []float64, t float64) float64 {
 	return e.model.Predict(featureRow(x, t), logEps)
+}
+
+// EstimateBatch evaluates one query per row of x against the matching
+// threshold in ts. Safe for concurrent use: trees are read-only after
+// training.
+func (e *SelectivityEstimator) EstimateBatch(x *tensor.Dense, ts []float64) []float64 {
+	out := make([]float64, x.Rows())
+	row := make([]float64, e.dim+1)
+	for i := range out {
+		copy(row, x.Row(i))
+		row[e.dim] = ts[i]
+		out[i] = e.model.Predict(row, logEps)
+	}
+	return out
+}
+
+// Dim returns the query dimensionality (without the threshold feature).
+func (e *SelectivityEstimator) Dim() int { return e.dim }
+
+// TMax returns the largest threshold seen during training — tree splits
+// beyond it are extrapolation.
+func (e *SelectivityEstimator) TMax() float64 { return e.tmax }
+
+// SetTMax overrides the advertised threshold ceiling.
+func (e *SelectivityEstimator) SetTMax(t float64) {
+	if t > 0 {
+		e.tmax = t
+	}
 }
 
 // Name returns the paper's model name.

@@ -1,0 +1,106 @@
+package gbm
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+)
+
+// Serialization flattens each tree into an index-linked node array so the
+// wire form uses exported fields without exposing the pointer-linked
+// treeNode layout.
+
+// flatNode is the wire form of one tree node. Left/Right index into the
+// tree's node slice; -1 marks a leaf child slot.
+type flatNode struct {
+	Feature   int
+	Threshold float64
+	Left      int32
+	Right     int32
+	Leaf      bool
+	Value     float64
+}
+
+type estimatorBlob struct {
+	Cfg       Config
+	Base      float64
+	Trees     [][]flatNode
+	Dim       int
+	Monotonic bool
+	TMax      float64
+}
+
+func flatten(t *treeNode) []flatNode {
+	var out []flatNode
+	var walk func(n *treeNode) int32
+	walk = func(n *treeNode) int32 {
+		id := int32(len(out))
+		out = append(out, flatNode{Feature: n.feature, Threshold: n.threshold, Leaf: n.leaf, Value: n.value, Left: -1, Right: -1})
+		if !n.leaf {
+			out[id].Left = walk(n.left)
+			out[id].Right = walk(n.right)
+		}
+		return id
+	}
+	walk(t)
+	return out
+}
+
+func unflatten(nodes []flatNode) (*treeNode, error) {
+	built := make([]*treeNode, len(nodes))
+	for i := range nodes {
+		built[i] = &treeNode{
+			feature:   nodes[i].Feature,
+			threshold: nodes[i].Threshold,
+			leaf:      nodes[i].Leaf,
+			value:     nodes[i].Value,
+		}
+	}
+	for i, n := range nodes {
+		if n.Leaf {
+			continue
+		}
+		if n.Left < 0 || int(n.Left) >= len(built) || n.Right < 0 || int(n.Right) >= len(built) {
+			return nil, fmt.Errorf("gbm: corrupt tree: node %d children out of range", i)
+		}
+		built[i].left = built[n.Left]
+		built[i].right = built[n.Right]
+	}
+	if len(built) == 0 {
+		return nil, fmt.Errorf("gbm: corrupt tree: empty node array")
+	}
+	return built[0], nil
+}
+
+// Save serializes the fitted estimator to w.
+func (e *SelectivityEstimator) Save(w io.Writer) error {
+	b := estimatorBlob{
+		Cfg:       e.model.cfg,
+		Base:      e.model.base,
+		Trees:     make([][]flatNode, len(e.model.trees)),
+		Dim:       e.dim,
+		Monotonic: e.monotonic,
+		TMax:      e.tmax,
+	}
+	for i, t := range e.model.trees {
+		b.Trees[i] = flatten(t)
+	}
+	return gob.NewEncoder(w).Encode(b)
+}
+
+// Load reads an estimator previously written by Save.
+func Load(r io.Reader) (*SelectivityEstimator, error) {
+	var b estimatorBlob
+	if err := gob.NewDecoder(r).Decode(&b); err != nil {
+		return nil, fmt.Errorf("gbm: decode: %w", err)
+	}
+	m := &Model{cfg: b.Cfg, base: b.Base, trees: make([]*treeNode, len(b.Trees))}
+	for i, nodes := range b.Trees {
+		t, err := unflatten(nodes)
+		if err != nil {
+			return nil, err
+		}
+		m.trees[i] = t
+	}
+	return &SelectivityEstimator{model: m, dim: b.Dim, monotonic: b.Monotonic, tmax: b.TMax}, nil
+}

@@ -40,7 +40,7 @@ import (
 	"selnet/internal/vecdata"
 )
 
-// Updatable is the surface the pipeline needs from a model: the serving
+// Updatable is the full-retrain surface of a model: the serving
 // interface plus the Sec. 5.4 update procedure. *selnet.Net and
 // *selnet.Partitioned both satisfy it.
 type Updatable interface {
@@ -48,6 +48,45 @@ type Updatable interface {
 	HandleUpdate(tc selnet.TrainConfig, uc selnet.UpdateConfig, db *vecdata.Database,
 		train, valid []vecdata.Query) selnet.UpdateResult
 	MAE(queries []vecdata.Query) float64
+}
+
+// Refresher is the cheaper capability of database-backed estimators
+// (e.g. LSH sampling): no training procedure, but derived state can be
+// rebuilt against an updated database. A cycle clones the estimator,
+// binds the clone to a private copy of the updated database, refreshes,
+// and hot-swaps — the same publish discipline as retraining.
+type Refresher interface {
+	serve.Estimator
+	CloneEstimator() any
+	BindDB(db *vecdata.Database) error
+	Refresh()
+}
+
+// updateMode is how an attached estimator absorbs data changes; Attach
+// picks the strongest capability the estimator offers and degrades
+// gracefully from there.
+type updateMode int
+
+const (
+	// modeRetrain: shadow clone + δ_U check + incremental training.
+	modeRetrain updateMode = iota
+	// modeRefresh: clone + rebind updated database + rebuild.
+	modeRefresh
+	// modeStatic: database apply and journaling only; the published
+	// estimator never changes. Updates still matter — the database is
+	// the recovery base and the shadow oracle's ground truth.
+	modeStatic
+)
+
+func (m updateMode) String() string {
+	switch m {
+	case modeRetrain:
+		return "retrain"
+	case modeRefresh:
+		return "refresh"
+	default:
+		return "static"
+	}
 }
 
 // bulkApplier is the optional cluster-bookkeeping surface of partitioned
@@ -243,16 +282,17 @@ type snapshotRequest struct {
 // state and sit behind their own mutex.
 type modelPipeline struct {
 	name  string
+	mode  updateMode
 	j     *journal
 	db    *vecdata.Database
 	train []vecdata.Query
 	valid []vecdata.Query
-	cur   Updatable
+	cur   serve.Estimator
 	// published is the estimator this pipeline last installed in (or
 	// attached to) the registry; when the registry holds something else,
 	// an operator hot-swapped a model manually and the pipeline adopts it
 	// as the new shadow base instead of clobbering it.
-	published Updatable
+	published serve.Estimator
 	// baseline is the reference MAE of the δ_U trigger: the validation
 	// MAE recorded when the model was last (re)trained, so drift
 	// accumulates across skipped updates (Sec. 5.4).
@@ -313,7 +353,7 @@ func New(cfg Config) *Pipeline {
 // applied sequence is queued for replay through the normal
 // apply+retrain pipeline — so the δ_U loop resumes exactly where the
 // previous process left off and every acknowledged batch takes effect.
-func (p *Pipeline) Attach(name string, m Updatable, db *vecdata.Database, train, valid []vecdata.Query) error {
+func (p *Pipeline) Attach(name string, m serve.Estimator, db *vecdata.Database, train, valid []vecdata.Query) error {
 	if name == "" {
 		return fmt.Errorf("ingest: empty model name")
 	}
@@ -323,11 +363,14 @@ func (p *Pipeline) Attach(name string, m Updatable, db *vecdata.Database, train,
 	if m.Dim() != db.Dim {
 		return fmt.Errorf("ingest: model %q has dim %d but database has dim %d", name, m.Dim(), db.Dim)
 	}
-	if _, err := cloneUpdatable(m); err != nil {
-		return fmt.Errorf("ingest: model %q: %w", name, err)
-	}
-	if len(valid) == 0 {
-		return fmt.Errorf("ingest: model %q needs validation queries for the delta_U check", name)
+	mode := modeOf(m)
+	if mode == modeRetrain {
+		if _, err := cloneEstimator(m); err != nil {
+			return fmt.Errorf("ingest: model %q: %w", name, err)
+		}
+		if len(valid) == 0 {
+			return fmt.Errorf("ingest: model %q needs validation queries for the delta_U check", name)
+		}
 	}
 
 	// Fail the cheap structural checks before recovery: recover publishes
@@ -347,6 +390,7 @@ func (p *Pipeline) Attach(name string, m Updatable, db *vecdata.Database, train,
 
 	mp := &modelPipeline{
 		name:  name,
+		mode:  mode,
 		db:    db,
 		train: train,
 		valid: valid,
@@ -356,12 +400,19 @@ func (p *Pipeline) Attach(name string, m Updatable, db *vecdata.Database, train,
 		if err := p.recover(mp); err != nil {
 			return err
 		}
-	} else {
+		// Recovery may have swapped in a snapshot model of a different
+		// capability class; re-derive the mode from what will serve.
+		mp.mode = modeOf(mp.cur)
+	}
+	if mp.j == nil {
 		mp.j = newJournal(p.cfg.QueueDepth, memStore{})
 	}
 	mp.published = mp.cur
-	mp.baseline = mp.cur.MAE(mp.valid)
+	if mp.mode == modeRetrain {
+		mp.baseline = mp.cur.(Updatable).MAE(mp.valid)
+	}
 	mp.stats.QueueCapacity = p.cfg.QueueDepth
+	mp.stats.Mode = mp.mode.String()
 
 	// Observability hookup: the shadow scorer gets a ground-truth oracle
 	// over the (possibly just-recovered) private database, and the
@@ -713,12 +764,19 @@ func (p *Pipeline) maybeSnapshot(mp *modelPipeline, c Cycle) {
 	if !p.snapBusy.CompareAndSwap(false, true) {
 		return
 	}
-	model, err := cloneUpdatable(mp.cur)
-	if err != nil {
-		// Attach verified cloneability, so this is unreachable in
-		// practice; skip the snapshot rather than wedge the worker.
-		p.snapBusy.Store(false)
-		return
+	// Static estimators are immutable — no mutation path ever touches
+	// them — so the snapshotter can serialize the live value; the other
+	// modes clone so the worker's next cycle never races the write.
+	model := mp.cur
+	if mp.mode != modeStatic {
+		var err error
+		model, err = cloneEstimator(mp.cur)
+		if err != nil {
+			// Attach verified cloneability, so this is unreachable in
+			// practice; skip the snapshot rather than wedge the worker.
+			p.snapBusy.Store(false)
+			return
+		}
 	}
 	p.snapCh <- snapshotRequest{
 		mp:   mp,
@@ -737,7 +795,7 @@ func (p *Pipeline) scoreDrift(mp *modelPipeline, c Cycle) {
 	if p.cfg.Drift == nil || c.Err != nil || len(mp.valid) == 0 {
 		return
 	}
-	est := serve.Estimator(mp.cur)
+	est := mp.cur
 	if m, ok := p.cfg.Registry.Get(mp.name); ok {
 		est = m.Est
 	}
@@ -827,25 +885,20 @@ func (p *Pipeline) cycle(mp *modelPipeline, entries []Entry) Cycle {
 		p.cfg.BeforeRetrain(mp.name)
 	}
 
-	// Shadow step under the retrain semaphore: clone, register the
-	// structural change, run the δ_U check + incremental training.
-	p.sem <- struct{}{}
-	// If the registry no longer holds what this pipeline last published,
-	// an operator hot-swapped a model in manually; adopt it as the new
-	// shadow base (when compatible) rather than silently reverting it at
-	// the next publish. Validation labels are still pre-update here, so
-	// the adopted baseline MAE reflects the data the model was loaded
-	// against, exactly like the baseline recorded at Attach.
-	if pub, ok := p.cfg.Registry.Get(mp.name); ok && pub.Est != serve.Estimator(mp.published) {
-		if ext, isUpd := pub.Est.(Updatable); isUpd && ext.Dim() == mp.db.Dim {
-			if _, cerr := cloneUpdatable(ext); cerr == nil {
-				mp.cur, mp.published = ext, ext
-				mp.baseline = ext.MAE(mp.valid)
-				c.Adopted = true
-			}
-		}
+	// A static estimator is done: the database and journal carry the
+	// update; the published model is immutable by construction.
+	if mp.mode == modeStatic {
+		c.Duration = time.Since(start)
+		p.recordCycle(mp, c)
+		return c
 	}
-	shadow, err := cloneUpdatable(mp.cur)
+
+	// Shadow step under the retrain semaphore: clone, register the
+	// structural change, run the mode's rebuild — the δ_U check +
+	// incremental training, or a database rebind + refresh.
+	p.sem <- struct{}{}
+	p.adoptManualSwap(mp, &c)
+	shadowEst, err := cloneEstimator(mp.cur)
 	if err != nil {
 		<-p.sem
 		c.Err = err
@@ -853,7 +906,38 @@ func (p *Pipeline) cycle(mp *modelPipeline, entries []Entry) Cycle {
 		p.recordCycle(mp, c)
 		return c
 	}
-	if ba, ok := shadow.(bulkApplier); ok {
+
+	if mp.mode == modeRefresh {
+		r := shadowEst.(Refresher)
+		// The clone gets its own copy of the updated database so later
+		// worker cycles never mutate what it serves from.
+		if err := r.BindDB(mp.db.Clone()); err != nil {
+			<-p.sem
+			c.Err = err
+			c.Duration = time.Since(start)
+			p.recordCycle(mp, c)
+			return c
+		}
+		r.Refresh()
+		<-p.sem
+		mp.cur = shadowEst
+		m, swapped, perr := p.cfg.Registry.PublishIf(mp.name, shadowEst,
+			fmt.Sprintf("ingest: refresh seq %d-%d", c.FirstSeq, c.LastSeq), mp.published)
+		switch {
+		case perr != nil:
+			c.Err = perr
+		case swapped:
+			c.Swapped = true
+			c.Generation = m.Generation
+			mp.published = shadowEst
+		}
+		c.Duration = time.Since(start)
+		p.recordCycle(mp, c)
+		return c
+	}
+
+	shadow := shadowEst.(Updatable)
+	if ba, ok := shadowEst.(bulkApplier); ok {
 		if len(inserted) > 0 {
 			ba.ApplyInsert(inserted)
 		}
@@ -876,7 +960,7 @@ func (p *Pipeline) cycle(mp *modelPipeline, entries []Entry) Cycle {
 		// training, the swap is abandoned and the next cycle adopts the
 		// operator's model instead.
 		m, swapped, perr := p.cfg.Registry.PublishIf(mp.name, shadow,
-			fmt.Sprintf("ingest: seq %d-%d", c.FirstSeq, c.LastSeq), serve.Estimator(mp.published))
+			fmt.Sprintf("ingest: seq %d-%d", c.FirstSeq, c.LastSeq), mp.published)
 		switch {
 		case perr != nil:
 			c.Err = perr
@@ -892,6 +976,30 @@ func (p *Pipeline) cycle(mp *modelPipeline, entries []Entry) Cycle {
 	return c
 }
 
+// adoptManualSwap takes over an operator's manually loaded model as the
+// new shadow base when it is compatible with this pipeline's mode — so
+// the next publish never silently reverts a manual POST /v1/models.
+// Validation labels are still pre-update here, so an adopted retrain
+// baseline reflects the data the model was loaded against, exactly like
+// the baseline recorded at Attach.
+func (p *Pipeline) adoptManualSwap(mp *modelPipeline, c *Cycle) {
+	pub, ok := p.cfg.Registry.Get(mp.name)
+	if !ok || pub.Est == mp.published || pub.Est.Dim() != mp.db.Dim {
+		return
+	}
+	if modeOf(pub.Est) != mp.mode {
+		return
+	}
+	if _, cerr := cloneEstimator(pub.Est); cerr != nil {
+		return
+	}
+	mp.cur, mp.published = pub.Est, pub.Est
+	if mp.mode == modeRetrain {
+		mp.baseline = pub.Est.(Updatable).MAE(mp.valid)
+	}
+	c.Adopted = true
+}
+
 // recordCycle folds a cycle into the model's stats.
 func (p *Pipeline) recordCycle(mp *modelPipeline, c Cycle) {
 	mp.statsMu.Lock()
@@ -901,30 +1009,54 @@ func (p *Pipeline) recordCycle(mp *modelPipeline, c Cycle) {
 	s.InsertedVecs += uint64(c.Inserted)
 	s.DeletedVecs += uint64(c.Deleted)
 	if c.Err == nil {
-		if c.Result.Retrained {
-			s.Retrained++
-		} else {
-			s.Skipped++
+		switch mp.mode {
+		case modeRetrain:
+			if c.Result.Retrained {
+				s.Retrained++
+			} else {
+				s.Skipped++
+			}
+			s.LastMAEBefore = c.Result.MAEBefore
+			s.LastMAEAfter = c.Result.MAEAfter
+			s.LastEpochs = c.Result.EpochsRun
+		case modeRefresh:
+			if c.Swapped {
+				s.Refreshed++
+			}
 		}
-		s.LastMAEBefore = c.Result.MAEBefore
-		s.LastMAEAfter = c.Result.MAEAfter
-		s.LastEpochs = c.Result.EpochsRun
 	}
 	if c.Swapped {
 		s.SwapGeneration = c.Generation
 	}
 }
 
-// cloneUpdatable deep-copies a model for shadow retraining.
-func cloneUpdatable(m Updatable) (Updatable, error) {
-	switch v := m.(type) {
-	case *selnet.Net:
-		return v.Clone(), nil
-	case *selnet.Partitioned:
-		return v.Clone()
-	default:
+// modeOf picks the strongest update capability an estimator offers.
+// Retraining needs the Sec. 5.4 surface and cloneability; refreshing
+// needs clone + rebind; everything else serves statically.
+func modeOf(m serve.Estimator) updateMode {
+	if _, ok := m.(Updatable); ok {
+		if _, err := cloneEstimator(m); err == nil {
+			return modeRetrain
+		}
+	}
+	if _, ok := m.(Refresher); ok {
+		return modeRefresh
+	}
+	return modeStatic
+}
+
+// cloneEstimator deep-copies a model through its CloneEstimator
+// capability, for shadow retraining, refresh rebuilds and snapshots.
+func cloneEstimator(m serve.Estimator) (serve.Estimator, error) {
+	c, ok := m.(interface{ CloneEstimator() any })
+	if !ok {
 		return nil, fmt.Errorf("ingest: cannot clone model of type %T", m)
 	}
+	v, ok := c.CloneEstimator().(serve.Estimator)
+	if !ok || v == nil {
+		return nil, fmt.Errorf("ingest: clone of %T failed", m)
+	}
+	return v, nil
 }
 
 // valueIndex resolves delete-by-value against a database in O(1) per

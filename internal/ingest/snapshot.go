@@ -11,7 +11,8 @@ import (
 	"strings"
 
 	"selnet/internal/distance"
-	"selnet/internal/selnet"
+	"selnet/internal/modelcodec"
+	"selnet/internal/serve"
 	"selnet/internal/vecdata"
 )
 
@@ -41,7 +42,7 @@ type snapshotHeader struct {
 type modelSnapshot struct {
 	appliedSeq uint64
 	db         *vecdata.Database
-	model      Updatable // nil when the snapshot carries no weights
+	model      serve.Estimator // nil when the snapshot carries no weights
 }
 
 // writeSnapshot atomically replaces path with the snapshot.
@@ -75,7 +76,10 @@ func writeSnapshot(path, name string, s modelSnapshot) error {
 		return fmt.Errorf("ingest: encode snapshot vectors: %w", err)
 	}
 	if s.model != nil {
-		if err := selnet.SaveModel(bw, s.model.(selnet.Model)); err != nil {
+		// The kind-tagged container is byte-compatible with the old
+		// selnet.SaveModel stream, so pre-existing snapshots still load
+		// and selnet-kind snapshots stay readable by older builds.
+		if err := modelcodec.Save(bw, s.model); err != nil {
 			f.Close()
 			return err
 		}
@@ -131,11 +135,11 @@ func loadSnapshot(path, name string) (modelSnapshot, bool, error) {
 	s.appliedSeq = h.AppliedSeq
 	s.db = vecdata.NewDatabase(name, distance.Func(h.Dist), vecs)
 	if h.HasModel {
-		m, err := selnet.LoadModel(br)
+		m, err := modelcodec.Load(br)
 		if err != nil {
 			return s, false, fmt.Errorf("ingest: snapshot %s model: %w", path, err)
 		}
-		s.model = m.(Updatable)
+		s.model = m
 	}
 	return s, true, nil
 }

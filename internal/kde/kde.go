@@ -14,9 +14,14 @@
 package kde
 
 import (
+	"encoding/gob"
+	"fmt"
+	"io"
 	"math"
 	"math/rand"
 
+	"selnet/internal/distance"
+	"selnet/internal/tensor"
 	"selnet/internal/vecdata"
 )
 
@@ -37,12 +42,17 @@ func DefaultConfig() Config {
 	return Config{SampleSize: 2000, BandwidthK: 8, MinBandwidth: 1e-4}
 }
 
-// Estimator is a fitted KDE model.
+// Estimator is a fitted KDE model. It is self-contained once fitted
+// (the kernel sample is copied out of the database), so it can be
+// serialized, served, and hot-swapped without holding the database.
 type Estimator struct {
-	db        *vecdata.Database
+	dist      distance.Func
+	dim       int
+	n         int // database size at fit time (numerator of scale)
 	samples   [][]float64
 	bandwidth []float64
 	scale     float64 // n/m
+	tmax      float64 // largest answerable threshold (see TMax)
 }
 
 // Fit draws the kernel sample and computes adaptive bandwidths.
@@ -57,7 +67,7 @@ func Fit(rng *rand.Rand, db *vecdata.Database, cfg Config) *Estimator {
 	idx := rng.Perm(db.Size())[:m]
 	samples := make([][]float64, m)
 	for i, id := range idx {
-		samples[i] = db.Vecs[id]
+		samples[i] = append([]float64(nil), db.Vecs[id]...)
 	}
 	k := cfg.BandwidthK
 	if k >= m {
@@ -67,6 +77,7 @@ func Fit(rng *rand.Rand, db *vecdata.Database, cfg Config) *Estimator {
 		k = 1
 	}
 	bw := make([]float64, m)
+	var maxDist float64
 	for i := range samples {
 		// Adaptive bandwidth: distance to the k-th nearest other sample,
 		// i.e. wide kernels in sparse regions, narrow in dense ones.
@@ -75,15 +86,25 @@ func Fit(rng *rand.Rand, db *vecdata.Database, cfg Config) *Estimator {
 			if i == j {
 				continue
 			}
-			dists = append(dists, db.Dist.Distance(samples[i], samples[j]))
+			d := db.Dist.Distance(samples[i], samples[j])
+			if d > maxDist {
+				maxDist = d
+			}
+			dists = append(dists, d)
 		}
 		bw[i] = math.Max(kthSmallest(dists, k), cfg.MinBandwidth)
 	}
+	if maxDist == 0 {
+		maxDist = 1
+	}
 	return &Estimator{
-		db:        db,
+		dist:      db.Dist,
+		dim:       db.Dim,
+		n:         db.Size(),
 		samples:   samples,
 		bandwidth: bw,
 		scale:     float64(db.Size()) / float64(m),
+		tmax:      maxDist,
 	}
 }
 
@@ -133,17 +154,93 @@ func FitTuned(rng *rand.Rand, db *vecdata.Database, cfg Config, train []vecdata.
 func (e *Estimator) Estimate(x []float64, t float64) float64 {
 	var s float64
 	for i, o := range e.samples {
-		d := e.db.Dist.Distance(x, o)
+		d := e.dist.Distance(x, o)
 		s += normalCDF((t - d) / e.bandwidth[i])
 	}
 	return e.scale * s
 }
+
+// EstimateBatch evaluates one query per row of x against the matching
+// threshold in ts. Safe for concurrent use: the estimator is read-only
+// after Fit.
+func (e *Estimator) EstimateBatch(x *tensor.Dense, ts []float64) []float64 {
+	out := make([]float64, x.Rows())
+	for i := range out {
+		out[i] = e.Estimate(x.Row(i), ts[i])
+	}
+	return out
+}
+
+// Dim returns the vector dimensionality the estimator was fitted on.
+func (e *Estimator) Dim() int { return e.dim }
+
+// TMax returns the largest threshold the estimator was fitted to answer:
+// the maximum pairwise distance observed within the kernel sample, a
+// proxy for the data diameter.
+func (e *Estimator) TMax() float64 { return e.tmax }
+
+// SetTMax overrides the advertised threshold ceiling (e.g. from the max
+// training-query threshold).
+func (e *Estimator) SetTMax(t float64) {
+	if t > 0 {
+		e.tmax = t
+	}
+}
+
+// DataSize returns the database size at fit time; the serving router
+// uses it to decide when VC-style sampling bounds make a sampling-backed
+// estimator preferable.
+func (e *Estimator) DataSize() int { return e.n }
 
 // Name returns the paper's model name.
 func (e *Estimator) Name() string { return "KDE" }
 
 // ConsistencyGuaranteed reports that KDE is monotone in t by construction.
 func (e *Estimator) ConsistencyGuaranteed() bool { return true }
+
+// blob is the gob wire form of a fitted estimator.
+type blob struct {
+	Dist      int
+	Dim       int
+	N         int
+	Samples   [][]float64
+	Bandwidth []float64
+	Scale     float64
+	TMax      float64
+}
+
+// Save serializes the fitted estimator to w.
+func (e *Estimator) Save(w io.Writer) error {
+	return gob.NewEncoder(w).Encode(blob{
+		Dist:      int(e.dist),
+		Dim:       e.dim,
+		N:         e.n,
+		Samples:   e.samples,
+		Bandwidth: e.bandwidth,
+		Scale:     e.scale,
+		TMax:      e.tmax,
+	})
+}
+
+// Load reads an estimator previously written by Save.
+func Load(r io.Reader) (*Estimator, error) {
+	var b blob
+	if err := gob.NewDecoder(r).Decode(&b); err != nil {
+		return nil, fmt.Errorf("kde: decode: %w", err)
+	}
+	if len(b.Samples) == 0 || len(b.Bandwidth) != len(b.Samples) {
+		return nil, fmt.Errorf("kde: corrupt model: %d samples, %d bandwidths", len(b.Samples), len(b.Bandwidth))
+	}
+	return &Estimator{
+		dist:      distance.Func(b.Dist),
+		dim:       b.Dim,
+		n:         b.N,
+		samples:   b.Samples,
+		bandwidth: b.Bandwidth,
+		scale:     b.Scale,
+		tmax:      b.TMax,
+	}, nil
+}
 
 // normalCDF is the standard normal cumulative distribution function.
 func normalCDF(z float64) float64 {

@@ -19,12 +19,15 @@
 package lshsampling
 
 import (
+	"encoding/gob"
 	"fmt"
+	"io"
 	"math"
 	"math/bits"
 	"math/rand"
 
 	"selnet/internal/distance"
+	"selnet/internal/tensor"
 	"selnet/internal/vecdata"
 )
 
@@ -52,6 +55,8 @@ func DefaultConfig() Config {
 type Estimator struct {
 	cfg        Config
 	db         *vecdata.Database
+	dim        int
+	tmax       float64
 	planes     [][]float64 // bits random hyperplanes
 	signatures []uint64
 }
@@ -66,7 +71,8 @@ func Build(rng *rand.Rand, db *vecdata.Database, cfg Config) (*Estimator, error)
 	if cfg.Bits < 1 || cfg.Bits > 64 {
 		return nil, fmt.Errorf("lshsampling: Bits must be in [1, 64], got %d", cfg.Bits)
 	}
-	e := &Estimator{cfg: cfg, db: db}
+	// Cosine distance is bounded by 2, so every threshold is answerable.
+	e := &Estimator{cfg: cfg, db: db, dim: db.Dim, tmax: 2}
 	e.planes = make([][]float64, cfg.Bits)
 	for i := range e.planes {
 		p := make([]float64, db.Dim)
@@ -169,3 +175,107 @@ func (e *Estimator) Name() string { return "LSH" }
 // ConsistencyGuaranteed reports that the estimator is monotone in t for
 // its fixed per-query sample.
 func (e *Estimator) ConsistencyGuaranteed() bool { return true }
+
+// EstimateBatch evaluates one query per row of x against the matching
+// threshold in ts. Safe for concurrent use as long as nothing calls
+// Refresh or BindDB concurrently; serving always works on a clone.
+func (e *Estimator) EstimateBatch(x *tensor.Dense, ts []float64) []float64 {
+	out := make([]float64, x.Rows())
+	for i := range out {
+		out[i] = e.Estimate(x.Row(i), ts[i])
+	}
+	return out
+}
+
+// Dim returns the vector dimensionality the estimator was built on.
+func (e *Estimator) Dim() int { return e.dim }
+
+// TMax returns the largest answerable threshold (2, the cosine-distance
+// ceiling, unless overridden by SetTMax).
+func (e *Estimator) TMax() float64 { return e.tmax }
+
+// SetTMax overrides the advertised threshold ceiling.
+func (e *Estimator) SetTMax(t float64) {
+	if t > 0 {
+		e.tmax = t
+	}
+}
+
+// DataSize returns the number of database vectors currently backing the
+// estimator; the serving router compares it against VC sampling bounds.
+func (e *Estimator) DataSize() int { return e.db.Size() }
+
+// Clone returns a copy sharing the immutable hyperplanes but owning its
+// signatures and a private copy of the database, so Refresh/BindDB on
+// the clone never races with Estimate on the original.
+func (e *Estimator) Clone() *Estimator {
+	return &Estimator{
+		cfg:        e.cfg,
+		db:         e.db.Clone(),
+		dim:        e.dim,
+		tmax:       e.tmax,
+		planes:     e.planes,
+		signatures: append([]uint64(nil), e.signatures...),
+	}
+}
+
+// CloneEstimator implements the serving layer's clone capability.
+func (e *Estimator) CloneEstimator() any { return e.Clone() }
+
+// BindDB points the estimator at a different database snapshot. The
+// caller must Refresh afterwards so signatures match the new contents.
+func (e *Estimator) BindDB(db *vecdata.Database) error {
+	if db.Dist != distance.Cosine {
+		return fmt.Errorf("lshsampling: SimHash requires cosine distance, got %v", db.Dist)
+	}
+	if db.Dim != e.dim {
+		return fmt.Errorf("lshsampling: database dim %d != estimator dim %d", db.Dim, e.dim)
+	}
+	e.db = db
+	return nil
+}
+
+// blob is the gob wire form: config, planes, threshold ceiling and the
+// backing vectors. Signatures are recomputed on load (one hashing pass)
+// rather than stored.
+type blob struct {
+	Cfg    Config
+	Dim    int
+	TMax   float64
+	Name   string
+	Planes [][]float64
+	Vecs   [][]float64
+}
+
+// Save serializes the estimator, including its backing vectors, to w.
+func (e *Estimator) Save(w io.Writer) error {
+	return gob.NewEncoder(w).Encode(blob{
+		Cfg:    e.cfg,
+		Dim:    e.dim,
+		TMax:   e.tmax,
+		Name:   e.db.Name,
+		Planes: e.planes,
+		Vecs:   e.db.Vecs,
+	})
+}
+
+// Load reads an estimator previously written by Save and recomputes its
+// signatures.
+func Load(r io.Reader) (*Estimator, error) {
+	var b blob
+	if err := gob.NewDecoder(r).Decode(&b); err != nil {
+		return nil, fmt.Errorf("lshsampling: decode: %w", err)
+	}
+	if len(b.Planes) == 0 {
+		return nil, fmt.Errorf("lshsampling: corrupt model: no hyperplanes")
+	}
+	e := &Estimator{
+		cfg:    b.Cfg,
+		db:     vecdata.NewDatabase(b.Name, distance.Cosine, b.Vecs),
+		dim:    b.Dim,
+		tmax:   b.TMax,
+		planes: b.Planes,
+	}
+	e.Refresh()
+	return e, nil
+}

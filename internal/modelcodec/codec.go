@@ -1,0 +1,227 @@
+// Package modelcodec is the registry-level model container: one
+// kind-tagged serialization format that round-trips every servable
+// estimator kind — SelNet (single and partitioned) plus the six baseline
+// estimators (KDE, LSH sampling, LightGBM, DNN, MoE, RMI, DLN, UMNN).
+//
+// The container layout is byte-compatible with selnet.SaveModel (an
+// 8-byte magic, a gob-encoded kind string, then the model's own Save
+// stream), so model files and snapshots written before this package
+// existed load unchanged, and selnet-kind files written here load with
+// the old selnet.LoadModel. Legacy untagged files ('selest train'
+// output, bare Save streams) are sniffed through selnet's decoders.
+//
+// The package sits below internal/serve: serve, ingest and the daemons
+// import it, and its Estimator interface is structurally identical to
+// serve.Estimator, so values pass between the two without adapters.
+package modelcodec
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"io"
+	"os"
+
+	"selnet/internal/dln"
+	"selnet/internal/gbm"
+	"selnet/internal/kde"
+	"selnet/internal/lshsampling"
+	"selnet/internal/selnet"
+	"selnet/internal/tensor"
+	"selnet/internal/umnn"
+
+	"selnet/internal/deepreg"
+)
+
+// Estimator is the inference surface every servable model kind shares.
+// It is structurally identical to serve.Estimator.
+type Estimator interface {
+	Estimate(x []float64, t float64) float64
+	EstimateBatch(x *tensor.Dense, ts []float64) []float64
+	Dim() int
+	TMax() float64
+	Name() string
+}
+
+// magic prefixes the kind-tagged container; identical to the selnet
+// container so pre-existing files remain loadable in both directions.
+const magic = "SELMODL1"
+
+// Wire kind strings. The selnet kinds must never change: they are the
+// strings selnet.SaveModel has written since PR 3.
+const (
+	kindNet  = "selnet.Net"
+	kindPart = "selnet.Partitioned"
+	kindKDE  = "kde.Estimator"
+	kindLSH  = "lshsampling.Estimator"
+	kindGBM  = "gbm.SelectivityEstimator"
+	kindDNN  = "deepreg.DNN"
+	kindMoE  = "deepreg.MoE"
+	kindRMI  = "deepreg.RMI"
+	kindDLN  = "dln.Model"
+	kindUMNN = "umnn.Model"
+)
+
+// Kind returns the short estimator-kind slug used in /v1/models and the
+// router configuration ("selnet", "selnet-part", "kde", "lsh", "gbm",
+// "dnn", "moe", "rmi", "dln", "umnn"), or "unknown" for types the codec
+// does not handle.
+func Kind(est any) string {
+	switch est.(type) {
+	case *selnet.Net:
+		return "selnet"
+	case *selnet.Partitioned:
+		return "selnet-part"
+	case *kde.Estimator:
+		return "kde"
+	case *lshsampling.Estimator:
+		return "lsh"
+	case *gbm.SelectivityEstimator:
+		return "gbm"
+	case *deepreg.DNN:
+		return "dnn"
+	case *deepreg.MoE:
+		return "moe"
+	case *deepreg.RMI:
+		return "rmi"
+	case *dln.Model:
+		return "dln"
+	case *umnn.Model:
+		return "umnn"
+	}
+	return "unknown"
+}
+
+// Save writes est to w in the kind-tagged container format.
+func Save(w io.Writer, est Estimator) error {
+	var kind string
+	var save func(io.Writer) error
+	switch v := est.(type) {
+	case *selnet.Net:
+		kind, save = kindNet, v.Save
+	case *selnet.Partitioned:
+		kind, save = kindPart, v.Save
+	case *kde.Estimator:
+		kind, save = kindKDE, v.Save
+	case *lshsampling.Estimator:
+		kind, save = kindLSH, v.Save
+	case *gbm.SelectivityEstimator:
+		kind, save = kindGBM, v.Save
+	case *deepreg.DNN:
+		kind, save = kindDNN, v.Save
+	case *deepreg.MoE:
+		kind, save = kindMoE, v.Save
+	case *deepreg.RMI:
+		kind, save = kindRMI, v.Save
+	case *dln.Model:
+		kind, save = kindDLN, v.Save
+	case *umnn.Model:
+		kind, save = kindUMNN, v.Save
+	default:
+		return fmt.Errorf("modelcodec: cannot save model of type %T", est)
+	}
+	if _, err := io.WriteString(w, magic); err != nil {
+		return fmt.Errorf("modelcodec: write magic: %w", err)
+	}
+	if err := gob.NewEncoder(w).Encode(kind); err != nil {
+		return fmt.Errorf("modelcodec: encode kind: %w", err)
+	}
+	return save(w)
+}
+
+// Load reads one container written by Save (or by selnet.SaveModel).
+// The reader may sit mid-stream, e.g. inside a snapshot file; exactly
+// one container is consumed.
+func Load(r io.Reader) (Estimator, error) {
+	// Consecutive gob messages share one stream; without a ByteReader
+	// each decoder would buffer past its own message (see selnet.LoadNet).
+	if _, ok := r.(io.ByteReader); !ok {
+		r = bufio.NewReader(r)
+	}
+	got := make([]byte, len(magic))
+	if _, err := io.ReadFull(r, got); err != nil {
+		return nil, fmt.Errorf("modelcodec: read magic: %w", err)
+	}
+	if string(got) != magic {
+		return nil, fmt.Errorf("modelcodec: bad magic %q", got)
+	}
+	var kind string
+	if err := gob.NewDecoder(r).Decode(&kind); err != nil {
+		return nil, fmt.Errorf("modelcodec: decode kind: %w", err)
+	}
+	switch kind {
+	case kindNet:
+		return recovering(func() (Estimator, error) { return selnet.LoadNet(r) })
+	case kindPart:
+		return recovering(func() (Estimator, error) { return selnet.LoadPartitioned(r) })
+	case kindKDE:
+		return recovering(func() (Estimator, error) { return kde.Load(r) })
+	case kindLSH:
+		return recovering(func() (Estimator, error) { return lshsampling.Load(r) })
+	case kindGBM:
+		return recovering(func() (Estimator, error) { return gbm.Load(r) })
+	case kindDNN:
+		return recovering(func() (Estimator, error) { return deepreg.LoadDNN(r) })
+	case kindMoE:
+		return recovering(func() (Estimator, error) { return deepreg.LoadMoE(r) })
+	case kindRMI:
+		return recovering(func() (Estimator, error) { return deepreg.LoadRMI(r) })
+	case kindDLN:
+		return recovering(func() (Estimator, error) { return dln.Load(r) })
+	case kindUMNN:
+		return recovering(func() (Estimator, error) { return umnn.Load(r) })
+	}
+	return nil, fmt.Errorf("modelcodec: unknown model kind %q", kind)
+}
+
+// SaveFile writes est to path in the kind-tagged container format.
+func SaveFile(path string, est Estimator) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := Save(f, est); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// LoadFile reads a model of any supported kind from path. Tagged
+// containers dispatch on their kind; legacy untagged files — 'selest
+// train' output or a bare (*Partitioned).Save stream — are sniffed by
+// attempting each selnet decoder in turn, preserving the pre-codec
+// loading behavior for operator-supplied paths.
+func LoadFile(path string) (Estimator, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	if bytes.HasPrefix(b, []byte(magic)) {
+		return recovering(func() (Estimator, error) { return Load(bytes.NewReader(b)) })
+	}
+	n, netErr := recovering(func() (Estimator, error) { return selnet.LoadNet(bytes.NewReader(b)) })
+	if netErr == nil {
+		return n, nil
+	}
+	p, partErr := recovering(func() (Estimator, error) { return selnet.LoadPartitioned(bytes.NewReader(b)) })
+	if partErr == nil {
+		return p, nil
+	}
+	return nil, fmt.Errorf("modelcodec: %s decodes as neither a single model (%w) nor a partitioned one (%w)",
+		path, netErr, partErr)
+}
+
+// recovering converts a decoder panic into an error: a half-matching
+// gob stream can decode into a nonsensical architecture the model
+// constructors reject by panicking, and a daemon loading an
+// operator-supplied path must survive that.
+func recovering(fn func() (Estimator, error)) (est Estimator, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			est, err = nil, fmt.Errorf("modelcodec: model decode: %v", r)
+		}
+	}()
+	return fn()
+}

@@ -1,0 +1,169 @@
+package modelcodec_test
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"path/filepath"
+	"sort"
+	"testing"
+
+	"selnet/internal/modelcodec"
+	"selnet/internal/modeltest"
+	"selnet/internal/selnet"
+	"selnet/internal/tensor"
+)
+
+// queryProbe evaluates a fixed probe workload so two estimators can be
+// compared for behavioral equality.
+func queryProbe(est modelcodec.Estimator) []float64 {
+	rng := rand.New(rand.NewSource(42))
+	dim := est.Dim()
+	out := make([]float64, 0, 16)
+	for i := 0; i < 8; i++ {
+		x := make([]float64, dim)
+		for j := range x {
+			x[j] = rng.NormFloat64()
+		}
+		t := est.TMax() * rng.Float64()
+		out = append(out, est.Estimate(x, t))
+	}
+	return out
+}
+
+// TestRoundTripAllKinds saves and reloads one model of every kind and
+// verifies kind tagging, metadata, and identical estimates.
+func TestRoundTripAllKinds(t *testing.T) {
+	builders := modeltest.Builders()
+	kinds := make([]string, 0, len(builders))
+	for k := range builders {
+		kinds = append(kinds, k)
+	}
+	sort.Strings(kinds)
+	for _, kind := range kinds {
+		kind := kind
+		t.Run(kind, func(t *testing.T) {
+			t.Parallel()
+			est := builders[kind]()
+			if got := modelcodec.Kind(est); got != kind {
+				t.Fatalf("Kind = %q, want %q", got, kind)
+			}
+			var buf bytes.Buffer
+			if err := modelcodec.Save(&buf, est); err != nil {
+				t.Fatalf("save: %v", err)
+			}
+			got, err := modelcodec.Load(bytes.NewReader(buf.Bytes()))
+			if err != nil {
+				t.Fatalf("load: %v", err)
+			}
+			if modelcodec.Kind(got) != kind {
+				t.Fatalf("reloaded kind = %q, want %q", modelcodec.Kind(got), kind)
+			}
+			if got.Dim() != est.Dim() {
+				t.Errorf("Dim = %d, want %d", got.Dim(), est.Dim())
+			}
+			if got.TMax() != est.TMax() {
+				t.Errorf("TMax = %v, want %v", got.TMax(), est.TMax())
+			}
+			if got.Name() != est.Name() {
+				t.Errorf("Name = %q, want %q", got.Name(), est.Name())
+			}
+			want := queryProbe(est)
+			have := queryProbe(got)
+			for i := range want {
+				if math.Abs(want[i]-have[i]) > 1e-9*(1+math.Abs(want[i])) {
+					t.Errorf("probe %d: reloaded estimate %v, want %v", i, have[i], want[i])
+				}
+			}
+			// Batch path agrees after reload too.
+			x := tensor.FromRows([][]float64{make([]float64, est.Dim())})
+			if b := got.EstimateBatch(x, []float64{est.TMax() / 2}); len(b) != 1 {
+				t.Errorf("EstimateBatch returned %d values, want 1", len(b))
+			}
+		})
+	}
+}
+
+// TestFileRoundTrip exercises the path-based API.
+func TestFileRoundTrip(t *testing.T) {
+	est := builders(t, "kde")
+	path := filepath.Join(t.TempDir(), "model.kde")
+	if err := modelcodec.SaveFile(path, est); err != nil {
+		t.Fatalf("save file: %v", err)
+	}
+	got, err := modelcodec.LoadFile(path)
+	if err != nil {
+		t.Fatalf("load file: %v", err)
+	}
+	if modelcodec.Kind(got) != "kde" {
+		t.Fatalf("kind = %q", modelcodec.Kind(got))
+	}
+}
+
+func builders(t *testing.T, kind string) modelcodec.Estimator {
+	t.Helper()
+	b, ok := modeltest.Builders()[kind]
+	if !ok {
+		t.Fatalf("no builder for kind %q", kind)
+	}
+	return b()
+}
+
+// TestSelnetInterop verifies the container stays byte-compatible with
+// the pre-codec selnet.SaveModel format in both directions.
+func TestSelnetInterop(t *testing.T) {
+	net := modeltest.TinySelNet(11, 3)
+
+	// Old writer -> new reader.
+	var legacy bytes.Buffer
+	if err := selnet.SaveModel(&legacy, net); err != nil {
+		t.Fatalf("selnet.SaveModel: %v", err)
+	}
+	got, err := modelcodec.Load(bytes.NewReader(legacy.Bytes()))
+	if err != nil {
+		t.Fatalf("modelcodec.Load(selnet container): %v", err)
+	}
+	if modelcodec.Kind(got) != "selnet" {
+		t.Fatalf("kind = %q", modelcodec.Kind(got))
+	}
+
+	// New writer -> old reader.
+	var fresh bytes.Buffer
+	if err := modelcodec.Save(&fresh, net); err != nil {
+		t.Fatalf("modelcodec.Save: %v", err)
+	}
+	if !bytes.Equal(legacy.Bytes(), fresh.Bytes()) {
+		t.Fatalf("selnet container bytes diverged between writers")
+	}
+	if _, err := selnet.LoadModel(bytes.NewReader(fresh.Bytes())); err != nil {
+		t.Fatalf("selnet.LoadModel(modelcodec container): %v", err)
+	}
+}
+
+// TestLegacySniffing verifies an untagged 'selest train'-style Net file
+// still loads through LoadFile.
+func TestLegacySniffing(t *testing.T) {
+	net := modeltest.TinySelNet(11, 3)
+	path := filepath.Join(t.TempDir(), "legacy.selnet")
+	if err := net.SaveFile(path); err != nil {
+		t.Fatalf("save: %v", err)
+	}
+	got, err := modelcodec.LoadFile(path)
+	if err != nil {
+		t.Fatalf("LoadFile(legacy): %v", err)
+	}
+	if modelcodec.Kind(got) != "selnet" {
+		t.Fatalf("kind = %q", modelcodec.Kind(got))
+	}
+}
+
+// TestLoadCorrupt verifies corrupt containers fail cleanly, without
+// panicking.
+func TestLoadCorrupt(t *testing.T) {
+	if _, err := modelcodec.Load(bytes.NewReader([]byte("SELMODL1garbage"))); err == nil {
+		t.Fatal("corrupt container loaded without error")
+	}
+	if _, err := modelcodec.Load(bytes.NewReader([]byte("NOTMAGIC"))); err == nil {
+		t.Fatal("bad magic loaded without error")
+	}
+}

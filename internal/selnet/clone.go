@@ -39,3 +39,18 @@ func (p *Partitioned) Clone() (*Partitioned, error) {
 	}
 	return c, nil
 }
+
+// CloneEstimator implements the serving layer's clone capability; the
+// registry and ingest pipeline use it without knowing the concrete type.
+func (n *Net) CloneEstimator() any { return n.Clone() }
+
+// CloneEstimator implements the serving layer's clone capability. A
+// failed round-trip clone returns nil, which callers treat as
+// not-cloneable.
+func (p *Partitioned) CloneEstimator() any {
+	c, err := p.Clone()
+	if err != nil {
+		return nil
+	}
+	return c
+}

@@ -33,6 +33,8 @@ func TestMetricsExposition(t *testing.T) {
 		"m": {QueueDepth: 1, QueueCapacity: 8, Retrained: 1, Durable: true, JournaledBatches: 3},
 	}})
 	s.SetTracer(obs.NewTracer(obs.TracerConfig{SlowThreshold: time.Nanosecond}))
+	// Router families: the routed request below records one decision.
+	s.SetRouter(NewRouter(s.Registry(), RouterConfig{Mode: "auto"}))
 	drift := obs.NewDriftMonitor(obs.DriftConfig{Threshold: 2})
 	drift.Observe("m", []float64{30, 10}, []float64{10, 10})
 	s.SetDrift(drift)
@@ -71,6 +73,8 @@ func TestMetricsExposition(t *testing.T) {
 	for i := 0; i < 3; i++ {
 		postJSON(t, ts.URL+"/v1/estimate", map[string]any{"model": "m", "query": []float64{float64(i % 2), 0, 0}, "t": 0.5})
 	}
+	// One request through the workload router's virtual name.
+	postJSON(t, ts.URL+"/v1/estimate", map[string]any{"model": "auto", "query": []float64{0.3, 0, 0}, "t": 0.5})
 
 	resp, err := http.Get(ts.URL + "/metrics")
 	if err != nil {
@@ -100,6 +104,7 @@ func TestMetricsExposition(t *testing.T) {
 		"selestd_replication_lag", "selestd_replication_pulls_total",
 		"selestd_replication_pull_errors_total", "selestd_replication_entries_total",
 		"selestd_replication_diverged",
+		"selestd_router_enabled", "selestd_router_decisions_total",
 	} {
 		if _, ok := fams[want]; !ok {
 			t.Errorf("family %q missing from /metrics", want)

@@ -12,8 +12,8 @@ import (
 	"time"
 
 	"selnet/internal/infer"
+	"selnet/internal/modelcodec"
 	"selnet/internal/obs"
-	"selnet/internal/selnet"
 	"selnet/internal/tensor"
 )
 
@@ -48,6 +48,7 @@ type Server struct {
 	shadow   *obs.Shadow
 	logger   *slog.Logger
 	cluster  ClusterRouter
+	router   *Router
 
 	requests atomic.Uint64 // HTTP requests accepted
 	errors   atomic.Uint64 // requests answered 4xx/5xx
@@ -81,6 +82,14 @@ func (s *Server) Registry() *Registry { return s.registry }
 // POST /v1/models/{name}/update. Call before Handler sees traffic;
 // without one, update requests are answered 409.
 func (s *Server) SetUpdater(u Updater) { s.updater = u }
+
+// SetRouter attaches a workload router: requests naming "default" (with
+// no concrete model published under that name) or "auto" resolve
+// through it instead of answering 404. Install before serving traffic.
+func (s *Server) SetRouter(rt *Router) { s.router = rt }
+
+// Router returns the attached workload router, or nil.
+func (s *Server) Router() *Router { return s.router }
 
 // SetTracer attaches the request tracer: spans are captured through
 // the estimate path, served at GET /debug/traces, and exported as
@@ -301,14 +310,22 @@ type updateModelResponse struct {
 }
 
 type modelInfo struct {
-	Name       string        `json:"name"`
-	Kind       string        `json:"kind"`
-	Dim        int           `json:"dim"`
-	TMax       float64       `json:"t_max"`
-	Source     string        `json:"source,omitempty"`
-	Generation uint64        `json:"generation"`
-	LoadedAt   time.Time     `json:"loaded_at"`
-	Batcher    *BatcherStats `json:"batcher,omitempty"`
+	Name string `json:"name"`
+	// Kind is the codec slug ("selnet", "kde", ...); Estimator is the
+	// model's self-reported architecture name ("SelNet-ct", "KDE", ...).
+	Kind       string    `json:"kind"`
+	Estimator  string    `json:"estimator"`
+	Dim        int       `json:"dim"`
+	TMax       float64   `json:"t_max"`
+	Source     string    `json:"source,omitempty"`
+	Generation uint64    `json:"generation"`
+	LoadedAt   time.Time `json:"loaded_at"`
+	// Partitions is the local-model count for partitioned estimators.
+	Partitions int `json:"partitions,omitempty"`
+	// Router lists the virtual routes currently resolving to this model
+	// (e.g. "dim=3"), when a workload router is attached.
+	Router  []string      `json:"router,omitempty"`
+	Batcher *BatcherStats `json:"batcher,omitempty"`
 	// Plans reports the model's compiled-plan pool counters (checkouts,
 	// pool misses, compiles, drops) when the estimator runs on the plan
 	// engine.
@@ -337,6 +354,9 @@ type statsResponse struct {
 	// follower lag) when a cluster router is attached; its concrete type
 	// lives in internal/cluster.
 	Cluster any `json:"cluster,omitempty"`
+	// Router reports the workload router's policy, cached assignments
+	// and decision counters when one is attached.
+	Router *RouterStats `json:"router,omitempty"`
 }
 
 type tracesResponse struct {
@@ -351,8 +371,18 @@ type accuracyResponse struct {
 	Workload map[string]obs.WorkloadStats `json:"workload,omitempty"`
 }
 
+// errorResponse is the uniform error envelope every handler returns:
+// {"error":{"code","message","retry_after_ms"}}. Code is a stable
+// machine-readable slug; RetryAfterMS mirrors the Retry-After header on
+// backpressure and failover responses so clients need not parse headers.
 type errorResponse struct {
-	Error string `json:"error"`
+	Error errorBody `json:"error"`
+}
+
+type errorBody struct {
+	Code         string `json:"code"`
+	Message      string `json:"message"`
+	RetryAfterMS int64  `json:"retry_after_ms,omitempty"`
 }
 
 // ----------------------------------------------------------------------------
@@ -404,6 +434,10 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	}
 	if s.cluster != nil {
 		resp.Cluster = s.cluster.ClusterStats()
+	}
+	if s.router != nil {
+		rs := s.router.Stats()
+		resp.Router = &rs
 	}
 	writeJSON(w, http.StatusOK, resp)
 }
@@ -472,15 +506,20 @@ func (s *Server) handleListModels(w http.ResponseWriter, r *http.Request) {
 }
 
 func newModelInfo(m *Model) modelInfo {
-	return modelInfo{
+	mi := modelInfo{
 		Name:       m.Name,
-		Kind:       m.Est.Name(),
+		Kind:       modelcodec.Kind(m.Est),
+		Estimator:  m.Est.Name(),
 		Dim:        m.Est.Dim(),
 		TMax:       m.Est.TMax(),
 		Source:     m.Source,
 		Generation: m.Generation,
 		LoadedAt:   m.LoadedAt,
 	}
+	if p, ok := m.Est.(interface{ K() int }); ok {
+		mi.Partitions = p.K()
+	}
+	return mi
 }
 
 func (s *Server) modelInfos(withBatcher bool) []modelInfo {
@@ -488,6 +527,9 @@ func (s *Server) modelInfos(withBatcher bool) []modelInfo {
 	out := make([]modelInfo, 0, len(models))
 	for _, m := range models {
 		mi := newModelInfo(m)
+		if s.router != nil {
+			mi.Router = s.router.Assignment(m.Name)
+		}
 		if withBatcher && m.Batcher() != nil {
 			st := m.Batcher().Stats()
 			mi.Batcher = &st
@@ -514,9 +556,10 @@ func (s *Server) handleLoadModel(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, errors.New("missing \"path\""))
 		return
 	}
-	// LoadModelFile handles tagged containers and sniffs legacy .gob
-	// files, so single and partitioned models both hot-swap in.
-	est, err := selnet.LoadModelFile(req.Path)
+	// LoadFile dispatches kind-tagged containers — any servable
+	// estimator kind — and sniffs legacy untagged .gob files, so old
+	// and new model files both hot-swap in.
+	est, err := modelcodec.LoadFile(req.Path)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("load %s: %w", req.Path, err))
 		return
@@ -876,6 +919,9 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	if s.cluster != nil {
 		s.cluster.WriteMetrics(p)
 	}
+	if s.router != nil {
+		s.router.WriteMetrics(p)
+	}
 }
 
 func boolGauge(b bool) float64 {
@@ -904,6 +950,18 @@ func (s *Server) lookup(name string, query []float64) (*Model, int, error) {
 		name = "default"
 	}
 	m, ok := s.registry.Get(name)
+	if !ok && s.router != nil && s.router.Routes(name) {
+		// Virtual names resolve through the workload router; a direct
+		// registry hit above keeps the routed path off concrete names.
+		if len(query) == 0 {
+			return nil, http.StatusBadRequest, errors.New("empty \"query\"")
+		}
+		rm, err := s.router.Route(name, len(query))
+		if err != nil {
+			return nil, http.StatusNotFound, err
+		}
+		m, ok = rm, true
+	}
 	if !ok {
 		return nil, http.StatusNotFound, fmt.Errorf("unknown model %q", name)
 	}
@@ -939,6 +997,57 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	_ = json.NewEncoder(w).Encode(v)
 }
 
+// writeError renders err in the error envelope. Throttle and failover
+// paths stamp Retry-After (see retryAfter) before calling it; the
+// envelope copies the hint so the header and body always agree.
 func writeError(w http.ResponseWriter, status int, err error) {
-	writeJSON(w, status, errorResponse{Error: err.Error()})
+	body := errorBody{Code: errorCode(status, err), Message: err.Error()}
+	if ra := w.Header().Get("Retry-After"); ra != "" {
+		if secs, perr := strconv.Atoi(ra); perr == nil {
+			body.RetryAfterMS = int64(secs) * 1000
+		}
+	}
+	writeJSON(w, status, errorResponse{Error: body})
+}
+
+// errorCode maps an error and its HTTP status to the envelope's stable
+// code slug. Sentinel errors take precedence over the status mapping so
+// proxied responses keep their meaning.
+func errorCode(status int, err error) string {
+	switch {
+	case errors.Is(err, ErrNotLeader):
+		return "not_leader"
+	case errors.Is(err, ErrReplicationTimeout):
+		return "replication_timeout"
+	case errors.Is(err, ErrUpdateQueueFull):
+		return "backpressure"
+	case errors.Is(err, ErrNotUpdatable):
+		return "not_updatable"
+	case errors.Is(err, ErrInvalidUpdate):
+		return "invalid_update"
+	case errors.Is(err, ErrUpdaterClosed):
+		return "shutting_down"
+	}
+	switch status {
+	case http.StatusBadRequest:
+		return "invalid_argument"
+	case http.StatusNotFound:
+		return "not_found"
+	case http.StatusMethodNotAllowed:
+		return "method_not_allowed"
+	case http.StatusConflict:
+		return "conflict"
+	case http.StatusTooManyRequests:
+		return "backpressure"
+	case 499:
+		return "client_closed_request"
+	case http.StatusServiceUnavailable:
+		return "unavailable"
+	case http.StatusBadGateway:
+		return "bad_gateway"
+	}
+	if status >= 500 {
+		return "internal"
+	}
+	return "error"
 }

@@ -190,8 +190,11 @@ func TestServerErrorPaths(t *testing.T) {
 			t.Errorf("%s: status %d, want %d (%s)", name, resp.StatusCode, status, body)
 		}
 		var e errorResponse
-		if err := json.Unmarshal(body, &e); err != nil || e.Error == "" {
+		if err := json.Unmarshal(body, &e); err != nil || e.Error.Message == "" {
 			t.Errorf("%s: error body %q", name, body)
+		}
+		if e.Error.Code == "" {
+			t.Errorf("%s: missing error code in %q", name, body)
 		}
 	}
 

@@ -42,6 +42,11 @@ type UpdateAck struct {
 // UpdaterStats is one model's ingest counters, surfaced in /stats and
 // /metrics.
 type UpdaterStats struct {
+	// Mode is how the attached estimator absorbs data changes:
+	// "retrain" (shadow clone + δ_U incremental training), "refresh"
+	// (clone, rebind the updated database, rebuild derived state), or
+	// "static" (database and journal only; the estimator is immutable).
+	Mode string `json:"mode,omitempty"`
 	// QueueDepth and QueueCapacity describe the pending-batch queue.
 	QueueDepth    int `json:"queue_depth"`
 	QueueCapacity int `json:"queue_capacity"`
@@ -56,9 +61,11 @@ type UpdaterStats struct {
 	InsertedVecs   uint64 `json:"inserted_vecs"`
 	DeletedVecs    uint64 `json:"deleted_vecs"`
 	// Skipped counts retrain cycles absorbed by the δ_U check; Retrained
-	// counts cycles that ran incremental training and hot-swapped.
+	// counts cycles that ran incremental training and hot-swapped;
+	// Refreshed counts refresh-mode cycles that rebuilt and hot-swapped.
 	Skipped   uint64 `json:"skipped"`
 	Retrained uint64 `json:"retrained"`
+	Refreshed uint64 `json:"refreshed,omitempty"`
 	// LastMAEBefore/LastMAEAfter are the validation MAEs around the most
 	// recent cycle (refreshed labels); LastEpochs its incremental epochs.
 	LastMAEBefore float64 `json:"last_mae_before"`

@@ -1,0 +1,42 @@
+package umnn
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"io"
+	"math/rand"
+
+	"selnet/internal/nn"
+)
+
+type modelBlob struct {
+	Cfg    Config
+	Dim    int
+	TMax   float64
+	Params []byte
+}
+
+// Save serializes the trained model to w. Quadrature nodes and weights
+// are deterministic functions of the config and recomputed on load.
+func (m *Model) Save(w io.Writer) error {
+	var pb bytes.Buffer
+	if err := nn.SaveParams(&pb, m.Params()); err != nil {
+		return err
+	}
+	return gob.NewEncoder(w).Encode(modelBlob{Cfg: m.cfg, Dim: m.dim, TMax: m.tmax, Params: pb.Bytes()})
+}
+
+// Load reads a model previously written by Save.
+func Load(r io.Reader) (*Model, error) {
+	var b modelBlob
+	if err := gob.NewDecoder(r).Decode(&b); err != nil {
+		return nil, fmt.Errorf("umnn: decode: %w", err)
+	}
+	m := New(rand.New(rand.NewSource(1)), b.Dim, b.Cfg)
+	m.tmax = b.TMax
+	if err := nn.LoadParams(bytes.NewReader(b.Params), m.Params()); err != nil {
+		return nil, fmt.Errorf("umnn: params: %w", err)
+	}
+	return m, nil
+}

@@ -50,6 +50,7 @@ func DefaultConfig() Config {
 type Model struct {
 	cfg       Config
 	dim       int
+	tmax      float64
 	integrand *nn.FFN // [x, s] -> softplus scalar (> 0)
 	offset    *nn.FFN // x -> scalar
 	nodes     []float64
@@ -136,6 +137,14 @@ func (m *Model) Fit(train []vecdata.Query) {
 		panic("umnn: no training queries")
 	}
 	rng := rand.New(rand.NewSource(m.cfg.Seed))
+	for _, q := range train {
+		if q.T > m.tmax {
+			m.tmax = q.T
+		}
+	}
+	if m.tmax == 0 {
+		m.tmax = 1
+	}
 	x, t, y := vecdata.Matrices(train)
 	logy := tensor.Apply(y, func(v float64) float64 { return math.Log(v + logEps) })
 	opt := nn.NewAdam(m.cfg.LR)
@@ -171,6 +180,35 @@ func (m *Model) Estimate(x []float64, t float64) float64 {
 		return 0
 	}
 	return v
+}
+
+// EstimateBatch runs one batched forward pass over all queries. Safe for
+// concurrent use: each call owns its tape, parameters are read-only.
+func (m *Model) EstimateBatch(x *tensor.Dense, ts []float64) []float64 {
+	tp := autodiff.NewTape()
+	z := m.forwardLog(tp, x, tensor.ColVector(ts))
+	out := make([]float64, x.Rows())
+	for i := range out {
+		v := math.Exp(z.Value.At(i, 0)) - logEps
+		if v < 0 {
+			v = 0
+		}
+		out[i] = v
+	}
+	return out
+}
+
+// Dim returns the query dimensionality.
+func (m *Model) Dim() int { return m.dim }
+
+// TMax returns the largest threshold seen during training.
+func (m *Model) TMax() float64 { return m.tmax }
+
+// SetTMax overrides the advertised threshold ceiling.
+func (m *Model) SetTMax(t float64) {
+	if t > 0 {
+		m.tmax = t
+	}
 }
 
 // Name returns the paper's model name.
