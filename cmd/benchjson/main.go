@@ -1,16 +1,26 @@
 // Command benchjson converts `go test -bench -benchmem` output on stdin
-// into a stable JSON document, and optionally enforces an
-// allocation-free hot path: with -fail-zero-allocs, any listed
-// benchmark reporting allocs/op > 0 fails the run. CI uses it to write
-// BENCH_infer.json — the committed perf baseline future PRs diff
-// against — and to guarantee the compiled-plan inference path stays at
-// zero steady-state allocations.
+// into a stable JSON document, and optionally enforces the perf gates CI
+// runs on every PR:
+//
+//   - -fail-zero-allocs: any listed benchmark reporting allocs/op > 0
+//     fails the run (the compiled-plan hot path must stay allocation-free).
+//   - -max-allocs: listed benchmarks must not exceed a pinned allocs/op
+//     budget (paths that legitimately allocate, like the coalescer's
+//     per-request reply channel, must not grow new allocations).
+//   - -baseline + -regress: listed benchmarks (exact name or "name/"
+//     sub-benchmark prefix) must not regress ns/op by more than
+//     -max-regress-pct versus a previously committed benchjson document.
+//
+// CI uses it to write BENCH_infer.json — the committed perf baseline
+// future PRs diff against — and to fail PRs that break the gates.
 //
 // Usage:
 //
 //	go test -bench=... -benchmem -run '^$' ./... | benchjson \
 //	    -o BENCH_infer.json \
-//	    -fail-zero-allocs BenchmarkNetEstimatePlan,BenchmarkNetEstimateBatch64Plan
+//	    -fail-zero-allocs BenchmarkNetEstimatePlan,BenchmarkNetEstimateBatch64Plan \
+//	    -max-allocs 'BenchmarkServeCoalesced=2' \
+//	    -baseline BENCH_infer.base.json -regress BenchmarkMatMul -max-regress-pct 20
 package main
 
 import (
@@ -60,6 +70,14 @@ func main() {
 	out := flag.String("o", "", "write JSON here instead of stdout")
 	failZero := flag.String("fail-zero-allocs", "",
 		"comma-separated benchmark names that must report 0 allocs/op")
+	maxAllocs := flag.String("max-allocs", "",
+		"comma-separated name=N pins; each benchmark must report allocs/op <= N")
+	baselinePath := flag.String("baseline", "",
+		"prior benchjson document to diff ns/op against")
+	regress := flag.String("regress", "",
+		"comma-separated benchmark names (exact, or sub-benchmark prefixes) gated against -baseline")
+	maxRegressPct := flag.Float64("max-regress-pct", 20,
+		"fail when a -regress benchmark's ns/op exceeds the baseline by more than this percentage")
 	flag.Parse()
 
 	doc := document{Benchmarks: []Result{}}
@@ -91,33 +109,141 @@ func main() {
 		os.Stdout.Write(b)
 	}
 
-	if *failZero != "" {
-		failed := false
-		for _, name := range strings.Split(*failZero, ",") {
-			name = strings.TrimSpace(name)
-			if name == "" {
-				continue
-			}
-			found := false
-			for _, r := range doc.Benchmarks {
-				if r.Name != name {
-					continue
-				}
-				found = true
-				if r.AllocsPerOp != 0 {
-					fmt.Fprintf(os.Stderr, "benchjson: %s reports %v allocs/op, want 0\n", name, r.AllocsPerOp)
-					failed = true
-				}
-			}
-			if !found {
-				fmt.Fprintf(os.Stderr, "benchjson: required benchmark %s missing from input\n", name)
-				failed = true
-			}
+	problems := checkZeroAllocs(doc.Benchmarks, *failZero)
+	problems = append(problems, checkMaxAllocs(doc.Benchmarks, *maxAllocs)...)
+	if *baselinePath != "" && *regress != "" {
+		base, err := readBaseline(*baselinePath)
+		if err != nil {
+			fatal("baseline: %v", err)
 		}
-		if failed {
-			os.Exit(1)
+		problems = append(problems, checkRegressions(doc.Benchmarks, base, *regress, *maxRegressPct)...)
+	}
+	for _, p := range problems {
+		fmt.Fprintf(os.Stderr, "benchjson: %s\n", p)
+	}
+	if len(problems) > 0 {
+		os.Exit(1)
+	}
+}
+
+// splitList parses a comma-separated flag value.
+func splitList(s string) []string {
+	var out []string
+	for _, f := range strings.Split(s, ",") {
+		if f = strings.TrimSpace(f); f != "" {
+			out = append(out, f)
 		}
 	}
+	return out
+}
+
+// checkZeroAllocs enforces -fail-zero-allocs: every listed benchmark must
+// be present and report exactly 0 allocs/op.
+func checkZeroAllocs(results []Result, list string) []string {
+	var problems []string
+	for _, name := range splitList(list) {
+		found := false
+		for _, r := range results {
+			if r.Name != name {
+				continue
+			}
+			found = true
+			if r.AllocsPerOp != 0 {
+				problems = append(problems, fmt.Sprintf("%s reports %v allocs/op, want 0", name, r.AllocsPerOp))
+			}
+		}
+		if !found {
+			problems = append(problems, fmt.Sprintf("required benchmark %s missing from input", name))
+		}
+	}
+	return problems
+}
+
+// checkMaxAllocs enforces -max-allocs name=N pins: each listed benchmark
+// must be present and report allocs/op <= N.
+func checkMaxAllocs(results []Result, spec string) []string {
+	var problems []string
+	for _, pin := range splitList(spec) {
+		name, nStr, ok := strings.Cut(pin, "=")
+		if !ok {
+			problems = append(problems, fmt.Sprintf("bad -max-allocs entry %q, want name=N", pin))
+			continue
+		}
+		limit, err := strconv.ParseFloat(nStr, 64)
+		if err != nil {
+			problems = append(problems, fmt.Sprintf("bad -max-allocs limit %q: %v", pin, err))
+			continue
+		}
+		found := false
+		for _, r := range results {
+			if r.Name != name {
+				continue
+			}
+			found = true
+			if r.AllocsPerOp > limit {
+				problems = append(problems, fmt.Sprintf("%s reports %v allocs/op, pinned at %v", name, r.AllocsPerOp, limit))
+			}
+		}
+		if !found {
+			problems = append(problems, fmt.Sprintf("required benchmark %s missing from input", name))
+		}
+	}
+	return problems
+}
+
+// readBaseline loads a previously emitted benchjson document.
+func readBaseline(path string) ([]Result, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var doc document
+	if err := json.Unmarshal(b, &doc); err != nil {
+		return nil, fmt.Errorf("parse %s: %v", path, err)
+	}
+	return doc.Benchmarks, nil
+}
+
+// regressMatch reports whether a benchmark name is covered by a -regress
+// entry: an exact match, or a sub-benchmark of it ("BenchmarkMatMul"
+// covers "BenchmarkMatMul/64x48x352").
+func regressMatch(entry, name string) bool {
+	return name == entry || strings.HasPrefix(name, entry+"/")
+}
+
+// checkRegressions diffs current ns/op against the baseline for every
+// benchmark covered by the -regress list. Benchmarks new in the current
+// run (absent from the baseline) pass — the next committed baseline will
+// cover them — but a listed entry matching nothing at all in the current
+// run fails, so a gated benchmark cannot silently vanish.
+func checkRegressions(cur, base []Result, list string, maxPct float64) []string {
+	baseNs := make(map[string]float64, len(base))
+	for _, r := range base {
+		baseNs[r.Name] = r.NsPerOp
+	}
+	var problems []string
+	for _, entry := range splitList(list) {
+		matched := false
+		for _, r := range cur {
+			if !regressMatch(entry, r.Name) {
+				continue
+			}
+			matched = true
+			b, ok := baseNs[r.Name]
+			if !ok || b <= 0 {
+				continue
+			}
+			if pct := (r.NsPerOp - b) / b * 100; pct > maxPct {
+				problems = append(problems, fmt.Sprintf(
+					"%s regressed: %.0f ns/op vs baseline %.0f (%+.1f%%, limit %+.0f%%)",
+					r.Name, r.NsPerOp, b, pct, maxPct))
+			}
+		}
+		if !matched {
+			problems = append(problems, fmt.Sprintf("regression-gated benchmark %s missing from input", entry))
+		}
+	}
+	return problems
 }
 
 // extractKernelTimings moves kernel:<name>:{ns,calls}/op metrics out of

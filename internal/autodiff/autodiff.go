@@ -171,7 +171,7 @@ func (t *Tape) MatMul(a, b *Node) *Node {
 		// compilation returns, the recording tape and its graph are
 		// garbage and the plan retains just the buffers.
 		ov, av, bv := out.Value, a.Value, b.Value
-		t.prog.Add("matmul", func() { tensor.MatMulInto(ov, av, bv) })
+		t.prog.AddOp("matmul", infer.OpMatMul, ov, func() { tensor.MatMulInto(ov, av, bv) }, av, bv)
 	}
 	out.backward = func() {
 		// dA += dOut * Bᵀ ; dB += Aᵀ * dOut
@@ -223,7 +223,7 @@ func (t *Tape) Scale(a *Node, s float64) *Node {
 	out := t.node("scale", tensor.Scale(a.Value, s))
 	if t.prog != nil {
 		ov, av := out.Value, a.Value
-		t.prog.Add("scale", func() { tensor.ScaleInto(ov, av, s) })
+		t.prog.AddOp("scale", infer.OpOther, ov, func() { tensor.ScaleInto(ov, av, s) }, av)
 	}
 	out.backward = func() {
 		tensor.AxpyInPlace(a.Grad, s, out.Grad)
@@ -237,7 +237,7 @@ func (t *Tape) AddRow(a, v *Node) *Node {
 	out := t.node("addrow", tensor.AddRowVector(a.Value, v.Value))
 	if t.prog != nil {
 		ov, av, vv := out.Value, a.Value, v.Value
-		t.prog.Add("addrow", func() { tensor.AddRowVectorInto(ov, av, vv) })
+		t.prog.AddOp("addrow", infer.OpAddRow, ov, func() { tensor.AddRowVectorInto(ov, av, vv) }, av, vv)
 	}
 	out.backward = func() {
 		tensor.AddInPlace(a.Grad, out.Grad)
@@ -248,6 +248,9 @@ func (t *Tape) AddRow(a, v *Node) *Node {
 
 // Elementwise forward functions, shared by the gradient tape's forward
 // pass and the recorded inference kernels.
+// reluFn matches tensor.ReluInto / the fused bias+relu epilogue exactly:
+// v if v > 0, else 0 (NaN maps to 0) — the same semantics as the SIMD
+// VMAXPD-with-zero kernel, so fused and unfused paths agree bitwise.
 func reluFn(v float64) float64 {
 	if v > 0 {
 		return v
@@ -277,7 +280,7 @@ func (t *Tape) ReLU(a *Node) *Node {
 	out := t.node("relu", tensor.Apply(a.Value, reluFn))
 	if t.prog != nil {
 		ov, av := out.Value, a.Value
-		t.prog.Add("relu", func() { tensor.ApplyInto(ov, av, reluFn) })
+		t.prog.AddOp("relu", infer.OpReLU, ov, func() { tensor.ReluInto(ov, av) }, av)
 	}
 	out.backward = func() {
 		av, g, ag := a.Value.Data(), out.Grad.Data(), a.Grad.Data()
@@ -296,7 +299,7 @@ func (t *Tape) Tanh(a *Node) *Node {
 	out := t.node("tanh", tensor.Apply(a.Value, math.Tanh))
 	if t.prog != nil {
 		ov, av := out.Value, a.Value
-		t.prog.Add("tanh", func() { tensor.ApplyInto(ov, av, math.Tanh) })
+		t.prog.AddOp("tanh", infer.OpTanh, ov, func() { tensor.ApplyInto(ov, av, math.Tanh) }, av)
 	}
 	out.backward = func() {
 		ov, g, ag := out.Value.Data(), out.Grad.Data(), a.Grad.Data()
@@ -313,7 +316,7 @@ func (t *Tape) Sigmoid(a *Node) *Node {
 	out := t.node("sigmoid", tensor.Apply(a.Value, sigmoidFn))
 	if t.prog != nil {
 		ov, av := out.Value, a.Value
-		t.prog.Add("sigmoid", func() { tensor.ApplyInto(ov, av, sigmoidFn) })
+		t.prog.AddOp("sigmoid", infer.OpSigmoid, ov, func() { tensor.ApplyInto(ov, av, sigmoidFn) }, av)
 	}
 	out.backward = func() {
 		ov, g, ag := out.Value.Data(), out.Grad.Data(), a.Grad.Data()
@@ -331,7 +334,7 @@ func (t *Tape) Softplus(a *Node) *Node {
 	out := t.node("softplus", tensor.Apply(a.Value, softplusFn))
 	if t.prog != nil {
 		ov, av := out.Value, a.Value
-		t.prog.Add("softplus", func() { tensor.ApplyInto(ov, av, softplusFn) })
+		t.prog.AddOp("softplus", infer.OpOther, ov, func() { tensor.ApplyInto(ov, av, softplusFn) }, av)
 	}
 	out.backward = func() {
 		av, g, ag := a.Value.Data(), out.Grad.Data(), a.Grad.Data()
@@ -349,7 +352,7 @@ func (t *Tape) ELU(a *Node, alpha float64) *Node {
 	out := t.node("elu", tensor.Apply(a.Value, fn))
 	if t.prog != nil {
 		ov, av := out.Value, a.Value
-		t.prog.Add("elu", func() { tensor.ApplyInto(ov, av, fn) })
+		t.prog.AddOp("elu", infer.OpOther, ov, func() { tensor.ApplyInto(ov, av, fn) }, av)
 	}
 	out.backward = func() {
 		av, ov, g, ag := a.Value.Data(), out.Value.Data(), out.Grad.Data(), a.Grad.Data()
@@ -412,7 +415,7 @@ func (t *Tape) ConcatCols(a, b *Node) *Node {
 	out := t.node("concat", tensor.ConcatCols(a.Value, b.Value))
 	if t.prog != nil {
 		ov, av, bv := out.Value, a.Value, b.Value
-		t.prog.Add("concat", func() { tensor.ConcatColsInto(ov, av, bv) })
+		t.prog.AddOp("concat", infer.OpOther, ov, func() { tensor.ConcatColsInto(ov, av, bv) }, av, bv)
 	}
 	out.backward = func() {
 		tensor.AddInPlace(a.Grad, tensor.SliceCols(out.Grad, 0, a.Cols()))
@@ -446,7 +449,7 @@ func (t *Tape) PrefixSumCols(a *Node) *Node {
 	out := t.node("prefixsum", tensor.PrefixSumCols(a.Value))
 	if t.prog != nil {
 		ov, av := out.Value, a.Value
-		t.prog.Add("prefixsum", func() { tensor.PrefixSumColsInto(ov, av) })
+		t.prog.AddOp("prefixsum", infer.OpOther, ov, func() { tensor.PrefixSumColsInto(ov, av) }, av)
 	}
 	out.backward = func() {
 		for i := 0; i < a.Rows(); i++ {
@@ -580,7 +583,7 @@ func (t *Tape) Softmax(a *Node) *Node {
 	out := t.node("softmax", v)
 	if t.prog != nil {
 		ov, av := out.Value, a.Value
-		t.prog.Add("softmax", func() { softmaxInto(ov, av) })
+		t.prog.AddOp("softmax", infer.OpSoftmax, ov, func() { softmaxInto(ov, av) }, av)
 	}
 	out.backward = func() {
 		for i := 0; i < a.Rows(); i++ {
@@ -611,7 +614,7 @@ func (t *Tape) Norml2(a *Node, eps float64) *Node {
 	out := t.node("norml2", v)
 	if t.prog != nil {
 		ov, av := out.Value, a.Value
-		t.prog.Add("norml2", func() { norml2Into(ov, av, eps) })
+		t.prog.AddOp("norml2", infer.OpOther, ov, func() { norml2Into(ov, av, eps) }, av)
 	}
 	out.backward = func() {
 		for i := 0; i < a.Rows(); i++ {
@@ -649,7 +652,7 @@ func (t *Tape) PWLInterp(tau, p, tq *Node) *Node {
 		pwlInterpInto(v, tau.Value, p.Value, tq.Value)
 		out := t.node("pwl", v)
 		ov, tv, pv, qv := out.Value, tau.Value, p.Value, tq.Value
-		t.prog.Add("pwl", func() { pwlInterpInto(ov, tv, pv, qv) })
+		t.prog.AddOp("pwl", infer.OpOther, ov, func() { pwlInterpInto(ov, tv, pv, qv) }, tv, pv, qv)
 		return out
 	}
 	v := tensor.New(rows, 1)
@@ -739,7 +742,7 @@ func (t *Tape) BlockLinear(a, w, b *Node, nb, bw int) *Node {
 	out := t.node("blocklinear", v)
 	if t.prog != nil {
 		ov, av, wv, bv := out.Value, a.Value, w.Value, b.Value
-		t.prog.Add("blocklinear", func() { blockLinearInto(ov, av, wv, bv, nb, bw) })
+		t.prog.AddOp("blocklinear", infer.OpOther, ov, func() { blockLinearInto(ov, av, wv, bv, nb, bw) }, av, wv, bv)
 	}
 	out.backward = func() {
 		for r := 0; r < a.Rows(); r++ {

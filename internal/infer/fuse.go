@@ -1,0 +1,147 @@
+package infer
+
+import (
+	"selnet/internal/tensor"
+)
+
+// This file is the compile-time optimize pass over recorded programs.
+// It rewrites the dominant op sequences the forward tape emits —
+// MatMul+AddRow+{ReLU,Sigmoid,Tanh,Softmax} (an nn.Linear layer) — into
+// single fused GEMM kernels with the epilogue applied per row block
+// while the output is cache-hot, and it pre-packs every plan-constant
+// weight matrix into tensor.PackedB panels so no packing happens at run
+// time. Intermediate buffers made dead by fusion are simply never
+// written; they stay owned by the plan and are recycled on Release.
+//
+// The pass preserves bit-exact results: the fused kernels compute each
+// element with the same ascending-k multiply-add chain and the same
+// elementwise formulas as the unfused steps (see internal/tensor
+// kernels.go), so a fused plan still matches the tape path exactly.
+
+// OpKind classifies a recorded step for the optimize pass.
+type OpKind uint8
+
+const (
+	// OpBarrier marks steps recorded via Add with unknown buffer
+	// effects; a program containing one is left unoptimized.
+	OpBarrier OpKind = iota
+	// OpOther is a step with known dst/srcs that takes no part in
+	// fusion itself but doesn't block it.
+	OpOther
+	OpMatMul  // dst = srcs[0] * srcs[1]
+	OpAddRow  // dst = srcs[0] + srcs[1] (1-row broadcast)
+	OpReLU    // dst = relu(srcs[0])
+	OpSigmoid // dst = sigmoid(srcs[0])
+	OpTanh    // dst = tanh(srcs[0])
+	OpSoftmax // dst = rowwise softmax(srcs[0])
+)
+
+// fusableEpilogue maps an activation step kind to its fused epilogue.
+var fusableEpilogue = map[OpKind]tensor.Epilogue{
+	OpReLU:    tensor.EpBiasReLU,
+	OpSigmoid: tensor.EpBiasSigmoid,
+	OpTanh:    tensor.EpBiasTanh,
+	OpSoftmax: tensor.EpBiasSoftmax,
+}
+
+// optimize rewrites the program in place and returns the packed weight
+// panels the rewritten steps reference; the owning plan must release
+// them when it is dropped. live lists the buffers read by the plan's
+// caller after Run (plan outputs); nil entries are ignored.
+func (p *Program) optimize(live ...*tensor.Dense) []*tensor.PackedB {
+	if !tensor.Optimized() {
+		return nil
+	}
+	written := make(map[*tensor.Dense]bool, len(p.steps))
+	for i := range p.steps {
+		if p.steps[i].kind == OpBarrier {
+			return nil
+		}
+		written[p.steps[i].dst] = true
+	}
+	isLive := func(buf *tensor.Dense) bool {
+		for _, l := range live {
+			if l != nil && l == buf {
+				return true
+			}
+		}
+		return false
+	}
+	// deadAfter reports that buf is never needed once steps[:from] have
+	// run: no later step reads it and the caller doesn't either.
+	deadAfter := func(buf *tensor.Dense, from int) bool {
+		if isLive(buf) {
+			return false
+		}
+		for _, s := range p.steps[from:] {
+			for _, src := range s.srcs {
+				if src == buf {
+					return false
+				}
+			}
+		}
+		return true
+	}
+
+	steps := p.steps
+	out := steps[:0:0]
+	var packs []*tensor.PackedB
+	for i := 0; i < len(steps); {
+		s := steps[i]
+		if s.kind != OpMatMul || written[s.srcs[1]] {
+			// Not a matmul, or B is computed inside the program (cannot
+			// snapshot it at compile time): keep the step as recorded.
+			out = append(out, s)
+			i++
+			continue
+		}
+		a, b, dst := s.srcs[0], s.srcs[1], s.dst
+		pb := tensor.PackB(b)
+		packs = append(packs, pb)
+
+		// Try MatMul+AddRow(+activation) fusion. The intermediate must
+		// be dead after the sequence and must not alias the GEMM input.
+		fused := false
+		if i+1 < len(steps) {
+			add := steps[i+1]
+			if add.kind == OpAddRow && add.srcs[0] == dst && add.srcs[1].Rows() == 1 &&
+				add.dst != a && dst != a && deadAfter(dst, i+2) {
+				bias := add.srcs[1]
+				ep := tensor.EpBias
+				fdst := add.dst
+				consumed := 2
+				if i+2 < len(steps) {
+					act := steps[i+2]
+					if e, ok := fusableEpilogue[act.kind]; ok && act.srcs[0] == add.dst &&
+						act.dst != a && act.dst != bias && deadAfter(add.dst, i+3) {
+						ep = e
+						fdst = act.dst
+						consumed = 3
+					}
+				}
+				name := "matmul+" + ep.Name()
+				fa, fb, fd := a, bias, fdst
+				out = append(out, Step{
+					Name: name, kid: internKernel(name),
+					kind: OpOther, dst: fd, srcs: []*tensor.Dense{fa, fb},
+					Run: func() { tensor.GemmPacked(fd, fa, pb, fb, ep) },
+				})
+				i += consumed
+				fused = true
+			}
+		}
+		if !fused {
+			// Standalone matmul: still run it off the pre-packed panels
+			// (the generic MatMulInto would re-pack B on every call).
+			fa, fd := a, dst
+			out = append(out, Step{
+				Name: s.Name, kid: s.kid,
+				kind: OpMatMul, dst: fd, srcs: []*tensor.Dense{fa, b},
+				Run: func() { tensor.GemmPacked(fd, fa, pb, nil, tensor.EpNone) },
+			})
+			i++
+		}
+	}
+	p.steps = out
+	return packs
+}

@@ -29,6 +29,14 @@ type Step struct {
 	// kid is the interned kernel-timing slot for Name (-1 when the
 	// kernel table overflowed); assigned by Program.Add.
 	kid int
+
+	// kind/dst/srcs describe the step to the optimize pass (fuse.go):
+	// dst is the buffer Run overwrites, srcs the buffers it reads.
+	// Steps appended via Add carry OpBarrier (unknown effects), which
+	// disables optimization of the whole program.
+	kind OpKind
+	dst  *tensor.Dense
+	srcs []*tensor.Dense
 }
 
 // Program is a replayable forward pass: the ordered kernels of one
@@ -42,11 +50,22 @@ type Program struct {
 // NewProgram returns an empty program for a recording tape to fill.
 func NewProgram() *Program { return &Program{} }
 
-// Add appends one kernel. The name is interned into the kernel-timing
-// table at record time so the execute path never touches the intern
-// map.
+// Add appends one kernel with unknown buffer effects (an optimization
+// barrier). The name is interned into the kernel-timing table at record
+// time so the execute path never touches the intern map. Prefer AddOp,
+// which keeps the program optimizable.
 func (p *Program) Add(name string, run func()) {
 	p.steps = append(p.steps, Step{Name: name, Run: run, kid: internKernel(name)})
+}
+
+// AddOp appends one kernel with its dataflow description: kind
+// identifies the operation to the fusion pass, dst is the buffer run
+// overwrites, and srcs are the buffers it reads.
+func (p *Program) AddOp(name string, kind OpKind, dst *tensor.Dense, run func(), srcs ...*tensor.Dense) {
+	p.steps = append(p.steps, Step{
+		Name: name, Run: run, kid: internKernel(name),
+		kind: kind, dst: dst, srcs: srcs,
+	})
 }
 
 // Len returns the number of recorded kernels.
@@ -88,8 +107,9 @@ type Plan struct {
 	// not surface them).
 	Tau, P *tensor.Dense
 
-	prog *Program
-	bufs []*tensor.Dense // pooled buffers to recycle on Release
+	prog  *Program
+	bufs  []*tensor.Dense   // pooled buffers to recycle on Release
+	packs []*tensor.PackedB // packed weight panels owned by the plan
 
 	// epoch is the owning pool's drop epoch at compile time; Put releases
 	// plans from a dropped epoch instead of re-pooling them.
@@ -99,8 +119,16 @@ type Plan struct {
 // NewPlan assembles a compiled plan. bufs lists the pooled buffers the
 // plan owns (typically the recording tape's intermediates plus the
 // input buffers); Release returns them to tensor's buffer pool.
+//
+// NewPlan also runs the optimize pass (fuse.go) over the program: layer
+// sequences are fused and weight matrices are packed into panel layout.
+// The packed panels snapshot the weights — a plan therefore belongs to
+// one model generation, and any in-place parameter mutation afterwards
+// must be followed by dropping the plans (selnet's training entry
+// points do this).
 func NewPlan(batch int, prog *Program, x, t, out, tau, p *tensor.Dense, bufs []*tensor.Dense) *Plan {
-	return &Plan{Batch: batch, X: x, T: t, Out: out, Tau: tau, P: p, prog: prog, bufs: bufs}
+	packs := prog.optimize(out, tau, p)
+	return &Plan{Batch: batch, X: x, T: t, Out: out, Tau: tau, P: p, prog: prog, bufs: bufs, packs: packs}
 }
 
 // Run executes the forward pass in place over the plan's buffers.
@@ -117,6 +145,10 @@ func (p *Plan) Release() {
 		tensor.Recycle(b)
 	}
 	p.bufs = nil
+	for _, pb := range p.packs {
+		pb.Release()
+	}
+	p.packs = nil
 }
 
 // ----------------------------------------------------------------------------

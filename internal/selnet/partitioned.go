@@ -232,6 +232,10 @@ func (p *Partitioned) Fit(tc TrainConfig, db *vecdata.Database, train, valid []v
 			pr.Value.CopyFrom(best[i])
 		}
 	}
+	// Drop plans compiled against mid-training weights: plans pack
+	// weight panels at compile time, so a parameter restore under them
+	// would leave stale panels serving.
+	p.DropPlans()
 }
 
 // indicatorMatrix precomputes f_c for every query, one column vector per

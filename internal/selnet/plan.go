@@ -18,12 +18,16 @@ import (
 // outputs. Steady-state inference performs zero heap allocations and
 // never rebuilds a tape.
 //
-// Plans read parameter values through the same tensor.Dense objects the
-// optimizer updates in place, so they survive incremental training of
-// the same Net. They are invalidated (dropped, recompiled lazily) when
-// training begins — Fit, HandleUpdate — and when the serving layer
-// discards a model generation after a hot-swap (DropPlans). Clones and
-// deserialized models are fresh objects and start with no plans.
+// A compiled plan snapshots the model's weights: the optimize pass
+// (infer's fuse.go) packs each constant weight matrix into a blocked
+// panel layout at compile time, so a plan belongs to one parameter
+// generation. Every code path that mutates parameters in place —
+// optimizer steps inside Fit/HandleUpdate, best-snapshot restores —
+// calls DropPlans before the next plan-based evaluation, and the
+// serving layer drops plans when it discards a model generation after
+// a hot-swap. Dropped plans are recompiled (and re-packed) lazily on
+// next use. Clones and deserialized models are fresh objects and start
+// with no plans.
 
 // maxPlanBatch is the largest batch one compiled plan covers; larger
 // EstimateBatch calls are chunked. Classes are powers of two, so a pool

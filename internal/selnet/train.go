@@ -101,6 +101,10 @@ func (n *Net) Fit(tc TrainConfig, db *vecdata.Database, train, valid []vecdata.Q
 			p.Value.CopyFrom(best[i])
 		}
 	}
+	// Plans compiled mid-training (e.g. by a concurrent evaluation) hold
+	// weight panels packed from now-stale parameters; drop them so the
+	// settled weights are re-packed on next use.
+	n.DropPlans()
 }
 
 // pretrainAE runs autoencoder pretraining on a database sample.
@@ -185,6 +189,10 @@ func (n *Net) FitEpochsUntilNoImprovement(tc TrainConfig, train, valid []vecdata
 			opt.Step(n.Params())
 		}
 		epochs++
+		// The epoch's steps mutated the parameters in place; the MAE
+		// below compiles fresh plans, which pack the weights they see,
+		// so the previous epoch's plans must go first.
+		n.DropPlans()
 		mae := n.MAE(valid)
 		if mae < bestMAE-1e-12 {
 			bestMAE = mae
@@ -198,6 +206,7 @@ func (n *Net) FitEpochsUntilNoImprovement(tc TrainConfig, train, valid []vecdata
 		}
 	}
 	restoreParams(n.Params(), best)
+	n.DropPlans() // the restore mutated parameters under compiled plans
 	return epochs
 }
 

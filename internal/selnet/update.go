@@ -119,6 +119,7 @@ func (p *Partitioned) HandleUpdate(tc TrainConfig, uc UpdateConfig, db *vecdata.
 		}
 	}
 	restoreParams(p.Params(), best)
+	p.DropPlans() // restore mutated parameters under the last epoch's plans
 	res.MAEAfter = p.MAE(valid)
 	return res
 }

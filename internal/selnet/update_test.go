@@ -73,8 +73,10 @@ func TestPartitionedHandleUpdate(t *testing.T) {
 	tc.Epochs = 6
 	p.Fit(tc, db, train, valid)
 
-	// No-op: skip.
-	uc := UpdateConfig{DeltaU: 1.0, Patience: 2, MaxEpochs: 4}
+	// No-op: skip. The duplicate insert below shifts validation MAE by
+	// ~1.0, so the threshold must sit clearly under it — not at it —
+	// or the decision hangs on the last ulp of the MAE sum.
+	uc := UpdateConfig{DeltaU: 0.5, Patience: 2, MaxEpochs: 4}
 	res := p.HandleUpdate(tc, uc, db, train, valid)
 	if res.Retrained {
 		t.Fatalf("no-op update must not retrain the partitioned model")

@@ -1,0 +1,156 @@
+//go:build amd64
+
+#include "textflag.h"
+
+// AVX2+FMA micro-kernels for the packed GEMM (see kernels.go for the
+// layout). Each output element is one VFMADD231PD chain in ascending k —
+// the per-element determinism contract the plan layer depends on.
+
+// func gemm4x8(k int, a *float64, lda int, b *float64, c *float64, ldc int)
+// Computes c[0:4][0:8] = a[0:4][0:k] * panel for a packed k x 8 panel at b.
+TEXT ·gemm4x8(SB), NOSPLIT, $0-48
+	MOVQ k+0(FP), CX
+	MOVQ a+8(FP), SI
+	MOVQ lda+16(FP), R8
+	MOVQ b+24(FP), DX
+	MOVQ c+32(FP), DI
+	MOVQ ldc+40(FP), R9
+	SHLQ $3, R8              // lda in bytes
+	SHLQ $3, R9              // ldc in bytes
+
+	LEAQ (SI)(R8*1), R10     // a row 1
+	LEAQ (R10)(R8*1), R11    // a row 2
+	LEAQ (R11)(R8*1), R12    // a row 3
+
+	VXORPD Y0, Y0, Y0        // c row 0, cols 0..3
+	VXORPD Y1, Y1, Y1        // c row 0, cols 4..7
+	VXORPD Y2, Y2, Y2
+	VXORPD Y3, Y3, Y3
+	VXORPD Y4, Y4, Y4
+	VXORPD Y5, Y5, Y5
+	VXORPD Y6, Y6, Y6
+	VXORPD Y7, Y7, Y7
+
+loop4x8:
+	VMOVUPD (DX), Y8         // panel row kk, cols 0..3
+	VMOVUPD 32(DX), Y9       // panel row kk, cols 4..7
+
+	VBROADCASTSD (SI), Y10
+	VFMADD231PD Y8, Y10, Y0
+	VFMADD231PD Y9, Y10, Y1
+	VBROADCASTSD (R10), Y10
+	VFMADD231PD Y8, Y10, Y2
+	VFMADD231PD Y9, Y10, Y3
+	VBROADCASTSD (R11), Y10
+	VFMADD231PD Y8, Y10, Y4
+	VFMADD231PD Y9, Y10, Y5
+	VBROADCASTSD (R12), Y10
+	VFMADD231PD Y8, Y10, Y6
+	VFMADD231PD Y9, Y10, Y7
+
+	ADDQ $8, SI
+	ADDQ $8, R10
+	ADDQ $8, R11
+	ADDQ $8, R12
+	ADDQ $64, DX
+	DECQ CX
+	JNZ  loop4x8
+
+	VMOVUPD Y0, (DI)
+	VMOVUPD Y1, 32(DI)
+	ADDQ R9, DI
+	VMOVUPD Y2, (DI)
+	VMOVUPD Y3, 32(DI)
+	ADDQ R9, DI
+	VMOVUPD Y4, (DI)
+	VMOVUPD Y5, 32(DI)
+	ADDQ R9, DI
+	VMOVUPD Y6, (DI)
+	VMOVUPD Y7, 32(DI)
+	VZEROUPPER
+	RET
+
+// func gemm1x8(k int, a *float64, b *float64, c *float64)
+// Computes c[0:8] = a[0:k] * panel for a packed k x 8 panel at b.
+TEXT ·gemm1x8(SB), NOSPLIT, $0-32
+	MOVQ k+0(FP), CX
+	MOVQ a+8(FP), SI
+	MOVQ b+16(FP), DX
+	MOVQ c+24(FP), DI
+
+	VXORPD Y0, Y0, Y0
+	VXORPD Y1, Y1, Y1
+
+loop1x8:
+	VMOVUPD (DX), Y8
+	VMOVUPD 32(DX), Y9
+	VBROADCASTSD (SI), Y10
+	VFMADD231PD Y8, Y10, Y0
+	VFMADD231PD Y9, Y10, Y1
+	ADDQ $8, SI
+	ADDQ $64, DX
+	DECQ CX
+	JNZ  loop1x8
+
+	VMOVUPD Y0, (DI)
+	VMOVUPD Y1, 32(DI)
+	VZEROUPPER
+	RET
+
+// func cpuidex(leaf, subleaf uint32) (eax, ebx, ecx, edx uint32)
+TEXT ·cpuidex(SB), NOSPLIT, $0-24
+	MOVL leaf+0(FP), AX
+	MOVL subleaf+4(FP), CX
+	CPUID
+	MOVL AX, eax+8(FP)
+	MOVL BX, ebx+12(FP)
+	MOVL CX, ecx+16(FP)
+	MOVL DX, edx+20(FP)
+	RET
+
+// func xgetbv0() (lo, hi uint32)
+TEXT ·xgetbv0(SB), NOSPLIT, $0-8
+	XORL CX, CX
+	XGETBV
+	MOVL AX, lo+0(FP)
+	MOVL DX, hi+4(FP)
+	RET
+
+// func vecAddBiasRelu(n int, row *float64, bias *float64)
+// row[0:n] = max(row+bias, 0) for n a multiple of 4. VMAXPD with the
+// value as first source and zero as second maps NaN to 0 — exactly the
+// scalar reluFn semantics, so vector and scalar tails agree bitwise.
+TEXT ·vecAddBiasRelu(SB), NOSPLIT, $0-24
+	MOVQ n+0(FP), CX
+	MOVQ row+8(FP), DI
+	MOVQ bias+16(FP), SI
+	VXORPD Y2, Y2, Y2
+loopabr:
+	VMOVUPD (DI), Y0
+	VADDPD (SI), Y0, Y0
+	VMAXPD Y2, Y0, Y0
+	VMOVUPD Y0, (DI)
+	ADDQ $32, DI
+	ADDQ $32, SI
+	SUBQ $4, CX
+	JNZ  loopabr
+	VZEROUPPER
+	RET
+
+// func vecRelu(n int, dst *float64, src *float64)
+// dst[0:n] = max(src, 0) for n a multiple of 4 (NaN -> 0).
+TEXT ·vecRelu(SB), NOSPLIT, $0-24
+	MOVQ n+0(FP), CX
+	MOVQ dst+8(FP), DI
+	MOVQ src+16(FP), SI
+	VXORPD Y2, Y2, Y2
+looprelu:
+	VMOVUPD (SI), Y0
+	VMAXPD Y2, Y0, Y0
+	VMOVUPD Y0, (DI)
+	ADDQ $32, DI
+	ADDQ $32, SI
+	SUBQ $4, CX
+	JNZ  looprelu
+	VZEROUPPER
+	RET

@@ -1,0 +1,9 @@
+//go:build tensor_noopt
+
+package tensor
+
+// tensor_noopt build: MatMulInto stays on the reference triple loop and
+// internal/infer skips kernel fusion. The packed GEMM itself (GemmPacked,
+// PackB) remains available so the differential tests can still exercise
+// it against the reference under this tag.
+const optimizedKernels = false

@@ -1,0 +1,8 @@
+//go:build !tensor_noopt
+
+package tensor
+
+// optimizedKernels routes MatMulInto through the blocked packed-panel
+// GEMM and lets internal/infer fuse plan steps. Build with -tags
+// tensor_noopt to pin the reference kernels instead.
+const optimizedKernels = true

@@ -1,0 +1,142 @@
+package tensor
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Parallel row-partitioned GEMM. Large batches split their A rows across
+// a fixed worker pool; each worker (and the calling goroutine, which
+// always participates) claims gemmMR-aligned row chunks off an atomic
+// cursor. Chunk alignment means every row goes through exactly the same
+// micro-kernel as the serial path, so parallel results are bit-identical
+// to serial ones.
+//
+// The pool is allocation-free in steady state: job descriptors come from
+// a sync.Pool, fan-out sends the same *gemmJob pointer to the buffered
+// job channel, and workers are launched once (never per call). The path
+// is off below SetParallelMinRows rows (default 32) and entirely off
+// when parallelism is 1 — the default on GOMAXPROCS=1 — so batch-1
+// serving never pays for it.
+
+const (
+	// parChunkRows is the row-claim unit. A multiple of gemmMR, so
+	// chunk boundaries preserve the serial path's register-tile
+	// alignment (part of the determinism contract in kernels.go).
+	parChunkRows = 8
+	// maxParWorkers bounds the worker pool.
+	maxParWorkers = 64
+)
+
+type gemmJob struct {
+	out, a *Dense
+	pb     PackedB // by value, so a caller's stack PackedB never escapes
+	bias   *Dense
+	ep     Epilogue
+	m      int
+	cursor atomic.Int64
+	wg     sync.WaitGroup
+}
+
+var (
+	parMu      sync.Mutex
+	parJobs    chan *gemmJob
+	parStarted int          // workers launched so far (monotonic)
+	parDesired atomic.Int32 // requested parallelism; <2 disables the path
+	parMinRows atomic.Int32
+	gemmJobs   = sync.Pool{New: func() any { return new(gemmJob) }}
+)
+
+func init() {
+	parMinRows.Store(32)
+	SetParallelism(runtime.GOMAXPROCS(0))
+}
+
+// SetParallelism sets how many goroutines (including the caller) execute
+// one large GEMM; n <= 1 disables the parallel path. Workers are started
+// lazily and stay for the life of the process; shrinking only lowers the
+// fan-out. Returns the value actually set.
+func SetParallelism(n int) int {
+	if n < 1 {
+		n = 1
+	}
+	if n > maxParWorkers {
+		n = maxParWorkers
+	}
+	parMu.Lock()
+	if n > 1 {
+		if parJobs == nil {
+			parJobs = make(chan *gemmJob, 4*maxParWorkers)
+		}
+		// Workers must exist before parDesired admits the fan-out.
+		for parStarted < n-1 {
+			go gemmWorker(parJobs)
+			parStarted++
+		}
+	}
+	parMu.Unlock()
+	parDesired.Store(int32(n))
+	return n
+}
+
+// Parallelism returns the current setting (1 = serial).
+func Parallelism() int { return int(parDesired.Load()) }
+
+// SetParallelMinRows sets the minimum number of A rows before a GEMM
+// uses the worker pool. Returns the previous value.
+func SetParallelMinRows(n int) int {
+	if n < 1 {
+		n = 1
+	}
+	return int(parMinRows.Swap(int32(n)))
+}
+
+// parFanout returns how many workers to enlist for an m-row GEMM
+// (0 = run serial).
+func parFanout(m int) int {
+	des := int(parDesired.Load())
+	if des < 2 || m < int(parMinRows.Load()) {
+		return 0
+	}
+	// No point waking workers that couldn't claim a chunk.
+	if chunks := (m + parChunkRows - 1) / parChunkRows; des > chunks {
+		des = chunks
+	}
+	return des - 1
+}
+
+func gemmWorker(jobs <-chan *gemmJob) {
+	for j := range jobs {
+		j.run()
+		j.wg.Done()
+	}
+}
+
+func (j *gemmJob) run() {
+	for {
+		r0 := int(j.cursor.Add(parChunkRows)) - parChunkRows
+		if r0 >= j.m {
+			return
+		}
+		r1 := r0 + parChunkRows
+		if r1 > j.m {
+			r1 = j.m
+		}
+		gemmRowRange(j.out, j.a, &j.pb, j.bias, j.ep, r0, r1)
+	}
+}
+
+func gemmParallel(out, a *Dense, pb *PackedB, bias *Dense, ep Epilogue, fanout int) {
+	j := gemmJobs.Get().(*gemmJob)
+	j.out, j.a, j.pb, j.bias, j.ep, j.m = out, a, *pb, bias, ep, a.rows
+	j.cursor.Store(0)
+	j.wg.Add(fanout)
+	for i := 0; i < fanout; i++ {
+		parJobs <- j
+	}
+	j.run() // the caller is a worker too
+	j.wg.Wait()
+	j.out, j.a, j.pb, j.bias = nil, nil, PackedB{}, nil
+	gemmJobs.Put(j)
+}

@@ -1,0 +1,149 @@
+package tensor
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// forceParallel turns the row-partitioned path on for the duration of a
+// test (any batch size, fan-out 4) and restores the previous settings.
+// The box running CI may have GOMAXPROCS=1, where the path is off by
+// default — these tests are the proof it works, so they force it.
+func forceParallel(t *testing.T) {
+	t.Helper()
+	oldPar := Parallelism()
+	oldMin := SetParallelMinRows(1)
+	SetParallelism(4)
+	t.Cleanup(func() {
+		SetParallelism(oldPar)
+		SetParallelMinRows(oldMin)
+	})
+}
+
+// TestGemmParallelMatchesSerial proves the determinism contract across
+// partitioning: the parallel row-partitioned GEMM must produce bitwise
+// the same output as the serial path, for row counts that do and do not
+// divide the claim chunk (parChunkRows = 8).
+func TestGemmParallelMatchesSerial(t *testing.T) {
+	forceParallel(t)
+	const k, n = 48, 52 // tail panel in play
+	b := randDense(21, k, n)
+	bias := randDense(22, 1, n)
+	pb := PackB(b)
+	for _, m := range []int{1, 3, 7, 8, 9, 15, 16, 31, 64, 65, 100} {
+		a := randDense(int64(300+m), m, k)
+		for _, ep := range []Epilogue{EpNone, EpBiasReLU, EpBiasSoftmax} {
+			bv := bias
+			if ep == EpNone {
+				bv = nil
+			}
+			// gemmRowRange is the serial path — GemmPacked only differs by
+			// the fan-out gate, so the comparison isolates partitioning.
+			serial := New(m, n)
+			gemmRowRange(serial, a, pb, bv, ep, 0, m)
+
+			parallel := New(m, n)
+			if fan := parFanout(m); m > parChunkRows && fan == 0 {
+				t.Fatalf("m=%d: parallel path not engaged (fanout 0)", m)
+			}
+			GemmPacked(parallel, a, pb, bv, ep)
+
+			assertExact(t, fmt.Sprintf("parallel vs serial m=%d ep=%q", m, ep.Name()), serial, parallel)
+		}
+	}
+}
+
+// TestGemmParallelConcurrentCallers hammers the shared worker pool from
+// many goroutines at once — the race detector's target in CI — and
+// checks every result against the serial path.
+func TestGemmParallelConcurrentCallers(t *testing.T) {
+	forceParallel(t)
+	const k, n = 32, 24
+	b := randDense(31, k, n)
+	pb := PackB(b)
+
+	const callers = 8
+	var wg sync.WaitGroup
+	errs := make(chan error, callers)
+	for c := 0; c < callers; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			m := 17 + c*9
+			a := randDense(int64(500+c), m, k)
+			want := New(m, n)
+			gemmRowRange(want, a, pb, nil, EpNone, 0, m)
+			got := New(m, n)
+			for iter := 0; iter < 50; iter++ {
+				GemmPacked(got, a, pb, nil, EpNone)
+				for i := range want.data {
+					if want.data[i] != got.data[i] {
+						errs <- fmt.Errorf("caller %d iter %d elem %d: want %v got %v", c, iter, i, want.data[i], got.data[i])
+						return
+					}
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+// TestGemmParallelZeroAllocs pins the steady-state allocation count of
+// the parallel path at zero: job descriptors are pooled, workers are
+// long-lived, and the fan-out sends an existing pointer. Skipped under
+// the race detector, which instruments allocations.
+func TestGemmParallelZeroAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are meaningless under -race")
+	}
+	forceParallel(t)
+	const m, k, n = 64, 48, 52
+	a := randDense(41, m, k)
+	b := randDense(42, k, n)
+	bias := randDense(43, 1, n)
+	pb := PackB(b)
+	out := New(m, n)
+	// Warm the job pool and the lazily started workers.
+	GemmPacked(out, a, pb, bias, EpBiasReLU)
+	if allocs := testing.AllocsPerRun(100, func() {
+		GemmPacked(out, a, pb, bias, EpBiasReLU)
+	}); allocs != 0 {
+		t.Fatalf("parallel GemmPacked: %v allocs/op, want 0", allocs)
+	}
+}
+
+// TestSetParallelism pins the knob semantics: clamping, monotonic worker
+// start, and the fan-out gate.
+func TestSetParallelism(t *testing.T) {
+	old := Parallelism()
+	defer SetParallelism(old)
+	if got := SetParallelism(0); got != 1 {
+		t.Fatalf("SetParallelism(0) = %d, want clamp to 1", got)
+	}
+	if got := SetParallelism(maxParWorkers + 10); got != maxParWorkers {
+		t.Fatalf("SetParallelism(huge) = %d, want clamp to %d", got, maxParWorkers)
+	}
+	SetParallelism(1)
+	oldMin := SetParallelMinRows(1)
+	defer SetParallelMinRows(oldMin)
+	if fan := parFanout(1000); fan != 0 {
+		t.Fatalf("fanout %d with parallelism 1, want 0", fan)
+	}
+	SetParallelism(4)
+	if fan := parFanout(1000); fan != 3 {
+		t.Fatalf("fanout %d with parallelism 4, want 3 (caller participates)", fan)
+	}
+	// Fan-out never exceeds what the chunk count can feed.
+	if fan := parFanout(parChunkRows * 2); fan != 1 {
+		t.Fatalf("fanout %d for 2 chunks, want 1", fan)
+	}
+	SetParallelMinRows(32)
+	if fan := parFanout(31); fan != 0 {
+		t.Fatalf("fanout %d below min rows, want 0", fan)
+	}
+}

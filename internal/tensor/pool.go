@@ -50,6 +50,29 @@ func NewPooled(rows, cols int) *Dense {
 	return &Dense{rows: rows, cols: cols, data: make([]float64, n, 1<<b)}
 }
 
+// getPoolSlice returns an n-element slice from the bucket pool without
+// zeroing it (the values are stale). Only for internal callers that
+// overwrite every element before reading any (e.g. B-panel packing,
+// which writes all panel slots including the zero padding).
+func getPoolSlice(n int) []float64 {
+	b := bucketFor(n)
+	if b < 0 {
+		return make([]float64, n)
+	}
+	if v := bufPools[b].Get(); v != nil {
+		return v.([]float64)[:n]
+	}
+	return make([]float64, n, 1<<b)
+}
+
+// putPoolSlice returns a getPoolSlice result to the pool.
+func putPoolSlice(s []float64) {
+	c := cap(s)
+	if b := bucketFor(c); b >= 0 && c == 1<<b {
+		bufPools[b].Put(s[:0:c])
+	}
+}
+
 // Recycle returns m's backing array to the pool. The caller must not
 // use m (or any view sharing its storage) afterwards. Matrices whose
 // arrays did not come from NewPooled are accepted too as long as their

@@ -1,0 +1,7 @@
+//go:build race
+
+package tensor
+
+// raceEnabled skips allocation-count assertions under -race: the race
+// detector instruments allocations and breaks AllocsPerRun's zeros.
+const raceEnabled = true

@@ -175,12 +175,26 @@ func MatMul(a, b *Dense) *Dense {
 }
 
 // MatMulInto computes out = a*b, overwriting out. out must be a.rows x b.cols
-// and must not alias a or b.
+// and must not alias a or b. The default build dispatches to the blocked
+// kernel layer (kernels.go); the tensor_noopt build tag pins the reference
+// triple loop below.
 func MatMulInto(out, a, b *Dense) {
 	if a.cols != b.rows || out.rows != a.rows || out.cols != b.cols {
 		panic(fmt.Sprintf("tensor: matmulInto out %dx%d = %dx%d * %dx%d",
 			out.rows, out.cols, a.rows, a.cols, b.rows, b.cols))
 	}
+	if optimizedKernels {
+		pb := packBPooled(b)
+		gemmPacked(out, a, &pb, nil, EpNone)
+		pb.Release()
+		return
+	}
+	matMulRefInto(out, a, b)
+}
+
+// matMulRefInto is the reference matmul: the portable triple loop every
+// optimized kernel is differential-tested against (kernels_test.go).
+func matMulRefInto(out, a, b *Dense) {
 	out.Zero()
 	// ikj loop order: streams through b and out rows contiguously.
 	for i := 0; i < a.rows; i++ {
